@@ -1,0 +1,63 @@
+// Ablation C: DRAM bandwidth sweep (roofline crossover).
+//
+// The paper fixes DRAM at 26 GB/s "achievable in most platforms". This
+// sweep shows where the ResNet50-class layers cross from memory-bound to
+// compute-bound and how much headroom 26 GB/s leaves. Exports
+// ablation_bandwidth.csv.
+#include <cstdio>
+
+#include "common/csv.h"
+#include "common/str_util.h"
+#include "common/table.h"
+#include "ftdl/ftdl.h"
+
+int main() {
+  using namespace ftdl;
+
+  // The per-stage bottleneck layers of ResNet50 plus the classifier.
+  nn::Network net("resnet50-mix");
+  net.add(nn::make_conv("conv1/7x7_s2", 3, 224, 224, 64, 7, 2, 3));
+  net.add(nn::make_conv("res2/conv2_3x3", 64, 56, 56, 64, 3, 1, 1));
+  net.add(nn::make_conv("res3/conv2_3x3", 128, 28, 28, 128, 3, 1, 1));
+  net.add(nn::make_conv("res4/conv2_3x3", 256, 14, 14, 256, 3, 1, 1));
+  net.add(nn::make_conv("res5/conv2_3x3", 512, 7, 7, 512, 3, 1, 1));
+  net.add(nn::make_matmul("fc1000", 2048, 1000, 1));
+
+  std::printf("=== Ablation C: DRAM bandwidth sweep (ResNet50 layer mix) ===\n\n");
+  AsciiTable table({"DRAM BW", "Total cycles", "HW eff.",
+                    "Bound by (worst layer)"});
+  CsvWriter csv("ablation_bandwidth.csv",
+                {"bandwidth_gbps", "total_cycles", "hardware_efficiency"});
+
+  for (double gbps : {3.25, 6.5, 13.0, 26.0, 52.0, 104.0}) {
+    arch::OverlayConfig cfg = arch::paper_config();
+    cfg.dram_rd_bytes_per_sec = gbps * 1e9;
+    cfg.dram_wr_bytes_per_sec = gbps * 1e9;
+    const auto sched = compiler::schedule_network(
+        net, cfg, compiler::Objective::Performance, 15'000);
+
+    // Identify the binding channel of the least efficient layer.
+    const compiler::LayerProgram* worst = &sched.layers.front();
+    for (const auto& lp : sched.layers) {
+      if (lp.perf.hardware_efficiency < worst->perf.hardware_efficiency)
+        worst = &lp;
+    }
+    const auto& p = worst->perf;
+    const char* bound = "compute";
+    if (p.c_exe == p.c_dram_rd || p.c_exe == p.c_dram_wr) bound = "DRAM";
+    else if (p.c_exe == p.c_act_bus) bound = "ActBUS";
+    else if (p.c_exe == p.c_psum_bus) bound = "PSumBUS";
+
+    table.row({strformat("%.2f GB/s", gbps),
+               std::to_string(sched.total_cycles),
+               format_percent(sched.hardware_efficiency),
+               strformat("%s (%s)", bound, worst->layer.name.c_str())});
+    csv.row_numeric({gbps, double(sched.total_cycles),
+                     sched.hardware_efficiency});
+  }
+  table.print();
+  std::printf("\nThe paper's 26 GB/s sits at/above the crossover: higher "
+              "bandwidth buys little,\nlower bandwidth starves the early "
+              "high-resolution layers. Exported to ablation_bandwidth.csv.\n");
+  return 0;
+}

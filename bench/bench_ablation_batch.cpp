@@ -1,0 +1,57 @@
+// Ablation G: batching on the MM path.
+//
+// The introduction notes that increasing batch size can maintain high
+// hardware efficiency but is infeasible for latency-bound edge inference.
+// This bench quantifies the effect on FTDL: at batch 1 an FC/LSTM matrix has
+// no activation-only reuse, the double pump starves the DSPs and efficiency
+// halves; batch >= 2 restores it, and larger batches amortize the pipeline
+// latency further.
+#include <cstdio>
+
+#include "arch/overlay_config.h"
+#include "common/csv.h"
+#include "common/str_util.h"
+#include "common/table.h"
+#include "compiler/codegen.h"
+
+int main() {
+  using namespace ftdl;
+
+  const arch::OverlayConfig cfg = arch::paper_config();
+  std::printf("=== Ablation G: MM batch size (FC 1024 -> 1000, LSTM gate "
+              "2048 -> 4096) ===\n\n");
+
+  CsvWriter csv("ablation_batch.csv",
+                {"layer", "batch", "efficiency", "cycles_per_sample",
+                 "weight_reuse_ok"});
+  AsciiTable table({"Layer", "Batch", "Eff.", "Cycles/sample", "Reuse OK"});
+
+  struct Case {
+    const char* name;
+    std::int64_t m, n;
+  };
+  for (const Case& c : {Case{"fc1024x1000", 1024, 1000},
+                        Case{"lstm_gates", 2048, 4096}}) {
+    for (std::int64_t batch : {1, 2, 4, 8, 16, 32}) {
+      const nn::Layer layer = nn::make_matmul(c.name, c.m, c.n, batch);
+      const auto prog =
+          compiler::compile_layer(layer, cfg, compiler::Objective::Performance,
+                                  30'000);
+      const double per_sample = double(prog.total_cycles()) / double(batch);
+      table.row({c.name, std::to_string(batch),
+                 format_percent(prog.perf.hardware_efficiency),
+                 strformat("%.0f", per_sample),
+                 prog.perf.weight_reuse_ok ? "yes" : "NO"});
+      csv.row({c.name, std::to_string(batch),
+               strformat("%.4f", prog.perf.hardware_efficiency),
+               strformat("%.0f", per_sample),
+               prog.perf.weight_reuse_ok ? "1" : "0"});
+    }
+  }
+  table.print();
+  std::printf("\nBatch 1 pays the 2x double-pump starvation penalty on MM "
+              "layers; batch >= 2\nrestores full rate — the architectural "
+              "reason FTDL quotes CNN FPS at batch 1\nbut LSTM throughput "
+              "favours batching. Exported to ablation_batch.csv.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Ablation B (Objective 3, Sec. IV-D3): best (D1, D2, D3) at equal cost.
+//
+// At a fixed budget of 1200 TPEs on the vu125, enumerate every legal
+// (D1, D2, D3) split, schedule a representative GoogLeNet layer mix on
+// each, and rank them. Shows why the paper's 12 x 5 x 20 is a good choice.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/str_util.h"
+#include "common/table.h"
+#include "ftdl/ftdl.h"
+
+int main() {
+  using namespace ftdl;
+
+  // Representative GoogLeNet layer mix (early, middle, late, reduce, FC).
+  nn::Network net("googlenet-mix");
+  net.add(nn::make_conv("conv2/3x3", 64, 56, 56, 192, 3, 1, 1));
+  net.add(nn::make_conv("3a/3x3", 96, 28, 28, 128, 3, 1, 1));
+  net.add(nn::make_conv("4e/3x3", 160, 14, 14, 320, 3, 1, 1));
+  net.add(nn::make_conv("5b/1x1", 832, 7, 7, 384, 1, 1, 0));
+  net.add(nn::make_matmul("fc", 1024, 1000, 1));
+
+  const fpga::Device dev = fpga::ultrascale_vu125();
+  const int budget = 1200;
+
+  struct Row {
+    arch::OverlayConfig cfg;
+    compiler::NetworkSchedule sched;
+  };
+  std::vector<Row> rows;
+
+  for (int d1 = 4; d1 <= 48; ++d1) {
+    if (budget % d1 != 0) continue;
+    for (int d2 = 1; d2 <= dev.dsp_columns; ++d2) {
+      if ((budget / d1) % d2 != 0) continue;
+      const int d3 = budget / d1 / d2;
+      if (d1 * d3 > dev.dsp_per_column) continue;
+      arch::OverlayConfig cfg = arch::paper_config();
+      cfg.d1 = d1;
+      cfg.d2 = d2;
+      cfg.d3 = d3;
+      try {
+        cfg.validate_for_device(dev);
+        rows.push_back({cfg, compiler::schedule_network(
+                                 net, cfg, compiler::Objective::Performance,
+                                 20'000)});
+      } catch (const Error&) {
+        continue;
+      }
+    }
+  }
+
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return a.sched.total_cycles < b.sched.total_cycles;
+  });
+
+  std::printf("=== Ablation B: hardware-configuration search at 1200 TPEs ===\n\n");
+  AsciiTable table({"D1 x D2 x D3", "Total cycles", "HW eff.", "Rank"});
+  int rank = 1;
+  for (const Row& r : rows) {
+    table.row({strformat("%d x %d x %d", r.cfg.d1, r.cfg.d2, r.cfg.d3),
+               std::to_string(r.sched.total_cycles),
+               format_percent(r.sched.hardware_efficiency),
+               std::to_string(rank++)});
+  }
+  table.print();
+  if (!rows.empty()) {
+    std::printf("\nBest split: %d x %d x %d (the paper's example uses "
+                "12 x 5 x 20).\n",
+                rows.front().cfg.d1, rows.front().cfg.d2, rows.front().cfg.d3);
+  }
+  return 0;
+}

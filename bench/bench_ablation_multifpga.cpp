@@ -1,0 +1,63 @@
+// Ablation E: multi-FPGA weight residency and pipeline scaling (Sec. II-B1).
+//
+// A single vu125 holds 1.23 M WBUF words — GoogLeNet (~7 M unique words) and
+// ResNet50 (~25.5 M) cannot be weight-stationary on one device. This bench
+// shows the paper's multi-FPGA answer quantitatively: devices needed for
+// full residency, and how throughput/latency scale with the pipeline depth.
+#include <cstdio>
+
+#include "common/str_util.h"
+#include "common/table.h"
+#include "ftdl/ftdl.h"
+
+int main() {
+  using namespace ftdl;
+
+  const arch::OverlayConfig cfg = arch::paper_config();
+  std::printf("=== Ablation E: multi-FPGA pipeline (per-device WBUF capacity "
+              "%s words) ===\n\n",
+              format_count(double(multifpga::device_weight_capacity(cfg)))
+                  .c_str());
+
+  for (const char* name : {"GoogLeNet", "ResNet50"}) {
+    const nn::Network net = nn::model_by_name(name);
+    // Balance objective: residency is the point, so minimize duplication.
+    const auto sched = compiler::schedule_network(
+        net, cfg, compiler::Objective::Balance, 20'000);
+
+    const int need = multifpga::min_devices_for_residency(sched);
+    std::printf("--- %s: %s unique weight words, resident from %d devices ---\n",
+                name, format_count(double(net.stats().weight_words)).c_str(),
+                need);
+
+    AsciiTable table({"Devices", "FPS", "Latency", "Balance", "Resident",
+                      "Bottleneck stage"});
+    for (int d : {1, 2, 4, need, need + 2}) {
+      const auto plan = multifpga::partition_pipeline(sched, d);
+      int bottleneck = 0;
+      double worst = 0.0;
+      for (const auto& st : plan.stages) {
+        const double t = st.compute_seconds(cfg.clocks.clk_h_hz);
+        if (t > worst) {
+          worst = t;
+          bottleneck = st.device_index;
+        }
+      }
+      table.row({std::to_string(d), strformat("%.1f", plan.fps),
+                 strformat("%.2f ms", plan.latency_seconds * 1e3),
+                 strformat("%.2f", plan.balance),
+                 plan.weights_resident ? "yes" : "NO",
+                 strformat("dev%d (layers %zu-%zu)", bottleneck,
+                           plan.stages[static_cast<std::size_t>(bottleneck)]
+                               .first_layer,
+                           plan.stages[static_cast<std::size_t>(bottleneck)]
+                               .last_layer)});
+    }
+    table.print();
+    std::printf("\n");
+  }
+  std::printf("Residency makes the weight-stationary scheme of Sec. II-B1 "
+              "hold for big models,\nand the pipeline adds near-linear "
+              "throughput until stage imbalance dominates.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Ablation H: structured channel pruning on the overlay (the conclusion's
+// "model compression" combination).
+//
+// Prunes GoogLeNet's conv channels at several keep ratios and re-schedules
+// each variant on the paper overlay: FPS scales superlinearly in the keep
+// ratio (MACs fall quadratically) while hardware efficiency degrades only
+// mildly — the structured variant keeps layers dense and overlay-friendly.
+#include <cstdio>
+
+#include "common/csv.h"
+#include "common/str_util.h"
+#include "common/table.h"
+#include "ftdl/ftdl.h"
+#include "prune/channel_prune.h"
+
+int main() {
+  using namespace ftdl;
+
+  const arch::OverlayConfig cfg = arch::paper_config();
+  std::printf("=== Ablation H: structured pruning of GoogLeNet ===\n\n");
+
+  AsciiTable table({"Keep ratio", "MACs", "Weights", "HW eff.", "FPS",
+                    "Speedup"});
+  CsvWriter csv("ablation_pruning.csv",
+                {"keep_ratio", "macs", "weight_bytes", "efficiency", "fps"});
+  double base_fps = 0.0;
+
+  for (double keep : {1.0, 0.75, 0.5, 0.375, 0.25}) {
+    prune::PruneSpec spec;
+    spec.conv_keep_ratio = keep;
+    prune::PruneReport rep;
+    const nn::Network pruned = prune::prune_channels(nn::googlenet(), spec, &rep);
+    const auto sched = compiler::schedule_network(
+        pruned, cfg, compiler::Objective::Performance, 25'000);
+    if (base_fps == 0.0) base_fps = sched.fps();
+    table.row({strformat("%.3f", keep),
+               format_count(double(rep.macs_after)),
+               format_bytes(2.0 * double(rep.weights_after)),
+               format_percent(sched.hardware_efficiency),
+               strformat("%.1f", sched.fps()),
+               strformat("%.2fx", sched.fps() / base_fps)});
+    csv.row_numeric({keep, double(rep.macs_after),
+                     2.0 * double(rep.weights_after),
+                     sched.hardware_efficiency, sched.fps()});
+  }
+  table.print();
+  std::printf("\nStructured pruning keeps the layers dense, so the overlay "
+              "converts the MAC\nreduction almost fully into FPS; exported "
+              "to ablation_pruning.csv.\n");
+  return 0;
+}

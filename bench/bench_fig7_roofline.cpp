@@ -1,0 +1,73 @@
+// Fig. 7: roofline-based visualization of the mapping-solution space.
+//
+// Top-200 solutions for Objective 1 (performance) and Objective 2 (balance)
+// on a GoogLeNet conv2-class CONV layer (the regime the paper plots: Obj.1
+// points crowd the roof at E_WBUF ~ 0.2; Obj.2 points keep E_WBUF ~ 1 with
+// only a slight performance loss, saving ~5x WBUF). Exports fig7.csv.
+#include <cstdio>
+
+#include "arch/overlay_config.h"
+#include "common/str_util.h"
+#include "common/table.h"
+#include "nn/layer.h"
+#include "roofline/roofline.h"
+
+int main() {
+  using namespace ftdl;
+
+  // GoogLeNet conv2/3x3: 64 -> 192 channels at 56x56.
+  const nn::Layer layer = nn::make_conv("googlenet-conv2/3x3", 64, 56, 56,
+                                        192, 3, 1, 1);
+  const arch::OverlayConfig config = arch::paper_config();
+
+  std::printf("=== Fig. 7: roofline study of %s on %s ===\n\n",
+              layer.name.c_str(), config.to_string().c_str());
+
+  const auto study = roofline::run_roofline_study(layer, config,
+                                                  /*top_k=*/200,
+                                                  /*max_candidates=*/150'000);
+  std::printf("Compute roof: %.0f GOPS; memory roof slope: %.0f GB/s\n\n",
+              study.peak_gops, study.dram_gbps);
+
+  auto summarize = [](const char* tag,
+                      const std::vector<roofline::RooflinePoint>& pts) {
+    double best_gops = 0.0, mean_e = 0.0, min_e = 1.0, max_e = 0.0;
+    for (const auto& p : pts) {
+      best_gops = std::max(best_gops, p.gops);
+      mean_e += p.e_wbuf;
+      min_e = std::min(min_e, p.e_wbuf);
+      max_e = std::max(max_e, p.e_wbuf);
+    }
+    mean_e /= double(pts.size());
+    std::printf("%-22s %4zu solutions | best %.0f GOPS | E_WBUF mean %.2f "
+                "(min %.2f, max %.2f)\n",
+                tag, pts.size(), best_gops, mean_e, min_e, max_e);
+  };
+  summarize("Obj.1 (performance):", study.performance_points);
+  summarize("Obj.2 (balance):", study.balance_points);
+
+  std::printf("\nTop-5 points per objective:\n");
+  AsciiTable table({"objective", "AI (ops/byte)", "GOPS", "E_WBUF",
+                    "WBUF words/TPE", "C_exe"});
+  for (auto [tag, pts] :
+       {std::pair{"performance", &study.performance_points},
+        std::pair{"balance", &study.balance_points}}) {
+    for (std::size_t i = 0; i < std::min<std::size_t>(5, pts->size()); ++i) {
+      const auto& p = (*pts)[i];
+      table.row({tag, strformat("%.1f", p.arithmetic_intensity),
+                 strformat("%.0f", p.gops), strformat("%.3f", p.e_wbuf),
+                 std::to_string(p.wbuf_words_per_tpe),
+                 std::to_string(p.c_exe)});
+    }
+  }
+  table.print();
+
+  std::printf("\nWBUF storage savings of Obj.2 over Obj.1: %.1fx (paper: ~5x)\n",
+              study.wbuf_savings());
+  std::printf("Performance retained by Obj.2: %.0f%%\n",
+              100.0 * study.best_gops_balance() /
+                  study.best_gops_performance());
+  roofline::export_csv(study, "fig7.csv");
+  std::printf("Scatter exported to fig7.csv\n");
+  return 0;
+}

@@ -1,0 +1,154 @@
+// Microbenchmarks of the framework's own hot paths (google-benchmark):
+// analytical-model evaluation rate, mapping-search throughput, instruction
+// encode/decode, cycle-level simulation MACC rate, and timing analysis.
+#include <benchmark/benchmark.h>
+
+#include "arch/isa.h"
+#include "arch/overlay_config.h"
+#include "common/rng.h"
+#include "compiler/codegen.h"
+#include "compiler/search.h"
+#include "fpga/device_zoo.h"
+#include "sim/ftdl_sim.h"
+#include "frontend/spec_parser.h"
+#include "nn/model_zoo.h"
+#include "prune/channel_prune.h"
+#include "quant/quantize.h"
+#include "rtlgen/verilog_gen.h"
+#include "timing/scaling_study.h"
+#include "winograd/winograd.h"
+
+namespace {
+
+using namespace ftdl;
+
+const nn::Layer& bench_layer() {
+  static const nn::Layer layer =
+      nn::make_conv("bench", 160, 14, 14, 320, 3, 1, 1);
+  return layer;
+}
+
+void BM_AnalyticalEvaluate(benchmark::State& state) {
+  const auto w = compiler::Workload::from_layer(bench_layer());
+  const arch::OverlayConfig cfg = arch::paper_config();
+  const auto sol = compiler::best_mapping(w, cfg, compiler::Objective::Performance, 5'000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compiler::evaluate(w, sol.mapping, cfg));
+  }
+}
+BENCHMARK(BM_AnalyticalEvaluate);
+
+void BM_MappingSearch(benchmark::State& state) {
+  const auto w = compiler::Workload::from_layer(bench_layer());
+  const arch::OverlayConfig cfg = arch::paper_config();
+  compiler::SearchOptions opt;
+  opt.max_candidates = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compiler::search_mappings(w, cfg, opt));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MappingSearch)->Arg(1000)->Arg(10000);
+
+void BM_InstEncodeDecode(benchmark::State& state) {
+  const arch::Instruction inst = arch::set_loop(arch::TemporalLevel::T, 12345);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(arch::decode(arch::encode(inst)));
+  }
+}
+BENCHMARK(BM_InstEncodeDecode);
+
+void BM_SimulateConvLayer(benchmark::State& state) {
+  arch::OverlayConfig cfg = arch::paper_config();
+  cfg.d1 = 4;
+  cfg.d2 = 2;
+  cfg.d3 = 3;
+  const nn::Layer layer = nn::make_conv("c", 8, 10, 10, 12, 3, 1, 1);
+  const auto prog = compiler::compile_layer(layer, cfg,
+                                            compiler::Objective::Performance,
+                                            4'000);
+  Rng rng(1);
+  nn::Tensor16 input({8, 10, 10});
+  nn::Tensor16 weights({12, 8, 3, 3});
+  input.fill_random(rng);
+  weights.fill_random(rng);
+  sim::SimOptions opt;
+  opt.collect_trace = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::simulate_layer(prog, cfg, weights, input, opt));
+  }
+  state.SetItemsProcessed(state.iterations() * layer.macs());
+}
+BENCHMARK(BM_SimulateConvLayer);
+
+void BM_TimingScalingStudy(benchmark::State& state) {
+  const fpga::Device dev = fpga::ultrascale_vu125();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(timing::run_scaling_study(dev));
+  }
+}
+BENCHMARK(BM_TimingScalingStudy);
+
+void BM_WinogradTransformConv(benchmark::State& state) {
+  const nn::Layer layer = nn::make_conv("c", 16, 16, 16, 16, 3, 1, 1);
+  Rng rng(3);
+  nn::Tensor16 in({16, 16, 16});
+  nn::Tensor16 w({16, 16, 3, 3});
+  in.fill_random(rng);
+  w.fill_random(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(winograd::winograd_conv(layer, in, w));
+  }
+  state.SetItemsProcessed(state.iterations() * layer.macs());
+}
+BENCHMARK(BM_WinogradTransformConv);
+
+void BM_QuantizeRoundTrip(benchmark::State& state) {
+  quant::TensorF t({256, 64});
+  quant::fill_random_float(t, 5);
+  const quant::QuantParams p = quant::calibrate(t, 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(quant::dequantize(quant::quantize(t, p), p));
+  }
+  state.SetItemsProcessed(state.iterations() * t.size());
+}
+BENCHMARK(BM_QuantizeRoundTrip);
+
+void BM_SpecParse(benchmark::State& state) {
+  const std::string spec = R"(
+network micro
+input 3 32 32
+conv c1 out=32 k=3 pad=1
+pool p1 k=2
+conv c2 out=64 k=3 pad=1
+pool p2 k=2
+fc f1 out=128 relu
+fc f2 out=10
+)";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(frontend::parse_network_spec(spec));
+  }
+}
+BENCHMARK(BM_SpecParse);
+
+void BM_PruneGoogLeNet(benchmark::State& state) {
+  prune::PruneSpec spec;
+  spec.conv_keep_ratio = 0.5;
+  const nn::Network net = nn::googlenet();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prune::prune_channels(net, spec, nullptr));
+  }
+}
+BENCHMARK(BM_PruneGoogLeNet);
+
+void BM_RtlGenerate(benchmark::State& state) {
+  const arch::OverlayConfig cfg = arch::paper_config();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rtlgen::generate_overlay_rtl(cfg));
+  }
+}
+BENCHMARK(BM_RtlGenerate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

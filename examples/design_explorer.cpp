@@ -1,0 +1,68 @@
+// Design-space explorer: for a user-specified CONV layer, compare overlay
+// shapes (Objective 3) and scheduling objectives (Obj.1 vs Obj.2), and show
+// where each solution sits on the roofline.
+//
+//   $ ./examples/design_explorer [in_c in_hw out_c k stride pad]
+// Defaults to a GoogLeNet inception_4e/3x3-class layer.
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/str_util.h"
+#include "common/table.h"
+#include "ftdl/ftdl.h"
+
+using namespace ftdl;
+
+int main(int argc, char** argv) {
+  const int in_c = argc > 1 ? std::atoi(argv[1]) : 160;
+  const int hw = argc > 2 ? std::atoi(argv[2]) : 14;
+  const int out_c = argc > 3 ? std::atoi(argv[3]) : 320;
+  const int k = argc > 4 ? std::atoi(argv[4]) : 3;
+  const int stride = argc > 5 ? std::atoi(argv[5]) : 1;
+  const int pad = argc > 6 ? std::atoi(argv[6]) : 1;
+
+  const nn::Layer layer =
+      nn::make_conv("explored", in_c, hw, hw, out_c, k, stride, pad);
+  std::printf("Exploring CONV %dx%dx%d -> %d (k=%d s=%d p=%d): %s MACs\n\n",
+              in_c, hw, hw, out_c, k, stride, pad,
+              format_count(double(layer.macs())).c_str());
+
+  // --- Objective comparison on the paper overlay --------------------------
+  const arch::OverlayConfig base = arch::paper_config();
+  AsciiTable obj_table({"Objective", "C_exe", "us", "Eff.", "E_WBUF",
+                        "WBUF/TPE"});
+  for (auto obj : {compiler::Objective::Performance,
+                   compiler::Objective::Balance}) {
+    const auto prog = compiler::compile_layer(layer, base, obj, 60'000);
+    obj_table.row({to_string(obj), std::to_string(prog.perf.c_exe),
+                   strformat("%.1f", prog.perf.seconds(base) * 1e6),
+                   format_percent(prog.perf.hardware_efficiency),
+                   strformat("%.2f", prog.perf.e_wbuf),
+                   std::to_string(prog.perf.buffers.wbuf_words_per_tpe)});
+  }
+  std::printf("--- Objectives on %s ---\n", base.to_string().c_str());
+  obj_table.print();
+
+  // --- Objective 3: overlay shapes at equal TPE cost ----------------------
+  std::printf("\n--- Overlay shapes at 1200 TPEs (Objective 3) ---\n");
+  nn::Network net("explored");
+  net.add(layer);
+  const auto choice = compiler::find_best_hw_config(
+      net, base, fpga::ultrascale_vu125(), base.tpes(), 15'000);
+  std::printf("Best shape: D1=%d D2=%d D3=%d -> %lld cycles (%.1f%% eff.)\n",
+              choice.config.d1, choice.config.d2, choice.config.d3,
+              static_cast<long long>(choice.schedule.total_cycles),
+              100.0 * choice.schedule.hardware_efficiency);
+
+  // --- Roofline ------------------------------------------------------------
+  const auto study = roofline::run_roofline_study(layer, base, 25, 40'000);
+  std::printf("\n--- Roofline (roof %.0f GOPS, %.0f GB/s) ---\n",
+              study.peak_gops, study.dram_gbps);
+  std::printf("Obj.1 best: %.0f GOPS | Obj.2 best: %.0f GOPS | WBUF savings "
+              "%.1fx\n",
+              study.best_gops_performance(), study.best_gops_balance(),
+              study.wbuf_savings());
+  roofline::export_csv(study, "design_explorer_roofline.csv");
+  std::printf("Scatter written to design_explorer_roofline.csv\n");
+  return 0;
+}

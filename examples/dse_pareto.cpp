@@ -1,0 +1,53 @@
+// Design-space exploration example: sweep overlay shapes for GoogLeNet on
+// the vu125 and print the throughput/power Pareto frontier.
+//
+//   $ ./examples/dse_pareto [budget_per_layer]
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/str_util.h"
+#include "common/table.h"
+#include "ftdl/ftdl.h"
+
+using namespace ftdl;
+
+int main(int argc, char** argv) {
+  dse::DseOptions opt;
+  opt.search_budget_per_layer = argc > 1 ? std::atoll(argv[1]) : 6'000;
+  opt.sweep_actbuf = true;
+
+  const fpga::Device dev = fpga::ultrascale_vu125();
+  std::printf("Exploring overlay shapes for GoogLeNet on %s "
+              "(%zu D1 candidates x %d columns x 3 ActBUF sizes)...\n\n",
+              dev.name.c_str(), opt.d1_candidates.size(), dev.dsp_columns);
+
+  const dse::DseResult r =
+      dse::explore(nn::googlenet(), dev, arch::paper_config(), opt);
+
+  AsciiTable table({"D1xD2xD3", "ActBUF", "CLKh", "FPS", "Eff.", "Power",
+                    "GOPS/W", "Pareto"});
+  for (const dse::DsePoint& p : r.points) {
+    table.row({strformat("%dx%dx%d", p.config.d1, p.config.d2, p.config.d3),
+               std::to_string(p.config.actbuf_words),
+               format_hz(p.clk_h_hz), strformat("%.1f", p.fps),
+               format_percent(p.efficiency), strformat("%.1f W", p.power_w),
+               strformat("%.1f", p.gops_per_w), p.pareto ? "*" : ""});
+  }
+  table.print();
+
+  const auto front = r.frontier();
+  std::printf("\n%zu candidates evaluated, %zu on the {FPS, power} frontier.\n",
+              r.points.size(), front.size());
+  if (!front.empty()) {
+    std::printf("Fastest: %dx%dx%d at %.1f FPS / %.1f W; most frugal "
+                "frontier point: %dx%dx%d at %.1f FPS / %.1f W\n",
+                front.front().config.d1, front.front().config.d2,
+                front.front().config.d3, front.front().fps,
+                front.front().power_w, front.back().config.d1,
+                front.back().config.d2, front.back().config.d3,
+                front.back().fps, front.back().power_w);
+  }
+  dse::export_csv(r, "dse_pareto.csv");
+  std::printf("Full sweep exported to dse_pareto.csv\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Multi-FPGA pipeline example: make ResNet50 fully weight-stationary by
+// partitioning it across vu125 devices (Sec. II-B1), then inspect the
+// stage plan.
+//
+//   $ ./examples/multi_fpga_pipeline [num_devices]
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/str_util.h"
+#include "common/table.h"
+#include "ftdl/ftdl.h"
+
+using namespace ftdl;
+
+int main(int argc, char** argv) {
+  const arch::OverlayConfig cfg = arch::paper_config();
+  const nn::Network net = nn::resnet50();
+
+  std::printf("Scheduling %s on %s (Objective 2 minimizes WBUF duplication "
+              "for residency)...\n",
+              net.name().c_str(), cfg.to_string().c_str());
+  const auto sched = compiler::schedule_network(
+      net, cfg, compiler::Objective::Balance, 30'000);
+
+  const int need = multifpga::min_devices_for_residency(sched);
+  const int devices = argc > 1 ? std::atoi(argv[1]) : need;
+  std::printf("Unique weights: %s words; per-device WBUF capacity: %s words; "
+              "full residency needs %d devices.\n\n",
+              format_count(double(net.stats().weight_words)).c_str(),
+              format_count(double(multifpga::device_weight_capacity(cfg)))
+                  .c_str(),
+              need);
+
+  const auto plan = multifpga::partition_pipeline(sched, devices);
+  AsciiTable table({"Stage", "Layers", "First..Last", "Cycles", "Resident words",
+                    "Egress"});
+  for (const auto& st : plan.stages) {
+    table.row({std::to_string(st.device_index),
+               std::to_string(st.last_layer - st.first_layer + 1),
+               strformat("%s .. %s",
+                         sched.layers[st.first_layer].layer.name.c_str(),
+                         sched.layers[st.last_layer].layer.name.c_str()),
+               std::to_string(st.cycles),
+               format_count(double(st.resident_weight_words)),
+               format_bytes(st.egress_bytes)});
+  }
+  table.print();
+
+  std::printf("\n%d-device pipeline: %.1f FPS (single device: %.1f), latency "
+              "%.2f ms, balance %.2f, weights %s\n",
+              devices, plan.fps, sched.fps(), plan.latency_seconds * 1e3,
+              plan.balance, plan.weights_resident ? "resident" : "NOT resident");
+  return 0;
+}

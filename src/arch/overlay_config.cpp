@@ -1,0 +1,64 @@
+#include "arch/overlay_config.h"
+
+#include "common/error.h"
+#include "common/str_util.h"
+
+namespace ftdl::arch {
+
+void OverlayConfig::validate() const {
+  if (d1 <= 0 || d2 <= 0 || d3 <= 0)
+    throw ConfigError("overlay extents must be positive");
+  if (actbuf_words < 64 || actbuf_words > 256)
+    throw ConfigError("ActBUF must hold 64-256 words (distributed RAM)");
+  if (wbuf_words <= 0 || wbuf_words > 4096)
+    throw ConfigError("WBUF must fit in the TPE's BRAM budget");
+  if (psumbuf_words < 1024 || psumbuf_words > 4096)
+    throw ConfigError("PSumBUF must hold 1024-4096 words (BRAM)");
+  if (actbus_words_per_cycle <= 0 || psumbus_words_per_cycle <= 0)
+    throw ConfigError("bus widths must be positive");
+  if (dram_rd_bytes_per_sec <= 0 || dram_wr_bytes_per_sec <= 0)
+    throw ConfigError("DRAM bandwidth must be positive");
+  if (psum_bytes <= 0) throw ConfigError("psum width must be positive");
+  if (clocks.clk_h_hz <= 0) throw ConfigError("clock must be positive");
+}
+
+void OverlayConfig::validate_for_device(const fpga::Device& device) const {
+  validate();
+  if (d2 > device.dsp_columns)
+    throw ConfigError(strformat("D2=%d exceeds %d DSP columns on %s", d2,
+                                device.dsp_columns, device.name.c_str()));
+  if (d1 * d3 > device.dsp_per_column)
+    throw ConfigError(strformat(
+        "D1*D3=%d exceeds %d DSPs per column on %s (paper constraint)",
+        d1 * d3, device.dsp_per_column, device.name.c_str()));
+  // One WBUF BRAM18 per TPE plus PSumBUF BRAMs (18 Kbit each) per SuperBlock.
+  const std::int64_t psum_brams =
+      (psumbuf_words * psum_bytes * 8 + 18 * 1024 - 1) / (18 * 1024);
+  const std::int64_t bram_needed = std::int64_t{tpes()} + superblocks() * psum_brams;
+  if (bram_needed > device.total_bram18())
+    throw ConfigError(strformat("overlay needs %lld BRAM18 but %s has %d",
+                                static_cast<long long>(bram_needed),
+                                device.name.c_str(), device.total_bram18()));
+  if (double_pump) {
+    fpga::validate_clock_pair(clocks, device.timing);
+  } else if (clocks.clk_h_hz > device.timing.bram_fmax_hz + 1.0) {
+    throw ConfigError("single-clock design exceeds BRAM fmax");
+  }
+}
+
+std::string OverlayConfig::to_string() const {
+  return strformat(
+      "FTDL[D1=%d D2=%d D3=%d, %d TPEs, ActBUF=%lld WBUF=%lld PSumBUF=%lld, "
+      "CLKh=%s%s]",
+      d1, d2, d3, tpes(), static_cast<long long>(actbuf_words),
+      static_cast<long long>(wbuf_words), static_cast<long long>(psumbuf_words),
+      format_hz(clocks.clk_h_hz).c_str(), double_pump ? "" : " (no double-pump)");
+}
+
+OverlayConfig paper_config() {
+  OverlayConfig c;  // defaults are the Table II example
+  c.validate();
+  return c;
+}
+
+}  // namespace ftdl::arch

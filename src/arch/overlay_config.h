@@ -1,0 +1,89 @@
+// Parameterized FTDL overlay configuration (Fig. 3).
+//
+// D1 = TPEs per SuperBlock (cascade length), D2 = SuperBlock columns,
+// D3 = SuperBlock rows. Buffer capacities and bus widths complete the
+// hardware contract the compiler schedules against:
+//   * ActBUF — distributed RAM per TPE (64-256 words), double-buffered;
+//   * WBUF   — one BRAM18 per TPE (1024 x 16-bit words), weight-stationary;
+//   * PSumBUF — BRAM per SuperBlock (1024-4096 words), double-buffered.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fpga/clocking.h"
+#include "fpga/device.h"
+
+namespace ftdl::arch {
+
+struct OverlayConfig {
+  // Spatial extents (Fig. 3 labels).
+  int d1 = 12;
+  int d2 = 5;
+  int d3 = 20;
+
+  // Per-TPE buffer capacities in 16-bit words.
+  std::int64_t actbuf_words = 128;   ///< LUTRAM, double-buffered
+  std::int64_t wbuf_words = 1024;    ///< one BRAM18
+  // Per-SuperBlock partial-sum buffer capacity in psum entries.
+  std::int64_t psumbuf_words = 2048; ///< BRAM, double-buffered
+
+  // On-chip bus widths in 16-bit words per CLKh cycle.
+  int actbus_words_per_cycle = 4;
+  int psumbus_words_per_cycle = 4;
+
+  // Off-chip memory (paper: 26 GB/s achievable on most platforms).
+  double dram_rd_bytes_per_sec = 26e9;
+  double dram_wr_bytes_per_sec = 26e9;
+
+  /// Bytes per partial-sum word on the PSumBUS / DRAM path (32-bit psums).
+  int psum_bytes = 4;
+
+  // Clocks (Table II example: 650 MHz DSP clock).
+  fpga::ClockPair clocks = fpga::ClockPair::from_high(650e6);
+
+  /// Double-pump enabled (ablation A switches this off, halving the DSP
+  /// clock to the BRAM ceiling with a single clock).
+  bool double_pump = true;
+
+  /// Charge weight-(re)load time to layers executed in multiple weight
+  /// groups. The paper's methodology preloads weights "during FPGA
+  /// initialization" and excludes reload from FPS, so this defaults off;
+  /// turning it on models a DRAM-fed weight reload between groups.
+  bool charge_weight_reload = false;
+
+  // ---- derived ------------------------------------------------------------
+
+  int tpes() const { return d1 * d2 * d3; }
+  int superblocks() const { return d2 * d3; }
+
+  /// Usable words per ActBUF phase: double-buffering halves the capacity.
+  std::int64_t actbuf_usable() const { return actbuf_words / 2; }
+  std::int64_t psumbuf_usable() const { return psumbuf_words / 2; }
+
+  /// Pipeline latency of the TPE chain in a SuperBlock (Sec. IV-B1).
+  std::int64_t pipeline_latency() const { return d1 + 6; }
+
+  /// DRAM bandwidth expressed in bytes per CLKh cycle.
+  double dram_rd_bytes_per_cycle() const {
+    return dram_rd_bytes_per_sec / clocks.clk_h_hz;
+  }
+  double dram_wr_bytes_per_cycle() const {
+    return dram_wr_bytes_per_sec / clocks.clk_h_hz;
+  }
+
+  /// Validates internal consistency; throws ftdl::ConfigError.
+  void validate() const;
+
+  /// Validates that this overlay fits `device` (DSP columns/heights, BRAM);
+  /// throws ftdl::ConfigError.
+  void validate_for_device(const fpga::Device& device) const;
+
+  std::string to_string() const;
+};
+
+/// The example configuration of Table II: D1=12, D2=5, D3=20 on xcvu125 at
+/// 650 MHz, 26 GB/s DRAM.
+OverlayConfig paper_config();
+
+}  // namespace ftdl::arch

@@ -1,0 +1,47 @@
+#include "baseline/prior_work.h"
+
+#include "common/error.h"
+
+namespace ftdl::baseline {
+
+const std::vector<PriorWork>& table2_prior_works() {
+  // Columns of Table II (all 16-bit weight quantization).
+  static const std::vector<PriorWork> works = {
+      {"[10]", "Ma et al., end-to-end scalable ResNet (ISCAS'17)", 150, 0.454,
+       std::nullopt},
+      {"[2]", "Liu et al., throughput-optimized accelerator (TRETS'17)", 100,
+       0.730, 16.8},
+      {"[3]", "Venieris & Bouganis, latency-driven design (FPL'17)", 125,
+       0.720, std::nullopt},
+      {"[4]", "Lu et al., fast algorithms on FPGAs (FCCM'17)", 167, 0.675,
+       21.4},
+      {"[5]", "Ma et al., automatic RTL compiler (FPL'17)", 200, 0.483,
+       std::nullopt},
+      {"[7]", "Ma et al., convolution optimization (TVLSI'18)", 200, 0.482,
+       std::nullopt},
+      {"[8]", "Guan et al., FP-DNN (FCCM'17)", 150, 0.719, 14.5},
+      {"[21]", "Ma et al., loop operation optimization (FPGA'17)", 150, 0.708,
+       30.4},
+      {"[1]", "Shen et al., resource partitioning (ISCA'17)", 170, 0.765,
+       std::nullopt},
+      {"[9]", "Wei et al., automated systolic array (DAC'17)", 240, 0.891,
+       std::nullopt},
+  };
+  return works;
+}
+
+double normalized_fps(double dsp_freq_hz, double efficiency, int dsp_count,
+                      double ops_per_frame) {
+  FTDL_ASSERT(dsp_freq_hz > 0 && efficiency > 0 && dsp_count > 0 &&
+              ops_per_frame > 0);
+  // Each DSP retires one MAC = 2 ops per cycle at `efficiency` occupancy.
+  return 2.0 * double(dsp_count) * dsp_freq_hz * efficiency / ops_per_frame;
+}
+
+double normalized_fps(const PriorWork& work, int dsp_count,
+                      double ops_per_frame) {
+  return normalized_fps(work.dsp_freq_mhz * 1e6, work.hardware_efficiency,
+                        dsp_count, ops_per_frame);
+}
+
+}  // namespace ftdl::baseline

@@ -1,0 +1,39 @@
+// Prior-work database and the Table II normalization.
+//
+// The paper compares against ten published designs using *their own*
+// reported DSP frequency and hardware efficiency, normalized to the same
+// DSP count as the example FTDL design:
+//    FPS = 2 * Ndsp * f * eff / ops_per_frame.
+// This module stores those published statistics and reproduces every
+// prior-work column of Table II from them.
+#pragma once
+
+#include <cmath>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ftdl::baseline {
+
+struct PriorWork {
+  std::string key;            ///< citation key as printed in Table II
+  std::string description;
+  double dsp_freq_mhz = 0.0;
+  double hardware_efficiency = 0.0;  ///< fraction in (0, 1]
+  /// Published power efficiency where the paper lists one (GOPS/W).
+  std::optional<double> power_eff_gops_per_w;
+};
+
+/// The ten prior works of Table II, in column order.
+const std::vector<PriorWork>& table2_prior_works();
+
+/// FPS at `dsp_count` DSPs for a model of `ops_per_frame` total ops
+/// (the paper's normalization; 2 ops per MAC are already inside ops).
+double normalized_fps(const PriorWork& work, int dsp_count,
+                      double ops_per_frame);
+
+/// Same normalization for an arbitrary (freq, efficiency) design point.
+double normalized_fps(double dsp_freq_hz, double efficiency, int dsp_count,
+                      double ops_per_frame);
+
+}  // namespace ftdl::baseline

@@ -1,0 +1,107 @@
+#include "capi/ftdl_c.h"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+
+#include "frontend/spec_parser.h"
+#include "ftdl/framework.h"
+#include "nn/model_zoo.h"
+
+namespace {
+
+void write_err(char* err, size_t err_len, const std::string& msg) {
+  if (!err || err_len == 0) return;
+  const size_t n = std::min(err_len - 1, msg.size());
+  std::memcpy(err, msg.data(), n);
+  err[n] = '\0';
+}
+
+void fill_report(const ftdl::NetworkReport& r, ftdl_report* out) {
+  out->fps = r.fps();
+  out->hardware_efficiency = r.schedule.hardware_efficiency;
+  out->power_watts = r.power.total_w();
+  out->gops_per_watt = r.gops_per_w();
+  out->total_cycles = r.schedule.total_cycles;
+  out->overlay_layers = static_cast<int>(r.schedule.layers.size());
+}
+
+}  // namespace
+
+struct ftdl_framework {
+  ftdl::Framework fw;
+  explicit ftdl_framework(ftdl::FrameworkOptions opts) : fw(std::move(opts)) {}
+};
+
+extern "C" {
+
+const char* ftdl_version(void) { return "ftdl 1.0 (DAC'20 reproduction)"; }
+
+ftdl_framework* ftdl_framework_create(const char* device, int d1, int d2,
+                                      int d3, double clk_mhz, char* err,
+                                      size_t err_len) {
+  try {
+    ftdl::FrameworkOptions opts;
+    if (device && *device) opts.device_name = device;
+    if (d1 > 0) {
+      opts.config.d1 = d1;
+      opts.config.d2 = d2;
+      opts.config.d3 = d3;
+    }
+    if (clk_mhz > 0) {
+      opts.config.clocks = ftdl::fpga::ClockPair::from_high(clk_mhz * 1e6);
+    }
+    return new ftdl_framework(std::move(opts));
+  } catch (const std::exception& e) {
+    write_err(err, err_len, e.what());
+    return nullptr;
+  }
+}
+
+void ftdl_framework_destroy(ftdl_framework* fw) { delete fw; }
+
+int ftdl_evaluate_model(ftdl_framework* fw, const char* model_name,
+                        long long budget, ftdl_report* out, char* err,
+                        size_t err_len) {
+  if (!fw || !model_name || !out) {
+    write_err(err, err_len, "null argument");
+    return -1;
+  }
+  try {
+    ftdl::FrameworkOptions opts = fw->fw.options();
+    opts.search_budget_per_layer = budget > 0 ? budget : 20'000;
+    ftdl::Framework scoped{std::move(opts)};
+    fill_report(scoped.evaluate(ftdl::nn::model_by_name(model_name)), out);
+    return 0;
+  } catch (const std::exception& e) {
+    write_err(err, err_len, e.what());
+    return -1;
+  }
+}
+
+int ftdl_evaluate_spec(ftdl_framework* fw, const char* spec_text,
+                       long long budget, ftdl_report* out, char* err,
+                       size_t err_len) {
+  if (!fw || !spec_text || !out) {
+    write_err(err, err_len, "null argument");
+    return -1;
+  }
+  try {
+    const ftdl::nn::Network net =
+        ftdl::frontend::parse_network_spec(spec_text);
+    ftdl::FrameworkOptions opts = fw->fw.options();
+    opts.search_budget_per_layer = budget > 0 ? budget : 20'000;
+    ftdl::Framework scoped{std::move(opts)};
+    fill_report(scoped.evaluate(net), out);
+    return 0;
+  } catch (const std::exception& e) {
+    write_err(err, err_len, e.what());
+    return -1;
+  }
+}
+
+double ftdl_fmax_mhz(const ftdl_framework* fw) {
+  return fw ? fw->fw.timing().clk_h_fmax_hz / 1e6 : 0.0;
+}
+
+}  // extern "C"

@@ -1,0 +1,60 @@
+/* ftdl_c.h — C API of the FTDL framework.
+ *
+ * A minimal, stable-ABI surface for non-C++ consumers (FFI bindings,
+ * embedding in C tools): create a framework on a device + overlay shape,
+ * evaluate a zoo model or a network-spec string, read back the headline
+ * numbers. All functions return 0 on success and -1 on failure, writing a
+ * NUL-terminated message into the caller's error buffer.
+ */
+#ifndef FTDL_C_H
+#define FTDL_C_H
+
+#include <stddef.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+typedef struct ftdl_framework ftdl_framework;
+
+typedef struct ftdl_report {
+  double fps;
+  double hardware_efficiency; /* 0..1 */
+  double power_watts;
+  double gops_per_watt;
+  long long total_cycles;
+  int overlay_layers;
+} ftdl_report;
+
+/* Library version string, e.g. "ftdl 1.0 (DAC'20 reproduction)". */
+const char* ftdl_version(void);
+
+/* Creates a framework on `device` (e.g. "xcvu125") with overlay shape
+ * (d1, d2, d3) at clk_mhz (CLKh). Pass d1 = 0 to use the paper defaults
+ * (12 x 5 x 20 at 650 MHz). Returns NULL on failure. */
+ftdl_framework* ftdl_framework_create(const char* device, int d1, int d2,
+                                      int d3, double clk_mhz, char* err,
+                                      size_t err_len);
+
+void ftdl_framework_destroy(ftdl_framework* fw);
+
+/* Evaluates a model-zoo network by name ("GoogLeNet", "ResNet50",
+ * "AlphaGoZero", "Sentimental-seqCNN", "Sentimental-seqLSTM",
+ * "MobileNetV1") with `budget` mapping-search candidates per layer. */
+int ftdl_evaluate_model(ftdl_framework* fw, const char* model_name,
+                        long long budget, ftdl_report* out, char* err,
+                        size_t err_len);
+
+/* Parses a network-spec string (the ftdlc grammar) and evaluates it. */
+int ftdl_evaluate_spec(ftdl_framework* fw, const char* spec_text,
+                       long long budget, ftdl_report* out, char* err,
+                       size_t err_len);
+
+/* Post-place-and-route fmax of the created overlay, in MHz. */
+double ftdl_fmax_mhz(const ftdl_framework* fw);
+
+#ifdef __cplusplus
+}
+#endif
+
+#endif /* FTDL_C_H */

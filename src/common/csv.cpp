@@ -1,0 +1,47 @@
+#include "common/csv.h"
+
+#include "common/error.h"
+#include "common/str_util.h"
+
+namespace ftdl {
+
+namespace {
+std::string escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& header)
+    : path_(path), arity_(header.size()), out_(path) {
+  if (!out_) throw Error("cannot open CSV file for writing: " + path);
+  write_row(header);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  FTDL_ASSERT(cells.size() == arity_);
+  write_row(cells);
+}
+
+void CsvWriter::row_numeric(const std::vector<double>& cells) {
+  std::vector<std::string> s;
+  s.reserve(cells.size());
+  for (double v : cells) s.push_back(strformat("%.6g", v));
+  row(s);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+}  // namespace ftdl

@@ -1,0 +1,35 @@
+// Minimal CSV writer used by benches to export figure data (Fig. 6 curves,
+// Fig. 7 scatter points) for external plotting.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace ftdl {
+
+/// Writes rows of string cells as RFC-4180-ish CSV (quotes cells containing
+/// separators). The file is flushed and closed by the destructor.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  /// Throws ftdl::Error if the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Appends one data row; must have the same arity as the header.
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience: formats doubles with %.6g.
+  void row_numeric(const std::vector<double>& cells);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  void write_row(const std::vector<std::string>& cells);
+
+  std::string path_;
+  std::size_t arity_;
+  std::ofstream out_;
+};
+
+}  // namespace ftdl

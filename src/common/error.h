@@ -1,0 +1,54 @@
+// Error type for the FTDL framework.
+//
+// All recoverable failures in the library (illegal overlay configuration,
+// infeasible mapping, malformed instruction stream, ...) throw ftdl::Error.
+// Programming errors (violated preconditions inside the library) use
+// FTDL_ASSERT which throws ftdl::InternalError so tests can observe them.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ftdl {
+
+/// Base class of all exceptions thrown by the FTDL library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a user-supplied configuration is invalid (bad overlay shape,
+/// buffer sizes exceeding the device, ...).
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error("config error: " + what) {}
+};
+
+/// Thrown when the compiler cannot produce any feasible mapping for a layer.
+class InfeasibleError : public Error {
+ public:
+  explicit InfeasibleError(const std::string& what)
+      : Error("infeasible: " + what) {}
+};
+
+/// Thrown by FTDL_ASSERT on violated internal invariants.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what)
+      : Error("internal error: " + what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line) {
+  throw InternalError(std::string(expr) + " at " + file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace ftdl
+
+/// Internal invariant check; active in all build types (the checks guard
+/// scheduling/simulation correctness, not hot inner loops).
+#define FTDL_ASSERT(expr)                                             \
+  do {                                                                \
+    if (!(expr)) ::ftdl::detail::assert_fail(#expr, __FILE__, __LINE__); \
+  } while (false)

@@ -1,0 +1,42 @@
+// Fixed-point helpers for the 16-bit quantized datapath.
+//
+// FTDL's datapath is int16 weight x int16 activation with wide (48-bit)
+// accumulation inside the DSP cascade, matching Xilinx DSP48 semantics.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+namespace ftdl {
+
+/// Accumulator type of the DSP cascade (DSP48 has a 48-bit accumulator; we
+/// model it with int64 and saturate at the 48-bit boundary when extracting).
+using acc_t = std::int64_t;
+
+constexpr acc_t kAcc48Max = (acc_t{1} << 47) - 1;
+constexpr acc_t kAcc48Min = -(acc_t{1} << 47);
+
+/// One multiply-accumulate as performed by a DSP slice.
+constexpr acc_t macc(acc_t acc, std::int16_t w, std::int16_t a) {
+  return acc + static_cast<acc_t>(w) * static_cast<acc_t>(a);
+}
+
+/// Saturate a wide accumulator to the 48-bit DSP range.
+constexpr acc_t saturate48(acc_t v) {
+  return std::clamp(v, kAcc48Min, kAcc48Max);
+}
+
+/// Requantize an accumulator back to int16 with a right shift (the host-side
+/// EWOP stage does this between layers), with saturation.
+constexpr std::int16_t requantize(acc_t v, int shift) {
+  const acc_t shifted = v >> shift;
+  const acc_t lo = std::numeric_limits<std::int16_t>::min();
+  const acc_t hi = std::numeric_limits<std::int16_t>::max();
+  return static_cast<std::int16_t>(std::clamp(shifted, lo, hi));
+}
+
+/// ReLU on the quantized domain.
+constexpr std::int16_t relu(std::int16_t v) { return v > 0 ? v : std::int16_t{0}; }
+
+}  // namespace ftdl

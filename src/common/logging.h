@@ -1,0 +1,22 @@
+// Tiny leveled logger. Default level is Warn so library code stays quiet in
+// tests and benches; examples raise it to Info for narrative output.
+#pragma once
+
+#include <string>
+
+namespace ftdl {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Off = 3 };
+
+/// Global log threshold (messages below it are dropped).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit a message at `level` to stderr if enabled.
+void log(LogLevel level, const std::string& msg);
+
+inline void log_debug(const std::string& msg) { log(LogLevel::Debug, msg); }
+inline void log_info(const std::string& msg) { log(LogLevel::Info, msg); }
+inline void log_warn(const std::string& msg) { log(LogLevel::Warn, msg); }
+
+}  // namespace ftdl

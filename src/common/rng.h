@@ -1,0 +1,45 @@
+// Deterministic pseudo-random number generator (splitmix64 core).
+//
+// Used everywhere the framework needs randomness (test tensors, randomized
+// property sweeps) so results are reproducible across runs and platforms.
+#pragma once
+
+#include <cstdint>
+
+namespace ftdl {
+
+/// Small, fast, deterministic RNG. Not cryptographic.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  /// Next raw 64-bit value (splitmix64).
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi) {
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next_u64() % span);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Signed 16-bit sample in a narrow range, suitable as a quantized
+  /// weight/activation value that will not overflow int48 accumulation.
+  std::int16_t int16_small(std::int16_t magnitude = 127) {
+    return static_cast<std::int16_t>(uniform(-magnitude, magnitude));
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace ftdl

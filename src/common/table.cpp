@@ -1,0 +1,47 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/error.h"
+
+namespace ftdl {
+
+AsciiTable::AsciiTable(std::vector<std::string> header) : header_(std::move(header)) {
+  FTDL_ASSERT(!header_.empty());
+}
+
+void AsciiTable::row(std::vector<std::string> cells) {
+  FTDL_ASSERT(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string AsciiTable::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) width[c] = std::max(width[c], r[c].size());
+  }
+
+  auto hline = [&] {
+    std::string s = "+";
+    for (std::size_t w : width) s += std::string(w + 2, '-') + "+";
+    return s + "\n";
+  };
+  auto render_row = [&](const std::vector<std::string>& r) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      s += " " + r[c] + std::string(width[c] - r[c].size(), ' ') + " |";
+    }
+    return s + "\n";
+  };
+
+  std::string out = hline() + render_row(header_) + hline();
+  for (const auto& r : rows_) out += render_row(r);
+  out += hline();
+  return out;
+}
+
+void AsciiTable::print() const { std::fputs(render().c_str(), stdout); }
+
+}  // namespace ftdl

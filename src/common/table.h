@@ -1,0 +1,28 @@
+// ASCII table printer: benches use it to render the paper's tables
+// (Table I, Table II) directly on stdout.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ftdl {
+
+/// Accumulates rows of string cells and renders an aligned ASCII table.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  void row(std::vector<std::string> cells);
+
+  /// Renders with column alignment and +---+ separators.
+  std::string render() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ftdl

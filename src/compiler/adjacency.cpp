@@ -1,0 +1,45 @@
+#include "compiler/adjacency.h"
+
+#include "common/error.h"
+
+namespace ftdl::compiler {
+
+bool adjacency_allows(const Workload& w, HwLevel level, int loop) {
+  FTDL_ASSERT(loop >= 0 && loop < w.k());
+  const WorkloadLoop& l = w.loops[static_cast<std::size_t>(loop)];
+  switch (level) {
+    case HwLevel::D1:
+      return l.is_reduction;
+    case HwLevel::D2:
+      return l.indexes_weight && !l.indexes_act;
+    case HwLevel::D3:
+    case HwLevel::X:
+    case HwLevel::T:
+      return true;
+    case HwLevel::L:
+      return l.indexes_act;
+  }
+  return false;
+}
+
+bool satisfies_adjacency(const Mapping& m, const Workload& w) {
+  if (m.k() != w.k()) return false;
+  for (HwLevel level : kAllLevels) {
+    for (int i = 0; i < w.k(); ++i) {
+      if (m.tile(level, i) > 1 && !adjacency_allows(w, level, i)) return false;
+    }
+  }
+  return true;
+}
+
+bool needs_host_reduction(const Mapping& m, const Workload& w) {
+  for (int i = 0; i < w.k(); ++i) {
+    if (w.loops[static_cast<std::size_t>(i)].is_reduction &&
+        m.tile(HwLevel::D3, i) > 1) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace ftdl::compiler

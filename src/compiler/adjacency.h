@@ -1,0 +1,35 @@
+// Adjacency matrix for workload mapping (Sec. IV-C1, Fig. 5).
+//
+// A(level, loop) = 1 iff workload loop `loop` may be tiled at hardware level
+// `level`; where it is 0 the mapping-vector entry is pinned to 1. The matrix
+// is derived from the hardware semantics rather than tabulated per kind:
+//   D1 — the DSP cascade *forcibly accumulates* the D1 TPEs of a SuperBlock,
+//        so only reduction loops may map there;
+//   D2 — SuperBlocks in a row share the ActBUS data and differ only in WBUF
+//        content, so only weight-only loops may map there;
+//   D3 — rows are independent; any loop, but splitting a reduction loop
+//        across rows requires a host-side EWOP to fold partial sums (the *
+//        entries of Fig. 5);
+//   X  — outermost temporal level: any loop;
+//   L  — ActBUF is reloaded each LoopL iteration, so only loops that change
+//        the activation tile are mapped there;
+//   T  — innermost temporal level: any loop.
+#pragma once
+
+#include "compiler/mapping.h"
+#include "compiler/workload.h"
+
+namespace ftdl::compiler {
+
+/// True iff `loop` of `w` may have a tile > 1 at `level`.
+bool adjacency_allows(const Workload& w, HwLevel level, int loop);
+
+/// True iff the mapping respects the adjacency matrix (every disallowed
+/// entry is 1).
+bool satisfies_adjacency(const Mapping& m, const Workload& w);
+
+/// True iff the mapping splits a reduction loop across D3 rows, requiring
+/// host-side EWOP accumulation of the per-row partial sums (Fig. 5's *).
+bool needs_host_reduction(const Mapping& m, const Workload& w);
+
+}  // namespace ftdl::compiler

@@ -1,0 +1,117 @@
+#include "compiler/codegen.h"
+
+#include "common/error.h"
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace ftdl::compiler {
+
+std::vector<std::uint64_t> LayerProgram::encoded_stream() const {
+  std::vector<std::uint64_t> words;
+  words.reserve(row_stream.size());
+  for (const arch::Instruction& inst : row_stream) {
+    words.push_back(arch::encode(inst));
+  }
+  return words;
+}
+
+arch::InstStream generate_row_stream(const Workload& w, const Mapping& m,
+                                     const Performance& perf) {
+  using arch::TemporalLevel;
+  arch::InstStream s;
+  s.push_back(arch::set_loop(TemporalLevel::X, static_cast<std::uint64_t>(perf.x)));
+  s.push_back(arch::set_loop(TemporalLevel::L, static_cast<std::uint64_t>(perf.l)));
+  s.push_back(arch::set_loop(TemporalLevel::T, static_cast<std::uint64_t>(perf.t)));
+  s.push_back(arch::set_act_tile(
+      static_cast<std::uint64_t>(perf.buffers.actbuf_words_per_tpe)));
+  s.push_back(arch::set_psum_tile(
+      static_cast<std::uint64_t>(perf.buffers.psum_words_per_superblock)));
+
+  // Multi-pass accumulation: a reduction loop tiled at LoopX means the psum
+  // tile is reloaded and accumulated instead of overwritten.
+  std::int64_t passes = 1;
+  for (int i = 0; i < w.k(); ++i) {
+    if (w.loops[static_cast<std::size_t>(i)].is_reduction) {
+      passes *= m.tile(HwLevel::X, i);
+    }
+  }
+  s.push_back(arch::set_psum_mode(passes > 1));
+  s.push_back(arch::set_weight_base(0));
+  s.push_back(arch::launch());
+  s.push_back(arch::barrier());
+  return s;
+}
+
+LayerProgram lower_solution(const nn::Layer& layer, const Workload& w,
+                            const Solution& solution) {
+  LayerProgram p;
+  p.layer = layer;
+  p.workload = w;
+  p.mapping = solution.mapping;
+  p.perf = solution.perf;
+  p.row_stream = generate_row_stream(w, solution.mapping, solution.perf);
+  return p;
+}
+
+namespace {
+
+/// The layer restricted to one of `groups` slices of its weight-only
+/// dimension (conv output channels / MM output features).
+nn::Layer weight_group_slice(const nn::Layer& layer, int groups) {
+  nn::Layer part = layer;
+  switch (layer.kind) {
+    case nn::LayerKind::Conv:
+      part.out_c = static_cast<int>(ceil_div(layer.out_c, groups));
+      break;
+    case nn::LayerKind::Depthwise:
+      part.in_c = static_cast<int>(ceil_div(layer.in_c, groups));
+      part.out_c = part.in_c;
+      break;
+    default:
+      part.mm_n = ceil_div(layer.mm_n, groups);
+  }
+  return part;
+}
+
+int weight_only_extent(const nn::Layer& layer) {
+  switch (layer.kind) {
+    case nn::LayerKind::Conv: return layer.out_c;
+    case nn::LayerKind::Depthwise: return layer.in_c;
+    default: return static_cast<int>(layer.mm_n);
+  }
+}
+
+}  // namespace
+
+LayerProgram compile_layer(const nn::Layer& layer,
+                           const arch::OverlayConfig& config,
+                           Objective objective, std::int64_t max_candidates) {
+  const int max_groups = weight_only_extent(layer);
+  for (int groups = 1; groups <= max_groups; groups *= 2) {
+    const nn::Layer part = weight_group_slice(layer, groups);
+    const Workload w = Workload::from_layer(part);
+    try {
+      const Solution s = best_mapping(w, config, objective, max_candidates);
+      LayerProgram prog = lower_solution(part, w, s);
+      prog.layer = layer;  // programs carry the original layer identity
+      prog.weight_groups = groups;
+      if (config.charge_weight_reload) {
+        // One group's weights stream in from DRAM (2 bytes/word) over the
+        // read channel, duplication included.
+        const double group_bytes =
+            2.0 * double(prog.perf.buffers.wbuf_words_per_tpe) *
+            double(config.tpes());
+        prog.reload_cycles_per_group = static_cast<std::int64_t>(
+            std::ceil(group_bytes / config.dram_rd_bytes_per_cycle()));
+      }
+      return prog;
+    } catch (const InfeasibleError&) {
+      continue;  // halve the weight tile and retry
+    }
+  }
+  throw InfeasibleError("no feasible mapping for layer " + layer.name +
+                        " at any weight-group split");
+}
+
+}  // namespace ftdl::compiler

@@ -1,0 +1,201 @@
+#include "compiler/program_io.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/str_util.h"
+
+namespace ftdl::compiler {
+
+namespace {
+
+constexpr const char* kMagic = "ftdl-program";
+constexpr int kVersion = 1;
+
+std::string serialize_layer(const nn::Layer& l) {
+  std::string out;
+  out += strformat("layer.name=%s\n", l.name.c_str());
+  out += strformat("layer.kind=%d\n", static_cast<int>(l.kind));
+  out += strformat("layer.geom=%d %d %d %d %d %d %d %d\n", l.in_c, l.in_h,
+                   l.in_w, l.out_c, l.kh, l.kw, l.stride, l.pad);
+  out += strformat("layer.mm=%lld %lld %lld\n",
+                   static_cast<long long>(l.mm_m),
+                   static_cast<long long>(l.mm_n),
+                   static_cast<long long>(l.mm_p));
+  out += strformat("layer.relu=%d\n", l.relu ? 1 : 0);
+  out += strformat("layer.repeat=%d\n", l.repeat);
+  return out;
+}
+
+/// key=value map of one serialized program (last write wins is rejected).
+std::map<std::string, std::string> parse_lines(const std::string& text) {
+  std::map<std::string, std::string> kv;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) throw Error("malformed program line: " + line);
+    if (!kv.emplace(line.substr(0, eq), line.substr(eq + 1)).second)
+      throw Error("duplicate key in program: " + line.substr(0, eq));
+  }
+  return kv;
+}
+
+const std::string& require(const std::map<std::string, std::string>& kv,
+                           const std::string& key) {
+  auto it = kv.find(key);
+  if (it == kv.end()) throw Error("program missing key " + key);
+  return it->second;
+}
+
+std::vector<std::int64_t> parse_ints(const std::string& s) {
+  std::vector<std::int64_t> out;
+  std::istringstream in(s);
+  std::int64_t v;
+  while (in >> v) out.push_back(v);
+  return out;
+}
+
+}  // namespace
+
+std::string serialize_program(const LayerProgram& program) {
+  std::string out;
+  out += strformat("%s v%d\n", kMagic, kVersion);
+  out += serialize_layer(program.layer);
+  out += strformat("groups=%d\n", program.weight_groups);
+  // The mapping: one line per hardware level, K tiles each.
+  for (HwLevel level : kAllLevels) {
+    out += strformat("map.%s=", to_string(level));
+    for (int k = 0; k < program.mapping.k(); ++k) {
+      if (k) out += ' ';
+      out += std::to_string(program.mapping.tile(level, k));
+    }
+    out += '\n';
+  }
+  // Cross-check values.
+  out += strformat("check.c_exe=%lld\n",
+                   static_cast<long long>(program.perf.c_exe));
+  std::string words;
+  for (std::uint64_t w : program.encoded_stream()) {
+    if (!words.empty()) words += ' ';
+    words += strformat("%016llx", static_cast<unsigned long long>(w));
+  }
+  out += "stream=" + words + "\n";
+  return out;
+}
+
+LayerProgram deserialize_program(const std::string& text,
+                                 const arch::OverlayConfig& config) {
+  std::istringstream in(text);
+  std::string header;
+  std::getline(in, header);
+  if (header != strformat("%s v%d", kMagic, kVersion))
+    throw Error("not a v" + std::to_string(kVersion) + " ftdl program: " + header);
+
+  const auto kv = parse_lines(text.substr(header.size()));
+
+  // ---- layer ----------------------------------------------------------------
+  nn::Layer layer;
+  layer.name = require(kv, "layer.name");
+  layer.kind = static_cast<nn::LayerKind>(std::stoi(require(kv, "layer.kind")));
+  const auto geom = parse_ints(require(kv, "layer.geom"));
+  if (geom.size() != 8) throw Error("bad layer.geom");
+  layer.in_c = static_cast<int>(geom[0]);
+  layer.in_h = static_cast<int>(geom[1]);
+  layer.in_w = static_cast<int>(geom[2]);
+  layer.out_c = static_cast<int>(geom[3]);
+  layer.kh = static_cast<int>(geom[4]);
+  layer.kw = static_cast<int>(geom[5]);
+  layer.stride = static_cast<int>(geom[6]);
+  layer.pad = static_cast<int>(geom[7]);
+  const auto mm = parse_ints(require(kv, "layer.mm"));
+  if (mm.size() != 3) throw Error("bad layer.mm");
+  layer.mm_m = mm[0];
+  layer.mm_n = mm[1];
+  layer.mm_p = mm[2];
+  layer.relu = require(kv, "layer.relu") == "1";
+  layer.repeat = std::stoi(require(kv, "layer.repeat"));
+
+  LayerProgram prog;
+  prog.layer = layer;
+  prog.weight_groups = std::stoi(require(kv, "groups"));
+  if (prog.weight_groups < 1) throw Error("bad weight group count");
+
+  // The stored mapping describes ONE weight group: rebuild the group slice
+  // the same way compile_layer does.
+  nn::Layer part = layer;
+  if (prog.weight_groups > 1) {
+    switch (layer.kind) {
+      case nn::LayerKind::Conv:
+        part.out_c = static_cast<int>(
+            (layer.out_c + prog.weight_groups - 1) / prog.weight_groups);
+        break;
+      case nn::LayerKind::Depthwise:
+        part.in_c = static_cast<int>(
+            (layer.in_c + prog.weight_groups - 1) / prog.weight_groups);
+        part.out_c = part.in_c;
+        break;
+      default:
+        part.mm_n = (layer.mm_n + prog.weight_groups - 1) / prog.weight_groups;
+    }
+  }
+  prog.workload = Workload::from_layer(part);
+
+  prog.mapping = Mapping::identity(prog.workload.k());
+  for (HwLevel level : kAllLevels) {
+    const auto tiles =
+        parse_ints(require(kv, std::string("map.") + to_string(level)));
+    if (static_cast<int>(tiles.size()) != prog.workload.k())
+      throw Error("mapping arity mismatch");
+    for (int k = 0; k < prog.workload.k(); ++k) {
+      prog.mapping.tile(level, k) = tiles[static_cast<std::size_t>(k)];
+    }
+  }
+
+  // ---- re-validate everything -------------------------------------------------
+  if (!satisfies_logical_constraints(prog.mapping, prog.workload, config.d1,
+                                     config.d2, config.d3))
+    throw ConfigError("stored mapping violates the overlay constraints");
+  prog.perf = evaluate(prog.workload, prog.mapping, config);
+  if (!prog.perf.feasible)
+    throw ConfigError("stored mapping is infeasible on this overlay");
+
+  const std::int64_t stored_cexe = std::stoll(require(kv, "check.c_exe"));
+  if (stored_cexe != prog.perf.c_exe)
+    throw ConfigError(strformat(
+        "stored C_exe %lld disagrees with re-evaluation %lld (wrong overlay "
+        "config?)",
+        static_cast<long long>(stored_cexe),
+        static_cast<long long>(prog.perf.c_exe)));
+
+  prog.row_stream = generate_row_stream(prog.workload, prog.mapping, prog.perf);
+  std::string regenerated;
+  for (std::uint64_t w : prog.encoded_stream()) {
+    if (!regenerated.empty()) regenerated += ' ';
+    regenerated += strformat("%016llx", static_cast<unsigned long long>(w));
+  }
+  if (regenerated != require(kv, "stream"))
+    throw ConfigError("stored instruction stream disagrees with the mapping");
+
+  return prog;
+}
+
+void save_program(const LayerProgram& program, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot write program file " + path);
+  out << serialize_program(program);
+}
+
+LayerProgram load_program(const std::string& path,
+                          const arch::OverlayConfig& config) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open program file " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return deserialize_program(buf.str(), config);
+}
+
+}  // namespace ftdl::compiler

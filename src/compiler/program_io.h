@@ -1,0 +1,32 @@
+// Ahead-of-time compilation artifacts: save/load compiled layer programs.
+//
+// A deployed FTDL system compiles once and ships the controller instruction
+// streams plus the mapping metadata. The text format is line-based
+// (key=value), human-diffable, and versioned. Loading re-runs the
+// analytical model and re-generates the instruction stream from the stored
+// mapping, then cross-checks both against the stored values — a corrupted
+// or hand-edited artifact cannot silently disagree with itself.
+#pragma once
+
+#include <string>
+
+#include "compiler/codegen.h"
+
+namespace ftdl::compiler {
+
+/// Serializes a program to its text form.
+std::string serialize_program(const LayerProgram& program);
+
+/// Parses a serialized program and re-validates it against `config`
+/// (re-evaluates the analytical model, regenerates and compares the
+/// instruction stream). Throws ftdl::Error on version/format problems and
+/// ftdl::ConfigError on semantic mismatches.
+LayerProgram deserialize_program(const std::string& text,
+                                 const arch::OverlayConfig& config);
+
+/// File convenience wrappers.
+void save_program(const LayerProgram& program, const std::string& path);
+LayerProgram load_program(const std::string& path,
+                          const arch::OverlayConfig& config);
+
+}  // namespace ftdl::compiler

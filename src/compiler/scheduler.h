@@ -1,0 +1,70 @@
+// Network-level scheduling.
+//
+// Schedules every overlay layer of a network (CONV and MM; EWOP runs on
+// the host CPU, pipelined, per Sec. V-A) and aggregates the end-to-end
+// figures the paper reports: per-network hardware efficiency (MAC-weighted),
+// frames per second at the configured CLKh, and the WBUF picture.
+// Also implements Objective 3 (Sec. IV-D3): the best (D1, D2, D3) split at
+// a fixed TPE budget.
+#pragma once
+
+#include <vector>
+
+#include "compiler/codegen.h"
+#include "fpga/device.h"
+#include "nn/network.h"
+
+namespace ftdl::compiler {
+
+struct NetworkSchedule {
+  std::string network_name;
+  arch::OverlayConfig config;
+  Objective objective = Objective::Performance;
+
+  std::vector<LayerProgram> layers;  ///< overlay layers, execution order
+
+  std::int64_t total_cycles = 0;     ///< sum of per-layer C_exe (x repeats)
+  std::int64_t overlay_macs = 0;     ///< true MACs on the overlay
+  std::int64_t host_ewop_ops = 0;    ///< pipelined host work (not in FPS)
+
+  /// MAC-weighted network hardware efficiency (Table II row).
+  double hardware_efficiency = 0.0;
+  /// Weight-weighted mean WBUF efficiency.
+  double mean_e_wbuf = 0.0;
+
+  double seconds_per_frame() const {
+    return double(total_cycles) / config.clocks.clk_h_hz;
+  }
+  double fps() const { return 1.0 / seconds_per_frame(); }
+
+  /// Effective throughput in GOPS (2 ops per MAC at the achieved rate).
+  double effective_gops() const {
+    return 2.0 * double(overlay_macs) / seconds_per_frame() / 1e9;
+  }
+};
+
+/// Compiles and schedules every overlay layer. Identical layer shapes share
+/// one search (GoogLeNet repeats many shapes). Throws InfeasibleError if any
+/// layer cannot be mapped.
+NetworkSchedule schedule_network(const nn::Network& net,
+                                 const arch::OverlayConfig& config,
+                                 Objective objective = Objective::Performance,
+                                 std::int64_t max_candidates_per_layer = 200'000);
+
+/// Writes the per-layer schedule as CSV (layer, kind, macs, groups, cycles,
+/// efficiency, e_wbuf, bound-channel); returns the path.
+std::string schedule_to_csv(const NetworkSchedule& schedule,
+                            const std::string& path);
+
+/// Objective 3: enumerate (D1, D2, D3) splits of `tpe_budget` that fit
+/// `device`, schedule `net` on each, and return the fastest schedule.
+struct HwConfigChoice {
+  arch::OverlayConfig config;
+  NetworkSchedule schedule;
+};
+HwConfigChoice find_best_hw_config(const nn::Network& net,
+                                   const arch::OverlayConfig& base,
+                                   const fpga::Device& device, int tpe_budget,
+                                   std::int64_t max_candidates_per_layer = 20'000);
+
+}  // namespace ftdl::compiler

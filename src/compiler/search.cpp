@@ -1,0 +1,504 @@
+#include "compiler/search.h"
+
+#include <algorithm>
+#include <array>
+#include <optional>
+#include <queue>
+#include <unordered_set>
+
+#include "common/error.h"
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "compiler/adjacency.h"
+
+namespace ftdl::compiler {
+
+const char* to_string(Objective o) {
+  switch (o) {
+    case Objective::Performance: return "Obj1-performance";
+    case Objective::Balance: return "Obj2-balance";
+  }
+  return "?";
+}
+
+double objective_score(const Performance& p, Objective objective,
+                       std::int64_t c_exe_min) {
+  switch (objective) {
+    case Objective::Performance:
+      // Minimize C_exe; E_WBUF only breaks exact ties.
+      return -double(p.c_exe) + 1e-7 * p.e_wbuf;
+    case Objective::Balance:
+      return balance_score(p, c_exe_min);
+  }
+  throw InternalError("unknown objective");
+}
+
+const Solution& SearchResult::best() const {
+  if (top.empty()) throw InfeasibleError("no feasible mapping found");
+  return top.front();
+}
+
+namespace {
+
+std::uint64_t mapping_hash(const Mapping& m) {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a
+  for (const auto& level : m.t) {
+    for (std::int64_t v : level) {
+      h ^= static_cast<std::uint64_t>(v);
+      h *= 1099511628211ULL;
+    }
+  }
+  return h;
+}
+
+/// Keeps `all` down to at most `cap` values, always retaining the smallest
+/// and largest, thinning geometrically in between.
+std::vector<std::int64_t> thin(std::vector<std::int64_t> all, std::size_t cap) {
+  if (all.size() <= cap) return all;
+  std::vector<std::int64_t> out;
+  out.push_back(all.front());
+  const double step = double(all.size() - 1) / double(cap - 1);
+  for (std::size_t i = 1; i + 1 < cap; ++i) {
+    const auto idx = static_cast<std::size_t>(i * step);
+    if (all[idx] != out.back()) out.push_back(all[idx]);
+  }
+  if (all.back() != out.back()) out.push_back(all.back());
+  return out;
+}
+
+/// Tile candidates for one loop at one level, capped by `limit` (the
+/// remaining hardware extent) and thinned to `cap` entries.
+std::vector<std::int64_t> level_cands(std::int64_t trip, std::int64_t limit,
+                                      std::size_t cap) {
+  std::vector<std::int64_t> out;
+  for (std::int64_t c : tile_candidates(trip)) {
+    if (c <= limit) out.push_back(c);
+  }
+  if (out.empty()) out.push_back(1);
+  return thin(std::move(out), cap);
+}
+
+class SearchEngine {
+ public:
+  SearchEngine(const Workload& w, const arch::OverlayConfig& cfg,
+               const SearchOptions& opt)
+      : w_(w), cfg_(cfg), opt_(opt), c_min_(min_execution_cycles(w, cfg)) {}
+
+  SearchResult run() {
+    run_canonicals();
+    result_.dfs_exhausted = run_dfs();
+    run_sampling();
+    if (opt_.refine) run_refinement();
+
+    // Drain the heap into best-first order.
+    std::vector<Solution> sorted;
+    sorted.reserve(heap_.size());
+    while (!heap_.empty()) {
+      sorted.push_back(heap_.top());
+      heap_.pop();
+    }
+    std::reverse(sorted.begin(), sorted.end());
+    result_.top = std::move(sorted);
+    return std::move(result_);
+  }
+
+ private:
+  struct WorseScore {
+    bool operator()(const Solution& a, const Solution& b) const {
+      return a.score > b.score;  // min-heap on score
+    }
+  };
+
+  bool budget_left() const { return result_.evaluated < opt_.max_candidates; }
+
+  /// Evaluates one candidate mapping and feeds the top-k heap.
+  void consider(const Mapping& m) {
+    if (!seen_.insert(mapping_hash(m)).second) return;
+    if (!satisfies_adjacency(m, w_)) return;
+    if (!satisfies_logical_constraints(m, w_, cfg_.d1, cfg_.d2, cfg_.d3)) return;
+    ++result_.evaluated;
+
+    Solution s;
+    s.mapping = m;
+    s.perf = evaluate(w_, m, cfg_);
+    if (s.perf.feasible) ++result_.feasible;
+    if (!s.perf.feasible && !opt_.keep_infeasible) return;
+    s.score = objective_score(s.perf, opt_.objective, c_min_);
+
+    if (static_cast<int>(heap_.size()) < opt_.top_k) {
+      heap_.push(std::move(s));
+    } else if (s.score > heap_.top().score) {
+      heap_.pop();
+      heap_.push(std::move(s));
+    }
+  }
+
+  // ---- generator 1: canonical greedy constructions -------------------------
+
+  /// Greedy fill of one spatial level: assign each loop (in the given
+  /// order) the largest candidate tile that fits the remaining extent.
+  void greedy_fill(Mapping& m, HwLevel level, const std::vector<int>& order,
+                   std::int64_t extent) {
+    std::int64_t left = extent;
+    for (int loop : order) {
+      if (!adjacency_allows(w_, level, loop)) continue;
+      const std::int64_t covered = m.spatial_extent(loop);
+      const std::int64_t rem =
+          ceil_div(w_.loops[static_cast<std::size_t>(loop)].trip, covered);
+      std::int64_t best = 1;
+      for (std::int64_t c : tile_candidates(rem)) {
+        if (c <= left && c > best) best = c;
+      }
+      m.tile(level, loop) = best;
+      left /= best;
+      if (left <= 1) break;
+    }
+  }
+
+  void run_canonicals() {
+    // Loop-priority orders. Reduction loops feed D1; the weight-only loop
+    // feeds D2; output loops feed D3. Enumerate every non-empty subset of
+    // the D1 and D3 candidate loop sets as a fill order.
+    std::vector<int> reduction, output, weight_only;
+    for (int i = 0; i < w_.k(); ++i) {
+      const WorkloadLoop& l = w_.loops[static_cast<std::size_t>(i)];
+      if (l.is_reduction) reduction.push_back(i);
+      if (!l.is_reduction) output.push_back(i);
+      if (l.indexes_weight && !l.indexes_act) weight_only.push_back(i);
+    }
+
+    auto subsets = [](const std::vector<int>& v) {
+      std::vector<std::vector<int>> out;
+      const int n = static_cast<int>(v.size());
+      for (int mask = 1; mask < (1 << n); ++mask) {
+        std::vector<int> s;
+        for (int b = 0; b < n; ++b) {
+          if (mask & (1 << b)) s.push_back(v[static_cast<std::size_t>(b)]);
+        }
+        out.push_back(std::move(s));
+      }
+      return out;
+    };
+
+    for (const auto& d1_set : subsets(reduction)) {
+      for (const auto& d3_set : subsets(output)) {
+        if (!budget_left()) return;
+        Mapping m = Mapping::identity(w_.k());
+        greedy_fill(m, HwLevel::D1, d1_set, cfg_.d1);
+        greedy_fill(m, HwLevel::D2, weight_only, cfg_.d2);
+        greedy_fill(m, HwLevel::D3, d3_set, cfg_.d3);
+        fill_temporal_greedy(m);
+        consider(m);
+      }
+    }
+  }
+
+  /// Completes a spatial assignment with a greedy temporal schedule:
+  /// T takes activation-only loops first (double-pump weight reuse) within
+  /// the ActBUF budget, L absorbs activation loops within the PSumBUF
+  /// budget, X takes the remainder. WBUF feasibility is not enforced here;
+  /// infeasible mappings are filtered by consider().
+  void fill_temporal_greedy(Mapping& m) {
+    // T level: activation-only loops, largest tiles first.
+    std::int64_t act_budget = cfg_.actbuf_usable();
+    for (int i = 0; i < w_.k(); ++i) {
+      const WorkloadLoop& l = w_.loops[static_cast<std::size_t>(i)];
+      if (!(l.indexes_act && !l.indexes_weight)) continue;
+      const std::int64_t rem = ceil_div(l.trip, m.spatial_extent(i));
+      std::int64_t best = 1;
+      for (std::int64_t c : tile_candidates(rem)) {
+        if (c <= act_budget && c > best) best = c;
+      }
+      m.tile(HwLevel::T, i) = best;
+      act_budget /= best;
+    }
+    // T level: small kernel reduction loops ride along (they are cheap in
+    // ActBUF halo and avoid multi-pass psum traffic).
+    for (int i = 0; i < w_.k(); ++i) {
+      const WorkloadLoop& l = w_.loops[static_cast<std::size_t>(i)];
+      if (!l.is_reduction || l.indexes_weight == false) continue;
+      const std::int64_t rem = ceil_div(l.trip, m.spatial_extent(i));
+      if (rem <= 8) m.tile(HwLevel::T, i) = rem;
+    }
+    // L level: remaining activation loops within the psum budget.
+    std::int64_t psum_budget = cfg_.psumbuf_usable();
+    std::int64_t psum_now = 1;
+    for (int i = 0; i < w_.k(); ++i) {
+      if (!w_.loops[static_cast<std::size_t>(i)].is_reduction) {
+        psum_now *= m.tile(HwLevel::T, i);
+      }
+    }
+    for (int i = 0; i < w_.k(); ++i) {
+      const WorkloadLoop& l = w_.loops[static_cast<std::size_t>(i)];
+      if (!adjacency_allows(w_, HwLevel::L, i)) continue;
+      const std::int64_t rem = ceil_div(
+          l.trip, m.spatial_extent(i) * m.tile(HwLevel::T, i));
+      std::int64_t best = 1;
+      for (std::int64_t c : tile_candidates(rem)) {
+        const bool widens = !l.is_reduction;
+        if ((!widens || psum_now * c <= psum_budget) && c > best) best = c;
+      }
+      m.tile(HwLevel::L, i) = best;
+      if (!l.is_reduction) psum_now *= best;
+    }
+    // X level: whatever is left.
+    for (int i = 0; i < w_.k(); ++i) {
+      const std::int64_t covered = m.spatial_extent(i) *
+                                   m.tile(HwLevel::T, i) *
+                                   m.tile(HwLevel::L, i);
+      m.tile(HwLevel::X, i) =
+          ceil_div(w_.loops[static_cast<std::size_t>(i)].trip, covered);
+    }
+  }
+
+  // ---- generator 2: structured DFS -----------------------------------------
+
+  bool run_dfs() {
+    const std::int64_t dfs_budget =
+        result_.evaluated + (opt_.max_candidates * 3) / 10;
+    Mapping m = Mapping::identity(w_.k());
+    return dfs_loop(m, 0, cfg_.d1, cfg_.d2, cfg_.d3, dfs_budget);
+  }
+
+  /// DFS over loops; per loop enumerate (D1, D2, D3, T, L) tiles from thin
+  /// candidate lists; X is the determined remainder. Returns false when the
+  /// budget cut enumeration short.
+  bool dfs_loop(Mapping& m, int loop, std::int64_t d1_left,
+                std::int64_t d2_left, std::int64_t d3_left,
+                std::int64_t budget) {
+    if (loop == w_.k()) {
+      consider(m);
+      return true;
+    }
+    if (result_.evaluated >= budget || !budget_left()) return false;
+
+    const std::int64_t trip = w_.loops[static_cast<std::size_t>(loop)].trip;
+    const auto s1s = adjacency_allows(w_, HwLevel::D1, loop)
+                         ? level_cands(trip, d1_left, 3)
+                         : std::vector<std::int64_t>{1};
+    bool complete = true;
+    for (std::int64_t s1 : s1s) {
+      const std::int64_t rem1 = ceil_div(trip, s1);
+      const auto s2s = adjacency_allows(w_, HwLevel::D2, loop)
+                           ? level_cands(rem1, d2_left, 3)
+                           : std::vector<std::int64_t>{1};
+      for (std::int64_t s2 : s2s) {
+        const std::int64_t rem2 = ceil_div(rem1, s2);
+        const auto s3s = adjacency_allows(w_, HwLevel::D3, loop)
+                             ? level_cands(rem2, d3_left, 3)
+                             : std::vector<std::int64_t>{1};
+        for (std::int64_t s3 : s3s) {
+          const std::int64_t rem3 = ceil_div(rem2, s3);
+          const auto tts = level_cands(rem3, rem3, 4);
+          for (std::int64_t tt : tts) {
+            const std::int64_t rem4 = ceil_div(rem3, tt);
+            const auto tls = adjacency_allows(w_, HwLevel::L, loop)
+                                 ? level_cands(rem4, rem4, 3)
+                                 : std::vector<std::int64_t>{1};
+            for (std::int64_t tl : tls) {
+              m.tile(HwLevel::D1, loop) = s1;
+              m.tile(HwLevel::D2, loop) = s2;
+              m.tile(HwLevel::D3, loop) = s3;
+              m.tile(HwLevel::T, loop) = tt;
+              m.tile(HwLevel::L, loop) = tl;
+              m.tile(HwLevel::X, loop) = ceil_div(rem4, tl);
+              complete &= dfs_loop(m, loop + 1, d1_left / s1, d2_left / s2,
+                                   d3_left / s3, budget);
+              if (result_.evaluated >= budget || !budget_left()) {
+                reset_loop(m, loop);
+                return false;
+              }
+            }
+          }
+        }
+      }
+    }
+    reset_loop(m, loop);
+    return complete;
+  }
+
+  void reset_loop(Mapping& m, int loop) {
+    for (HwLevel level : kAllLevels) m.tile(level, loop) = 1;
+  }
+
+  // ---- generator 3: biased random sampling ----------------------------------
+
+  void run_sampling() {
+    Rng rng(opt_.seed);
+    // Duplicate samples do not consume budget, so bound raw attempts too
+    // (tiny workloads can exhaust their whole mapping space).
+    std::int64_t attempts = 0;
+    const std::int64_t max_attempts = opt_.max_candidates * 4;
+    while (budget_left() && attempts++ < max_attempts) {
+      consider(sample_mapping(rng));
+    }
+  }
+
+  Mapping sample_mapping(Rng& rng) {
+    Mapping m = Mapping::identity(w_.k());
+    std::int64_t d1_left = cfg_.d1, d2_left = cfg_.d2, d3_left = cfg_.d3;
+
+    // Visit loops in a random order so spatial budget is shared fairly.
+    std::vector<int> order(static_cast<std::size_t>(w_.k()));
+    for (int i = 0; i < w_.k(); ++i) order[static_cast<std::size_t>(i)] = i;
+    for (int i = w_.k() - 1; i > 0; --i) {
+      std::swap(order[static_cast<std::size_t>(i)],
+                order[static_cast<std::size_t>(rng.uniform(0, i))]);
+    }
+
+    auto pick = [&rng](const std::vector<std::int64_t>& cands,
+                       double max_bias) {
+      if (cands.empty()) return std::int64_t{1};
+      if (rng.uniform01() < max_bias) return cands.back();
+      return cands[static_cast<std::size_t>(
+          rng.uniform(0, static_cast<std::int64_t>(cands.size()) - 1))];
+    };
+
+    for (int loop : order) {
+      std::int64_t rem = w_.loops[static_cast<std::size_t>(loop)].trip;
+      if (adjacency_allows(w_, HwLevel::D1, loop) && d1_left > 1) {
+        const std::int64_t s = pick(level_cands(rem, d1_left, 8), 0.5);
+        m.tile(HwLevel::D1, loop) = s;
+        d1_left /= s;
+        rem = ceil_div(rem, s);
+      }
+      if (adjacency_allows(w_, HwLevel::D2, loop) && d2_left > 1) {
+        const std::int64_t s = pick(level_cands(rem, d2_left, 8), 0.6);
+        m.tile(HwLevel::D2, loop) = s;
+        d2_left /= s;
+        rem = ceil_div(rem, s);
+      }
+      if (adjacency_allows(w_, HwLevel::D3, loop) && d3_left > 1) {
+        const std::int64_t s = pick(level_cands(rem, d3_left, 8), 0.35);
+        m.tile(HwLevel::D3, loop) = s;
+        d3_left /= s;
+        rem = ceil_div(rem, s);
+      }
+      const std::int64_t tt = pick(level_cands(rem, rem, 8), 0.3);
+      m.tile(HwLevel::T, loop) = tt;
+      rem = ceil_div(rem, tt);
+      if (adjacency_allows(w_, HwLevel::L, loop)) {
+        const std::int64_t tl = pick(level_cands(rem, rem, 8), 0.3);
+        m.tile(HwLevel::L, loop) = tl;
+        rem = ceil_div(rem, tl);
+      }
+      m.tile(HwLevel::X, loop) = rem;
+    }
+    return m;
+  }
+
+  // ---- generator 4: hill-climbing refinement --------------------------------
+
+  /// Score of a mapping regardless of the dedup set; nullopt when illegal
+  /// or infeasible. Counts toward the evaluation budget via consider().
+  std::optional<double> score_of(const Mapping& m) {
+    if (!satisfies_adjacency(m, w_)) return std::nullopt;
+    if (!satisfies_logical_constraints(m, w_, cfg_.d1, cfg_.d2, cfg_.d3))
+      return std::nullopt;
+    const Performance p = evaluate(w_, m, cfg_);
+    if (!p.feasible) return std::nullopt;
+    return objective_score(p, opt_.objective, c_min_);
+  }
+
+  /// Recomputes loop k's X tile as the minimal cover remainder.
+  void fix_x(Mapping& m, int k) const {
+    const std::int64_t covered = m.spatial_extent(k) * m.tile(HwLevel::L, k) *
+                                 m.tile(HwLevel::T, k);
+    m.tile(HwLevel::X, k) =
+        ceil_div(w_.loops[static_cast<std::size_t>(k)].trip, covered);
+  }
+
+  void run_refinement() {
+    // Snapshot the current heap as seeds (best-first).
+    std::vector<Solution> seeds;
+    {
+      auto heap_copy = heap_;
+      while (!heap_copy.empty()) {
+        seeds.push_back(heap_copy.top());
+        heap_copy.pop();
+      }
+      std::reverse(seeds.begin(), seeds.end());
+    }
+    if (seeds.size() > 8) seeds.resize(8);
+
+    constexpr std::array<std::int64_t, 4> kPrimes = {2, 3, 5, 7};
+    const std::array<HwLevel, 5> targets = {HwLevel::D1, HwLevel::D2,
+                                            HwLevel::D3, HwLevel::L,
+                                            HwLevel::T};
+
+    for (const Solution& seed : seeds) {
+      Mapping cur = seed.mapping;
+      double cur_score = seed.score;
+      bool improved = true;
+      while (improved && budget_left()) {
+        improved = false;
+        for (int k = 0; k < w_.k() && !improved; ++k) {
+          for (HwLevel to : targets) {
+            if (!adjacency_allows(w_, to, k)) continue;
+            for (HwLevel from :
+                 {HwLevel::X, HwLevel::D1, HwLevel::D2, HwLevel::D3,
+                  HwLevel::L, HwLevel::T}) {
+              if (from == to) continue;
+              for (std::int64_t p : kPrimes) {
+                Mapping cand = cur;
+                if (from != HwLevel::X) {
+                  if (cand.tile(from, k) % p != 0) continue;
+                  cand.tile(from, k) /= p;
+                }
+                cand.tile(to, k) *= p;
+                fix_x(cand, k);
+                const auto s = score_of(cand);
+                ++result_.evaluated;
+                if (s && *s > cur_score) {
+                  cur = cand;
+                  cur_score = *s;
+                  ++result_.refinement_improvements;
+                  consider(cur);  // feed the heap (dedup-protected)
+                  improved = true;
+                  break;
+                }
+              }
+              if (improved) break;
+            }
+            if (improved) break;
+          }
+        }
+      }
+    }
+  }
+
+  const Workload& w_;
+  const arch::OverlayConfig& cfg_;
+  const SearchOptions& opt_;
+  const std::int64_t c_min_;
+
+  SearchResult result_;
+  std::priority_queue<Solution, std::vector<Solution>, WorseScore> heap_;
+  std::unordered_set<std::uint64_t> seen_;
+};
+
+}  // namespace
+
+SearchResult search_mappings(const Workload& w,
+                             const arch::OverlayConfig& config,
+                             const SearchOptions& options) {
+  FTDL_ASSERT(options.top_k >= 1);
+  config.validate();
+  SearchEngine engine(w, config, options);
+  return engine.run();
+}
+
+Solution best_mapping(const Workload& w, const arch::OverlayConfig& config,
+                      Objective objective, std::int64_t max_candidates) {
+  SearchOptions opt;
+  opt.objective = objective;
+  opt.top_k = 1;
+  opt.max_candidates = max_candidates;
+  SearchResult r = search_mappings(w, config, opt);
+  if (r.top.empty()) {
+    throw InfeasibleError("no feasible mapping for workload " + w.name);
+  }
+  return r.top.front();
+}
+
+}  // namespace ftdl::compiler

@@ -1,0 +1,78 @@
+// Mapping-vector search (Sec. IV-C/D).
+//
+// The feasible set is the integer hull of a non-convex polytope (Sec.
+// IV-D4), so the compiler enumerates candidates under the guidance of the
+// adjacency matrix, rejects those violating the logical and buffer
+// constraints, and keeps the top-k by the requested objective. Because full
+// enumeration is intractable for large layers, candidates come from three
+// complementary generators (all deterministic):
+//   1. canonical constructions — greedy dataflow-aware fills that guarantee
+//      a good solution exists in the pool;
+//   2. a structured DFS over per-loop tile candidates with inline
+//      constraint pruning;
+//   3. biased random sampling for diversity (fills the Fig. 7 scatter).
+// The evaluation budget caps total work; the result reports whether the
+// structured enumeration ran to completion.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "compiler/analytical_model.h"
+
+namespace ftdl::compiler {
+
+/// Objectives of Sec. IV-D.
+enum class Objective {
+  Performance,  ///< Obj.1: minimize C_exe (Eqn. 12)
+  Balance,      ///< Obj.2: maximize Cexe_min/Cexe + E_WBUF (Eqn. 13)
+};
+
+const char* to_string(Objective o);
+
+struct Solution {
+  Mapping mapping;
+  Performance perf;
+  double score = 0.0;  ///< objective value; larger is better
+};
+
+struct SearchOptions {
+  Objective objective = Objective::Performance;
+  int top_k = 1;
+  /// Evaluation budget across all three generators.
+  std::int64_t max_candidates = 200'000;
+  /// Keep infeasible (buffer-violating) solutions in the pool (debugging).
+  bool keep_infeasible = false;
+  /// Seed for the sampling generator (results are deterministic per seed).
+  std::uint64_t seed = 1;
+  /// Run the hill-climbing refinement stage on the best solutions found by
+  /// the generators (moves prime factors between hardware levels).
+  bool refine = true;
+};
+
+struct SearchResult {
+  std::vector<Solution> top;     ///< best-first
+  std::int64_t evaluated = 0;    ///< total mappings evaluated
+  std::int64_t feasible = 0;     ///< mappings passing every constraint
+  bool dfs_exhausted = false;    ///< structured DFS ran to completion
+  std::int64_t refinement_improvements = 0;  ///< accepted hill-climb moves
+
+  const Solution& best() const;  ///< throws ftdl::InfeasibleError when empty
+};
+
+/// Runs the search. Never throws for "no solution" — check result.top.
+SearchResult search_mappings(const Workload& w,
+                             const arch::OverlayConfig& config,
+                             const SearchOptions& options);
+
+/// Convenience: best mapping under Obj.1/Obj.2 (throws InfeasibleError when
+/// the feasible set is empty).
+Solution best_mapping(const Workload& w, const arch::OverlayConfig& config,
+                      Objective objective = Objective::Performance,
+                      std::int64_t max_candidates = 200'000);
+
+/// Objective score of an evaluated mapping (larger = better).
+double objective_score(const Performance& p, Objective objective,
+                       std::int64_t c_exe_min);
+
+}  // namespace ftdl::compiler

@@ -1,0 +1,82 @@
+#include "compiler/workload.h"
+
+#include "common/error.h"
+
+namespace ftdl::compiler {
+
+const char* to_string(WorkloadKind k) {
+  switch (k) {
+    case WorkloadKind::MatMul: return "MM";
+    case WorkloadKind::Conv: return "CONV";
+    case WorkloadKind::DepthwiseConv: return "DWCONV";
+  }
+  return "?";
+}
+
+int Workload::loop_index(char tag) const {
+  for (int i = 0; i < k(); ++i) {
+    if (loops[i].tag == tag) return i;
+  }
+  throw InternalError(std::string("workload has no loop '") + tag + "'");
+}
+
+std::int64_t Workload::macs() const {
+  std::int64_t m = 1;
+  for (const WorkloadLoop& l : loops) m *= l.trip;
+  return m;
+}
+
+std::int64_t Workload::weight_words() const {
+  std::int64_t w = 1;
+  for (const WorkloadLoop& l : loops) {
+    if (l.indexes_weight) w *= l.trip;
+  }
+  return w;
+}
+
+Workload Workload::from_layer(const nn::Layer& layer) {
+  Workload w;
+  w.name = layer.name;
+  switch (layer.kind) {
+    case nn::LayerKind::MatMul:
+      w.kind = WorkloadKind::MatMul;
+      w.loops = {
+          // M: reduction over input features — in both W and act.
+          {'M', layer.mm_m, /*weight=*/true, /*act=*/true, /*red=*/true},
+          // N: output features — weight-only.
+          {'N', layer.mm_n, /*weight=*/true, /*act=*/false, /*red=*/false},
+          // P: output columns / batch — act-only.
+          {'P', layer.mm_p, /*weight=*/false, /*act=*/true, /*red=*/false},
+      };
+      break;
+    case nn::LayerKind::Conv:
+      w.kind = WorkloadKind::Conv;
+      w.stride = layer.stride;
+      w.loops = {
+          {'M', layer.out_c, /*weight=*/true, /*act=*/false, /*red=*/false},
+          {'N', layer.in_c, /*weight=*/true, /*act=*/true, /*red=*/true},
+          {'E', layer.out_h(), /*weight=*/false, /*act=*/true, /*red=*/false},
+          {'F', layer.out_w(), /*weight=*/false, /*act=*/true, /*red=*/false},
+          {'R', layer.kh, /*weight=*/true, /*act=*/true, /*red=*/true},
+          {'S', layer.kw, /*weight=*/true, /*act=*/true, /*red=*/true},
+      };
+      break;
+    case nn::LayerKind::Depthwise:
+      w.kind = WorkloadKind::DepthwiseConv;
+      w.stride = layer.stride;
+      w.loops = {
+          // Channel loop: indexes BOTH tensors, independent (not reduction).
+          {'N', layer.in_c, /*weight=*/true, /*act=*/true, /*red=*/false},
+          {'E', layer.out_h(), /*weight=*/false, /*act=*/true, /*red=*/false},
+          {'F', layer.out_w(), /*weight=*/false, /*act=*/true, /*red=*/false},
+          {'R', layer.kh, /*weight=*/true, /*act=*/true, /*red=*/true},
+          {'S', layer.kw, /*weight=*/true, /*act=*/true, /*red=*/true},
+      };
+      break;
+    default:
+      throw ConfigError(layer.name + ": only CONV/DWCONV and MM run on the overlay");
+  }
+  return w;
+}
+
+}  // namespace ftdl::compiler

@@ -1,0 +1,63 @@
+// Workload abstraction: a CONV or MM layer as a K-level nested loop
+// (Sec. IV-A; K = 3 for MM, K = 6 for CONV).
+//
+// Loop conventions (DESIGN.md §4):
+//   MM   (M, N, P):            out[N][P] += W[N][M] * act[M][P]
+//   CONV (M, N, E, F, R, S):   out[M][E][F] += W[M][N][R][S]
+//                                        * act[N][E*stride+R][F*stride+S]
+//   DWCONV (N, E, F, R, S):    out[N][E][F] += W[N][R][S]
+//                                        * act[N][E*stride+R][F*stride+S]
+//   (depthwise has NO weight-only loop: the channel loop indexes both
+//   tensors, so the D2 level is unusable — the architectural reason
+//   depthwise layers schedule poorly on FTDL.)
+// Each loop carries the dataflow facts the adjacency matrix and the
+// analytical model are derived from: whether it indexes the weight tensor,
+// the activation tensor, and whether it is a reduction loop.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace ftdl::compiler {
+
+enum class WorkloadKind { MatMul, Conv, DepthwiseConv };
+
+const char* to_string(WorkloadKind k);
+
+struct WorkloadLoop {
+  char tag = '?';               ///< 'M','N','P' or 'M','N','E','F','R','S'
+  std::int64_t trip = 1;        ///< W_k, the full trip count
+  bool indexes_weight = false;
+  bool indexes_act = false;
+  bool is_reduction = false;    ///< accumulated dimension
+};
+
+/// A CONV/MM layer lowered to its loop-nest form.
+struct Workload {
+  WorkloadKind kind = WorkloadKind::MatMul;
+  std::string name;
+  std::vector<WorkloadLoop> loops;  ///< K entries
+
+  // CONV-only geometry needed for activation-halo computation.
+  int stride = 1;
+
+  int k() const { return static_cast<int>(loops.size()); }
+
+  /// Index of the loop with `tag`; throws ftdl::InternalError if absent.
+  int loop_index(char tag) const;
+
+  /// Total true MAC count = product of all trip counts.
+  std::int64_t macs() const;
+
+  /// Unique weight words = product of weight-indexing trips.
+  std::int64_t weight_words() const;
+
+  /// Lowers an overlay layer (CONV or MM); throws ftdl::ConfigError for
+  /// host-side layer kinds.
+  static Workload from_layer(const nn::Layer& layer);
+};
+
+}  // namespace ftdl::compiler

@@ -1,0 +1,76 @@
+#include "dram/dram_power.h"
+
+#include "common/error.h"
+
+namespace ftdl::dram {
+
+std::uint64_t AccessTrace::read_bytes() const {
+  std::uint64_t n = 0;
+  for (const AccessEvent& e : events) {
+    if (e.kind == AccessKind::Read) n += e.bytes;
+  }
+  return n;
+}
+
+std::uint64_t AccessTrace::write_bytes() const {
+  std::uint64_t n = 0;
+  for (const AccessEvent& e : events) {
+    if (e.kind == AccessKind::Write) n += e.bytes;
+  }
+  return n;
+}
+
+DramReport evaluate_volume(std::uint64_t read_bytes, std::uint64_t write_bytes,
+                           double span_seconds, const DramSpec& spec,
+                           int channels) {
+  spec.validate();
+  FTDL_ASSERT(channels >= 1);
+  FTDL_ASSERT(span_seconds >= 0.0);
+
+  DramReport r;
+  r.span_seconds = span_seconds;
+
+  const double total_bytes = double(read_bytes) + double(write_bytes);
+  r.transfer_seconds = total_bytes / (spec.peak_bytes_per_sec * channels);
+
+  // Background: blend of active and precharge standby across all devices.
+  const double devices = double(spec.devices_per_rank * channels);
+  const double utilization =
+      span_seconds > 0 ? std::min(1.0, r.transfer_seconds / span_seconds) : 0.0;
+  const double standby_ma =
+      spec.idd3n_ma * utilization + spec.idd2n_ma * (1.0 - utilization);
+  r.background_joules = standby_ma * 1e-3 * spec.vdd * devices * span_seconds;
+
+  // Activates: one row activate per row_bytes of streamed data (sequential
+  // streaming — the overlay's tiled transfers are long bursts).
+  const double activates = total_bytes / double(spec.row_bytes);
+  const double act_energy_per =
+      (spec.idd0_ma - spec.idd3n_ma) * 1e-3 * spec.vdd * spec.t_rc_ns * 1e-9;
+  r.activate_joules = activates * act_energy_per * spec.devices_per_rank;
+
+  // Burst read/write core energy: the current delta over active standby for
+  // the duration each byte occupies the bus.
+  const double rd_seconds =
+      double(read_bytes) / (spec.peak_bytes_per_sec * channels);
+  const double wr_seconds =
+      double(write_bytes) / (spec.peak_bytes_per_sec * channels);
+  r.rw_joules = ((spec.idd4r_ma - spec.idd3n_ma) * rd_seconds +
+                 (spec.idd4w_ma - spec.idd3n_ma) * wr_seconds) *
+                1e-3 * spec.vdd * devices;
+
+  // I/O and termination.
+  r.io_joules = (double(read_bytes) * 8.0 * spec.io_pj_per_bit_rd +
+                 double(write_bytes) * 8.0 * spec.io_pj_per_bit_wr) *
+                1e-12;
+  return r;
+}
+
+DramReport evaluate_trace(const AccessTrace& trace, const DramSpec& spec,
+                          double clk_hz, int channels) {
+  if (clk_hz <= 0) throw ConfigError("DRAM evaluation needs a positive clock");
+  const double span = double(trace.total_cycles) / clk_hz;
+  return evaluate_volume(trace.read_bytes(), trace.write_bytes(), span, spec,
+                         channels);
+}
+
+}  // namespace ftdl::dram

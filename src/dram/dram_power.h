@@ -1,0 +1,40 @@
+// DRAMPower-style energy/time model over an access trace (Sec. V-A: "the
+// data access trace was dumped and sent to the DRAMPower, an accurate model
+// that supplies the DRAM performance").
+#pragma once
+
+#include "dram/dram_spec.h"
+#include "dram/trace.h"
+
+namespace ftdl::dram {
+
+struct DramReport {
+  double transfer_seconds = 0.0;   ///< pure data-movement time at peak bw
+  double background_joules = 0.0;  ///< standby energy over the span
+  double activate_joules = 0.0;    ///< row activate/precharge energy
+  double rw_joules = 0.0;          ///< burst read/write core energy
+  double io_joules = 0.0;          ///< I/O + termination energy
+
+  double total_joules() const {
+    return background_joules + activate_joules + rw_joules + io_joules;
+  }
+  /// Average power over `span_seconds` recorded in the report.
+  double span_seconds = 0.0;
+  double average_watts() const {
+    return span_seconds > 0 ? total_joules() / span_seconds : 0.0;
+  }
+};
+
+/// Evaluates a trace against a DRAM spec. `clk_hz` converts trace cycles to
+/// time; `channels` scales the channel count (bandwidth and background
+/// power). Throws ftdl::ConfigError on a non-positive clock.
+DramReport evaluate_trace(const AccessTrace& trace, const DramSpec& spec,
+                          double clk_hz, int channels = 2);
+
+/// Convenience: energy/time for an aggregate byte count without a full
+/// trace (used by the analytical path where only totals are known).
+DramReport evaluate_volume(std::uint64_t read_bytes, std::uint64_t write_bytes,
+                           double span_seconds, const DramSpec& spec,
+                           int channels = 2);
+
+}  // namespace ftdl::dram

@@ -1,0 +1,39 @@
+#include "dram/dram_spec.h"
+
+#include "common/error.h"
+
+namespace ftdl::dram {
+
+DramSpec DramSpec::ddr4_2400() {
+  DramSpec s;
+  s.name = "DDR4-2400-x64";
+  s.vdd = 1.2;
+  // Micron 8Gb x8 DDR4-2400 datasheet-class currents (per device).
+  s.idd0_ma = 58.0;
+  s.idd2n_ma = 34.0;
+  s.idd3n_ma = 44.0;
+  s.idd4r_ma = 150.0;
+  s.idd4w_ma = 140.0;
+  s.io_pj_per_bit_rd = 4.5;
+  s.io_pj_per_bit_wr = 6.0;
+  s.devices_per_rank = 8;
+  s.peak_bytes_per_sec = 19.2e9;
+  s.row_bytes = 1024;
+  s.t_rc_ns = 45.0;
+  s.validate();
+  return s;
+}
+
+void DramSpec::validate() const {
+  if (name.empty()) throw ConfigError("DRAM spec has no name");
+  if (vdd <= 0 || idd0_ma <= 0 || idd2n_ma <= 0 || idd3n_ma <= 0 ||
+      idd4r_ma <= 0 || idd4w_ma <= 0)
+    throw ConfigError(name + ": currents must be positive");
+  if (io_pj_per_bit_rd < 0 || io_pj_per_bit_wr < 0)
+    throw ConfigError(name + ": I/O energies must be non-negative");
+  if (devices_per_rank <= 0 || peak_bytes_per_sec <= 0 || row_bytes <= 0 ||
+      t_rc_ns <= 0)
+    throw ConfigError(name + ": geometry must be positive");
+}
+
+}  // namespace ftdl::dram

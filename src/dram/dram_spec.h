@@ -1,0 +1,42 @@
+// DDR4 device parameters for the DRAMPower-style energy model.
+//
+// The model follows the standard IDD-current methodology (Micron datasheet
+// style, as used by DRAMPower [20]): background power from the active/idle
+// currents, plus per-access energy derived from the activate/read/write
+// current deltas and the I/O termination energy.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ftdl::dram {
+
+struct DramSpec {
+  std::string name;
+
+  double vdd = 1.2;              ///< core supply (V)
+  double idd0_ma = 0.0;          ///< activate-precharge current, one bank
+  double idd2n_ma = 0.0;         ///< precharge standby
+  double idd3n_ma = 0.0;         ///< active standby
+  double idd4r_ma = 0.0;         ///< burst read
+  double idd4w_ma = 0.0;         ///< burst write
+
+  double io_pj_per_bit_rd = 0.0; ///< I/O + termination energy, read
+  double io_pj_per_bit_wr = 0.0; ///< I/O + termination (ODT) energy, write
+
+  int devices_per_rank = 8;      ///< x8 devices on a 64-bit channel
+  double peak_bytes_per_sec = 0.0;  ///< channel peak bandwidth
+
+  int row_bytes = 1024;          ///< bytes per activated row (per device page x8)
+  double t_rc_ns = 45.0;         ///< row cycle time (activate energy scale)
+
+  /// A DDR4-2400 x64 channel (19.2 GB/s peak) — the 26 GB/s the paper
+  /// assumes corresponds to slightly above one such channel; systems use
+  /// one-two channels. Scale `channels` in the power model accordingly.
+  static DramSpec ddr4_2400();
+
+  /// Validates positivity of all parameters; throws ftdl::ConfigError.
+  void validate() const;
+};
+
+}  // namespace ftdl::dram

@@ -1,0 +1,33 @@
+// Memory access trace (the interface the paper feeds to DRAMPower [20]).
+//
+// The overlay simulator emits one event per buffer refill / drain; the DRAM
+// model consumes the trace to produce transfer time and energy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ftdl::dram {
+
+enum class AccessKind { Read, Write };
+
+struct AccessEvent {
+  std::uint64_t cycle = 0;   ///< CLKh cycle the transfer is issued
+  AccessKind kind = AccessKind::Read;
+  std::uint64_t bytes = 0;
+};
+
+struct AccessTrace {
+  std::vector<AccessEvent> events;
+  std::uint64_t total_cycles = 0;  ///< span of the traced execution
+
+  std::uint64_t read_bytes() const;
+  std::uint64_t write_bytes() const;
+  std::uint64_t total_bytes() const { return read_bytes() + write_bytes(); }
+
+  void add(std::uint64_t cycle, AccessKind kind, std::uint64_t bytes) {
+    events.push_back({cycle, kind, bytes});
+  }
+};
+
+}  // namespace ftdl::dram

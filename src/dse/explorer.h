@@ -1,0 +1,57 @@
+// Design-space exploration across overlay configurations.
+//
+// Objective 3 (Sec. IV-D3) fixes the TPE count and searches (D1, D2, D3);
+// this module generalizes it into a full DSE driver: it sweeps overlay
+// shapes (optionally buffer sizes) on a device, evaluates each candidate's
+// timing (achievable clock), network schedule (cycles, efficiency) and
+// power, and returns the Pareto-optimal set over {throughput, power,
+// resources}.
+#pragma once
+
+#include <vector>
+
+#include "compiler/scheduler.h"
+#include "fpga/device.h"
+#include "power/fpga_power.h"
+
+namespace ftdl::dse {
+
+struct DseOptions {
+  /// Candidate cascade lengths; 0 entries means a built-in default sweep.
+  std::vector<int> d1_candidates = {4, 6, 8, 10, 12, 16, 20, 24};
+  /// Sweep ActBUF capacities too (64/128/256) instead of keeping the base.
+  bool sweep_actbuf = false;
+  /// Derive each candidate's clock from its own placement timing (floored
+  /// to a 25 MHz grid); otherwise all candidates run at the base clock.
+  bool derive_clock = true;
+  std::int64_t search_budget_per_layer = 8'000;
+  /// Skip candidates using fewer than this fraction of the device's DSPs.
+  double min_dsp_utilization = 0.5;
+};
+
+struct DsePoint {
+  arch::OverlayConfig config;
+  double clk_h_hz = 0.0;        ///< operating CLKh after the clock policy
+  double fps = 0.0;
+  double efficiency = 0.0;      ///< MAC-weighted network efficiency
+  double power_w = 0.0;
+  double gops_per_w = 0.0;
+  int tpes = 0;
+  int bram18_used = 0;
+  bool pareto = false;          ///< on the {fps max, power min} frontier
+};
+
+struct DseResult {
+  std::vector<DsePoint> points;       ///< all evaluated, fps-descending
+  std::vector<DsePoint> frontier() const;  ///< pareto-only, fps-descending
+};
+
+/// Sweeps overlay shapes of `net` on `device`. Throws ftdl::ConfigError only
+/// for empty candidate lists; individual infeasible candidates are skipped.
+DseResult explore(const nn::Network& net, const fpga::Device& device,
+                  const arch::OverlayConfig& base, const DseOptions& options);
+
+/// Writes points as CSV (returns the path).
+std::string export_csv(const DseResult& result, const std::string& path);
+
+}  // namespace ftdl::dse

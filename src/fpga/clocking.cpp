@@ -1,0 +1,33 @@
+#include "fpga/clocking.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/str_util.h"
+
+namespace ftdl::fpga {
+
+double datasheet_clk_h_limit(const PrimitiveTiming& t) {
+  const double logic_limit = std::min(t.dsp_fmax_hz, t.clb_fmax_hz);
+  const double bram_limit = 2.0 * t.bram_fmax_hz;
+  return std::min(logic_limit, bram_limit);
+}
+
+double single_clock_limit(const PrimitiveTiming& t) {
+  return std::min({t.dsp_fmax_hz, t.clb_fmax_hz, t.bram_fmax_hz});
+}
+
+void validate_clock_pair(const ClockPair& c, const PrimitiveTiming& t) {
+  if (c.clk_l_hz <= 0.0 || c.clk_h_hz <= 0.0)
+    throw ConfigError("clock frequencies must be positive");
+  if (std::abs(c.clk_h_hz - 2.0 * c.clk_l_hz) > 1.0)
+    throw ConfigError("double-pump requires CLKh = 2 x CLKl, got " +
+                      format_hz(c.clk_h_hz) + " vs " + format_hz(c.clk_l_hz));
+  if (c.clk_h_hz > std::min(t.dsp_fmax_hz, t.clb_fmax_hz) + 1.0)
+    throw ConfigError("CLKh " + format_hz(c.clk_h_hz) + " exceeds DSP/CLB fmax");
+  if (c.clk_l_hz > t.bram_fmax_hz + 1.0)
+    throw ConfigError("CLKl " + format_hz(c.clk_l_hz) + " exceeds BRAM fmax");
+}
+
+}  // namespace ftdl::fpga

@@ -1,0 +1,36 @@
+// Double-pump clock pair (Sec. III-A2 of the paper).
+//
+// BRAM runs on the slow clock CLKl; DSPs and LUTRAM run on CLKh = 2 x CLKl.
+// Each weight word fetched from BRAM in one CLKl cycle feeds two MACCs with
+// two different activations, so the DSP never starves even though BRAM tops
+// out around 528 MHz while the DSP can reach 740 MHz.
+#pragma once
+
+#include "fpga/primitive.h"
+
+namespace ftdl::fpga {
+
+/// A synchronized (CLKl, CLKh = 2 CLKl) pair.
+struct ClockPair {
+  double clk_l_hz = 0.0;
+  double clk_h_hz = 0.0;
+
+  static ClockPair from_high(double clk_h_hz) {
+    return {clk_h_hz / 2.0, clk_h_hz};
+  }
+};
+
+/// Highest CLKh permitted by the primitive datasheet limits alone (before
+/// routing): CLKh <= dsp/clb fmax and CLKl = CLKh/2 <= bram fmax.
+double datasheet_clk_h_limit(const PrimitiveTiming& t);
+
+/// Highest CLKh in a *single-clock* design (no double pump): every primitive,
+/// including BRAM, must meet the one clock, so fmax <= bram fmax. Used by the
+/// double-pump ablation.
+double single_clock_limit(const PrimitiveTiming& t);
+
+/// Validates that a clock pair is a legal double-pump configuration for the
+/// given primitives; throws ftdl::ConfigError otherwise.
+void validate_clock_pair(const ClockPair& c, const PrimitiveTiming& t);
+
+}  // namespace ftdl::fpga

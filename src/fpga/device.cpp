@@ -1,0 +1,90 @@
+#include "fpga/device.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/error.h"
+
+namespace ftdl::fpga {
+
+const char* to_string(Primitive p) {
+  switch (p) {
+    case Primitive::Dsp: return "DSP";
+    case Primitive::Bram18: return "BRAM18";
+    case Primitive::Clb: return "CLB";
+  }
+  return "?";
+}
+
+const char* to_string(Family f) {
+  switch (f) {
+    case Family::Virtex7: return "Virtex-7";
+    case Family::UltraScale: return "UltraScale";
+  }
+  return "?";
+}
+
+double Device::dsp_col_x_um(int i) const {
+  FTDL_ASSERT(i >= 0 && i < dsp_columns);
+  // Columns of one class are spread uniformly across the die width; the +0.5
+  // centres the pattern so no column sits on the die edge.
+  const double spacing = die_width_um() / dsp_columns;
+  return (i + 0.5) * spacing;
+}
+
+double Device::bram_col_x_um(int j) const {
+  FTDL_ASSERT(j >= 0 && j < bram18_columns);
+  const double spacing = die_width_um() / bram18_columns;
+  // Offset BRAM columns by a quarter pitch relative to DSP columns, mirroring
+  // real devices where the two classes interleave but never coincide.
+  return (j + 0.25) * spacing;
+}
+
+Point Device::dsp_site(int col, int row) const {
+  FTDL_ASSERT(row >= 0 && row < dsp_per_column);
+  const double y_pitch = die_height_um() / dsp_per_column;
+  return {dsp_col_x_um(col), (row + 0.5) * y_pitch};
+}
+
+Point Device::bram_site(int col, int row) const {
+  FTDL_ASSERT(row >= 0 && row < bram18_per_column);
+  const double y_pitch = die_height_um() / bram18_per_column;
+  return {bram_col_x_um(col), (row + 0.5) * y_pitch};
+}
+
+int Device::nearest_bram_column(int dsp_col) const {
+  const double x = dsp_col_x_um(dsp_col);
+  int best = 0;
+  double best_d = std::abs(bram_col_x_um(0) - x);
+  for (int j = 1; j < bram18_columns; ++j) {
+    const double d = std::abs(bram_col_x_um(j) - x);
+    if (d < best_d) {
+      best_d = d;
+      best = j;
+    }
+  }
+  return best;
+}
+
+void Device::validate() const {
+  if (name.empty()) throw ConfigError("device has no name");
+  if (fabric_rows <= 0 || fabric_cols <= 0)
+    throw ConfigError(name + ": fabric dimensions must be positive");
+  if (dsp_columns <= 0 || dsp_per_column <= 0)
+    throw ConfigError(name + ": must have DSP resources");
+  if (dsp_per_column > 240)
+    throw ConfigError(name + ": DSP column taller than any real device (>240)");
+  if (bram18_columns <= 0 || bram18_per_column <= 0)
+    throw ConfigError(name + ": must have BRAM resources");
+  if (clb_count <= 0) throw ConfigError(name + ": must have CLB resources");
+  if (col_pitch_um <= 0.0 || row_pitch_um <= 0.0)
+    throw ConfigError(name + ": physical pitches must be positive");
+  if (timing.dsp_fmax_hz <= 0 || timing.bram_fmax_hz <= 0 || timing.clb_fmax_hz <= 0)
+    throw ConfigError(name + ": primitive fmax values must be positive");
+}
+
+double manhattan_um(const Point& a, const Point& b) {
+  return std::abs(a.x_um - b.x_um) + std::abs(a.y_um - b.y_um);
+}
+
+}  // namespace ftdl::fpga

@@ -1,0 +1,83 @@
+// Column-layout model of a Xilinx-style FPGA device.
+//
+// Modern FPGAs arrange primitives in uniform vertical columns: a DSP column
+// holds a stack of DSP slices with dedicated cascade wiring, BRAM columns
+// hold block RAMs, and the remaining columns are CLBs. FTDL's layout-aware
+// design exploits exactly this tiled structure, so the device model exposes
+// the geometry (column positions, per-column counts, physical pitches) that
+// the placement and timing models need.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fpga/primitive.h"
+
+namespace ftdl::fpga {
+
+/// Interconnect quality of the device family; selects wire-delay
+/// coefficients in the timing model.
+enum class Family { Virtex7, UltraScale };
+
+const char* to_string(Family f);
+
+/// A physical position on the fabric, in micrometres.
+struct Point {
+  double x_um = 0.0;
+  double y_um = 0.0;
+};
+
+/// Static description of one device. All counts are per physical column;
+/// columns of one primitive class are spread uniformly across the die width.
+struct Device {
+  std::string name;          ///< e.g. "xc7vx330t"
+  Family family = Family::Virtex7;
+
+  int fabric_rows = 0;       ///< die height in CLB rows
+  int fabric_cols = 0;       ///< die width in columns (all classes)
+
+  int dsp_columns = 0;
+  int dsp_per_column = 0;    ///< paper: 20..240 per column across devices
+
+  int bram18_columns = 0;
+  int bram18_per_column = 0;
+
+  long clb_count = 0;        ///< total CLBs available for ActBUF / control
+
+  double col_pitch_um = 0.0; ///< horizontal spacing between adjacent columns
+  double row_pitch_um = 0.0; ///< vertical spacing between CLB rows
+
+  PrimitiveTiming timing{};
+
+  // ---- derived quantities -------------------------------------------------
+
+  int total_dsp() const { return dsp_columns * dsp_per_column; }
+  int total_bram18() const { return bram18_columns * bram18_per_column; }
+
+  double die_width_um() const { return fabric_cols * col_pitch_um; }
+  double die_height_um() const { return fabric_rows * row_pitch_um; }
+
+  /// x-coordinate of the i-th DSP column (0-based), columns spread uniformly.
+  double dsp_col_x_um(int i) const;
+
+  /// x-coordinate of the j-th BRAM column (0-based).
+  double bram_col_x_um(int j) const;
+
+  /// Physical centre of the r-th DSP in DSP column i.
+  Point dsp_site(int col, int row) const;
+
+  /// Physical centre of the r-th BRAM18 in BRAM column j.
+  Point bram_site(int col, int row) const;
+
+  /// Index of the BRAM column physically closest to DSP column `dsp_col`.
+  int nearest_bram_column(int dsp_col) const;
+
+  /// Validates internal consistency; throws ftdl::ConfigError on failure.
+  void validate() const;
+};
+
+/// Manhattan distance between two fabric points, in micrometres.
+double manhattan_um(const Point& a, const Point& b);
+
+}  // namespace ftdl::fpga

@@ -1,0 +1,123 @@
+#include "fpga/device_zoo.h"
+
+#include "common/error.h"
+
+namespace ftdl::fpga {
+
+namespace {
+
+// Datasheet fmax values quoted in the paper (Sec. II-B2 / III-A2): DSP and
+// CLB near 740 MHz, BRAM near 528 MHz. UltraScale parts carry slightly
+// faster primitives, which together with the improved interconnect yields
+// the 650-vs-620 MHz split seen in Fig. 6.
+constexpr PrimitiveTiming kVirtex7Timing{740e6, 528e6, 740e6};
+constexpr PrimitiveTiming kUltraScaleTiming{775e6, 560e6, 775e6};
+
+}  // namespace
+
+Device virtex7_vx330t() {
+  Device d;
+  d.name = "xc7vx330t";
+  d.family = Family::Virtex7;
+  d.fabric_rows = 350;        // 7 clock regions x 50 CLB rows
+  d.fabric_cols = 160;
+  d.dsp_columns = 8;
+  d.dsp_per_column = 140;     // 8 x 140 = 1120 DSP48E1
+  d.bram18_columns = 10;
+  d.bram18_per_column = 150;  // 10 x 150 = 1500 BRAM18 (750 BRAM36)
+  d.clb_count = 51000;
+  d.col_pitch_um = 110.0;
+  d.row_pitch_um = 60.0;
+  d.timing = kVirtex7Timing;
+  d.validate();
+  return d;
+}
+
+Device ultrascale_vu125() {
+  Device d;
+  d.name = "xcvu125";
+  d.family = Family::UltraScale;
+  d.fabric_rows = 300;        // 5 clock regions x 60 CLB rows
+  d.fabric_cols = 170;
+  // The Table II example (D1=12, D3=20 -> 240 TPEs per column, D2=5) pins
+  // the column arrangement: 5 tall DSP columns of 240 slices.
+  d.dsp_columns = 5;
+  d.dsp_per_column = 240;     // 5 x 240 = 1200 DSP48E2
+  d.bram18_columns = 12;
+  d.bram18_per_column = 210;  // 12 x 210 = 2520 BRAM18
+  d.clb_count = 71000;
+  d.col_pitch_um = 95.0;
+  d.row_pitch_um = 55.0;
+  d.timing = kUltraScaleTiming;
+  d.validate();
+  return d;
+}
+
+Device zynq_7z020() {
+  Device d;
+  d.name = "xc7z020";
+  d.family = Family::Virtex7;  // 7-series fabric
+  d.fabric_rows = 150;
+  d.fabric_cols = 60;
+  d.dsp_columns = 4;
+  d.dsp_per_column = 55;      // 220 DSP48E1
+  d.bram18_columns = 4;
+  d.bram18_per_column = 70;   // 280 BRAM18
+  d.clb_count = 6650;
+  d.col_pitch_um = 110.0;
+  d.row_pitch_um = 60.0;
+  d.timing = kVirtex7Timing;
+  d.validate();
+  return d;
+}
+
+Device kintex_ku115() {
+  Device d;
+  d.name = "xcku115";
+  d.family = Family::UltraScale;
+  d.fabric_rows = 360;
+  d.fabric_cols = 190;
+  d.dsp_columns = 24;
+  d.dsp_per_column = 230;     // 5520 DSP48E2
+  d.bram18_columns = 24;
+  d.bram18_per_column = 180;  // 4320 BRAM18
+  d.clb_count = 82000;
+  d.col_pitch_um = 95.0;
+  d.row_pitch_um = 55.0;
+  d.timing = kUltraScaleTiming;
+  d.validate();
+  return d;
+}
+
+Device vu9p() {
+  Device d;
+  d.name = "xcvu9p";
+  d.family = Family::UltraScale;
+  d.fabric_rows = 540;
+  d.fabric_cols = 220;
+  d.dsp_columns = 30;
+  d.dsp_per_column = 228;     // 6840 DSP48E2
+  d.bram18_columns = 24;
+  d.bram18_per_column = 180;  // 4320 BRAM18
+  d.clb_count = 147000;
+  d.col_pitch_um = 90.0;
+  d.row_pitch_um = 50.0;
+  d.timing = kUltraScaleTiming;
+  d.validate();
+  return d;
+}
+
+Device device_by_name(const std::string& name) {
+  for (const auto& make : {virtex7_vx330t, ultrascale_vu125, zynq_7z020,
+                           kintex_ku115, vu9p}) {
+    Device d = make();
+    if (d.name == name) return d;
+  }
+  throw ConfigError("unknown device: " + name);
+}
+
+std::vector<std::string> device_names() {
+  return {"xc7vx330t", "xcvu125", "xc7z020", "xcku115", "xcvu9p"};
+}
+
+}  // namespace ftdl::fpga

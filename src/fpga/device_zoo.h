@@ -1,0 +1,36 @@
+// Catalogue of modelled devices.
+//
+// The two devices evaluated in the paper (Fig. 6) are the Virtex-7 xc7vx330t
+// and the UltraScale xcvu125; additional devices are provided so users can
+// explore FTDL scaling beyond the paper's evaluation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fpga/device.h"
+
+namespace ftdl::fpga {
+
+/// Virtex-7 xc7vx330t: 1120 DSP48E1, 1500 BRAM18 (Fig. 6a).
+Device virtex7_vx330t();
+
+/// UltraScale xcvu125: 1200 DSP48E2, 2520 BRAM18 (Fig. 6b and Table II).
+Device ultrascale_vu125();
+
+/// Zynq-7020: a small edge device (220 DSPs) to exercise small overlays.
+Device zynq_7z020();
+
+/// Kintex UltraScale ku115: a mid/large device (5520 DSPs).
+Device kintex_ku115();
+
+/// Virtex UltraScale+ vu9p: a very large device (6840 DSPs).
+Device vu9p();
+
+/// Lookup by name; throws ftdl::ConfigError for unknown names.
+Device device_by_name(const std::string& name);
+
+/// Names of every device in the zoo.
+std::vector<std::string> device_names();
+
+}  // namespace ftdl::fpga

@@ -1,0 +1,26 @@
+// FPGA primitive kinds and their datasheet timing characteristics.
+//
+// The paper's hardware argument rests on three primitive classes (DS923 /
+// UltraScale datasheets): DSP slices and CLB logic can run near 740 MHz,
+// while BRAM tops out near 528 MHz — hence the double-pump clock pair.
+#pragma once
+
+namespace ftdl::fpga {
+
+/// The primitive classes the overlay is built from.
+enum class Primitive {
+  Dsp,     ///< DSP48 slice: 16x16 multiply + 48-bit accumulate, cascade chain
+  Bram18,  ///< 18 Kbit block RAM (WBUF / PSumBUF storage)
+  Clb,     ///< configurable logic block: LUTs, registers, LUTRAM (ActBUF)
+};
+
+const char* to_string(Primitive p);
+
+/// Datasheet maximum operating frequencies per primitive class (Hz).
+struct PrimitiveTiming {
+  double dsp_fmax_hz;   ///< e.g. 740 MHz (DS923 speed grade -3)
+  double bram_fmax_hz;  ///< e.g. 528 MHz
+  double clb_fmax_hz;   ///< LUT/FF fabric logic, e.g. 740 MHz
+};
+
+}  // namespace ftdl::fpga

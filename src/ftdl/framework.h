@@ -1,0 +1,69 @@
+// One-stop framework object: device + overlay + compiler + power.
+#pragma once
+
+#include <string>
+
+#include "arch/overlay_config.h"
+#include "compiler/scheduler.h"
+#include "dram/dram_power.h"
+#include "fpga/device.h"
+#include "power/fpga_power.h"
+#include "timing/timing_analyzer.h"
+
+namespace ftdl {
+
+/// How the framework chooses the operating clock.
+enum class ClockPolicy {
+  Keep,         ///< use the clock already in the overlay config
+  DeriveFloor,  ///< run placement + timing, round the achieved CLKh down to
+                ///< a 50 MHz grid (how the paper arrives at 650 MHz)
+};
+
+struct FrameworkOptions {
+  std::string device_name = "xcvu125";
+  arch::OverlayConfig config;  ///< defaults to the Table II example
+  ClockPolicy clock_policy = ClockPolicy::Keep;
+  compiler::Objective objective = compiler::Objective::Performance;
+  std::int64_t search_budget_per_layer = 200'000;
+  int dram_channels = 2;
+  dram::DramSpec dram_spec = dram::DramSpec::ddr4_2400();
+};
+
+/// End-to-end evaluation of one network on the configured overlay.
+struct NetworkReport {
+  compiler::NetworkSchedule schedule;
+  dram::DramReport dram;
+  power::PowerBreakdown power;
+
+  double fps() const { return schedule.fps(); }
+  double effective_gops() const { return schedule.effective_gops(); }
+  double gops_per_w() const {
+    return power::power_efficiency_gops_per_w(effective_gops(), power);
+  }
+};
+
+class Framework {
+ public:
+  /// Builds the overlay on the device: validates the configuration, places
+  /// it, runs timing, and (optionally) derives the operating clock.
+  /// Throws ftdl::ConfigError when the overlay does not fit the device.
+  explicit Framework(FrameworkOptions options);
+
+  const fpga::Device& device() const { return device_; }
+  const arch::OverlayConfig& config() const { return options_.config; }
+  const timing::TimingReport& timing() const { return timing_; }
+  const FrameworkOptions& options() const { return options_; }
+
+  /// Compiles one overlay layer (search + lowering).
+  compiler::LayerProgram compile(const nn::Layer& layer) const;
+
+  /// Schedules a whole network and rolls up DRAM + FPGA power.
+  NetworkReport evaluate(const nn::Network& net) const;
+
+ private:
+  FrameworkOptions options_;
+  fpga::Device device_;
+  timing::TimingReport timing_;
+};
+
+}  // namespace ftdl

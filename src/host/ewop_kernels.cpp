@@ -1,0 +1,102 @@
+#include "host/ewop_kernels.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace ftdl::host {
+
+namespace {
+
+constexpr int kLutBits = 9;  // 512 intervals, 513 knots
+constexpr int kLutSize = 1 << kLutBits;
+
+/// Knot table for f over the Q4.12 input range [-8, 8]; lookups linearly
+/// interpolate between knots, keeping the error well under one output LSB
+/// of typical gate activations.
+std::array<std::int16_t, kLutSize + 1> build_lut(double (*f)(double)) {
+  std::array<std::int16_t, kLutSize + 1> lut{};
+  for (int i = 0; i <= kLutSize; ++i) {
+    const double x_fixed = double(i) / kLutSize * 65536.0 - 32768.0;
+    const double x = x_fixed / double(1 << kGateInFracBits);
+    const double y = f(x);
+    lut[static_cast<std::size_t>(i)] = static_cast<std::int16_t>(std::clamp(
+        std::lround(y * double(1 << kGateOutFracBits)),
+        long(std::numeric_limits<std::int16_t>::min()),
+        long(std::numeric_limits<std::int16_t>::max())));
+  }
+  return lut;
+}
+
+double sigmoid_d(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+double tanh_d(double x) { return std::tanh(x); }
+
+std::int16_t lookup(const std::array<std::int16_t, kLutSize + 1>& lut,
+                    std::int16_t x) {
+  const int u = int(x) + 32768;                    // 0 .. 65535
+  const int idx = u >> (16 - kLutBits);            // knot index
+  const int frac = u & ((1 << (16 - kLutBits)) - 1);
+  const int a = lut[static_cast<std::size_t>(idx)];
+  const int b = lut[static_cast<std::size_t>(idx + 1)];
+  return static_cast<std::int16_t>(
+      a + ((b - a) * frac >> (16 - kLutBits)));
+}
+
+}  // namespace
+
+std::int16_t sat_add(std::int16_t a, std::int16_t b) {
+  return requantize(acc_t{a} + acc_t{b}, 0);
+}
+
+std::int16_t sigmoid_q(std::int16_t x) {
+  static const auto lut = build_lut(sigmoid_d);
+  return lookup(lut, x);
+}
+
+std::int16_t tanh_q(std::int16_t x) {
+  static const auto lut = build_lut(tanh_d);
+  return lookup(lut, x);
+}
+
+void relu_inplace(nn::Tensor16& t) {
+  for (std::int64_t i = 0; i < t.size(); ++i) t[i] = relu(t[i]);
+}
+
+nn::Tensor16 add(const nn::Tensor16& a, const nn::Tensor16& b) {
+  FTDL_ASSERT(a.dims() == b.dims());
+  nn::Tensor16 out(a.dims());
+  for (std::int64_t i = 0; i < a.size(); ++i) out[i] = sat_add(a[i], b[i]);
+  return out;
+}
+
+void lstm_cell_update(const nn::Tensor16& pre_i, const nn::Tensor16& pre_f,
+                      const nn::Tensor16& pre_g, const nn::Tensor16& pre_o,
+                      LstmCellState& state) {
+  FTDL_ASSERT(pre_i.dims() == pre_f.dims() && pre_f.dims() == pre_g.dims() &&
+              pre_g.dims() == pre_o.dims());
+  FTDL_ASSERT(state.c.dims() == pre_i.dims());
+  FTDL_ASSERT(state.h.dims() == pre_i.dims());
+
+  for (std::int64_t k = 0; k < pre_i.size(); ++k) {
+    const acc_t i_g = sigmoid_q(pre_i[k]);  // Q1.14
+    const acc_t f_g = sigmoid_q(pre_f[k]);
+    const acc_t g_g = tanh_q(pre_g[k]);
+    const acc_t o_g = sigmoid_q(pre_o[k]);
+
+    // c' = f*c + i*g, with products rescaled back to Q4.12.
+    const acc_t fc = (f_g * acc_t{state.c[k]}) >> kGateOutFracBits;
+    const acc_t ig = (i_g * g_g) >> (2 * kGateOutFracBits - kGateInFracBits);
+    const std::int16_t c_new = requantize(fc + ig, 0);
+    state.c[k] = c_new;
+
+    // h' = o * tanh(c'), rescaled to Q4.12.
+    const acc_t th = tanh_q(c_new);  // Q1.14
+    state.h[k] = requantize(
+        (o_g * th) >> (2 * kGateOutFracBits - kGateInFracBits), 0);
+  }
+}
+
+}  // namespace ftdl::host

@@ -1,0 +1,45 @@
+// Host-side element-wise kernels on the int16 quantized domain.
+//
+// The EWOP class of Table I runs on the host CPU (Sec. II-A): activations,
+// residual adds, pooling, and — for LSTMs — the gate nonlinearities. The
+// nonlinearities use 512-entry lookup tables over Q4.12 inputs producing
+// Q1.14 outputs, the standard fixed-point treatment on embedded hosts.
+#pragma once
+
+#include <cstdint>
+
+#include "common/fixed_point.h"
+#include "nn/tensor.h"
+
+namespace ftdl::host {
+
+/// Fixed-point formats of the LSTM cell kernels.
+inline constexpr int kGateInFracBits = 12;   ///< Q4.12 gate pre-activation
+inline constexpr int kGateOutFracBits = 14;  ///< Q1.14 gate activation
+
+/// Saturating int16 addition.
+std::int16_t sat_add(std::int16_t a, std::int16_t b);
+
+/// LUT sigmoid: Q4.12 in -> Q1.14 out, monotone, sigmoid(0) = 0.5.
+std::int16_t sigmoid_q(std::int16_t x);
+
+/// LUT tanh: Q4.12 in -> Q1.14 out, odd function, tanh(0) = 0.
+std::int16_t tanh_q(std::int16_t x);
+
+/// Element-wise tensor ops (all saturating).
+void relu_inplace(nn::Tensor16& t);
+nn::Tensor16 add(const nn::Tensor16& a, const nn::Tensor16& b);
+
+/// One LSTM cell update on the quantized domain:
+///   c' = f*c + i*g ; h' = o * tanh(c')
+/// where i/f/o are sigmoid(pre) and g is tanh(pre), all Q4.12 inputs.
+/// `c` is Q4.12 state. Returns h' in Q1.14-scaled-back-to-Q4.12.
+struct LstmCellState {
+  nn::Tensor16 c;  ///< cell state, Q4.12
+  nn::Tensor16 h;  ///< hidden state, Q4.12
+};
+void lstm_cell_update(const nn::Tensor16& pre_i, const nn::Tensor16& pre_f,
+                      const nn::Tensor16& pre_g, const nn::Tensor16& pre_o,
+                      LstmCellState& state);
+
+}  // namespace ftdl::host

@@ -1,0 +1,68 @@
+#include "host/host_pipeline.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace ftdl::host {
+
+namespace {
+
+/// Total host EWOP ops of the network (pool/ewop layers + fused ReLUs).
+std::int64_t total_ewop_ops(const nn::Network& net) {
+  std::int64_t ops = 0;
+  for (const nn::Layer& l : net.layers()) ops += l.ewop_ops();
+  return ops;
+}
+
+}  // namespace
+
+PipelineReport evaluate_pipeline(const nn::Network& net,
+                                 const compiler::NetworkSchedule& schedule,
+                                 const HostModel& host) {
+  FTDL_ASSERT(host.ewop_ops_per_sec > 0);
+
+  PipelineReport r;
+  r.overlay_seconds = schedule.seconds_per_frame();
+  r.host_seconds = double(total_ewop_ops(net)) / host.ewop_ops_per_sec;
+  r.frame_seconds = std::max(r.overlay_seconds, r.host_seconds);
+  r.host_over_overlay = r.host_seconds / r.overlay_seconds;
+  r.ewop_bounds_throughput = r.host_seconds > r.overlay_seconds;
+
+  // Worst per-stage imbalance: host work attached to overlay layer i (its
+  // fused ReLU plus following host layers until the next overlay layer) vs
+  // that overlay layer's time.
+  const double clk = schedule.config.clocks.clk_h_hz;
+  std::size_t prog_idx = 0;
+  double stage_host_ops = 0.0;
+  double stage_overlay_s = 0.0;
+  double worst = 0.0;
+  auto close_stage = [&] {
+    if (stage_overlay_s > 0.0) {
+      worst = std::max(
+          worst, (stage_host_ops / host.ewop_ops_per_sec) / stage_overlay_s);
+    }
+    stage_host_ops = 0.0;
+    stage_overlay_s = 0.0;
+  };
+  for (const nn::Layer& l : net.layers()) {
+    if (l.on_overlay()) {
+      close_stage();
+      FTDL_ASSERT(prog_idx < schedule.layers.size());
+      stage_overlay_s =
+          double(schedule.layers[prog_idx].total_cycles()) * l.repeat / clk;
+      ++prog_idx;
+    }
+    stage_host_ops += double(l.ewop_ops());
+  }
+  close_stage();
+  r.worst_stage_ratio = worst;
+  return r;
+}
+
+double required_host_ops_per_sec(const nn::Network& net,
+                                 const compiler::NetworkSchedule& schedule) {
+  return double(total_ewop_ops(net)) / schedule.seconds_per_frame();
+}
+
+}  // namespace ftdl::host

@@ -1,0 +1,44 @@
+// Host-CPU EWOP pipeline model (Sec. V-A: "the EWOP layers were allocated
+// to host CPU, and the performance was not bounded by these layers").
+//
+// The overlay and the host process consecutive layers in a pipeline: while
+// the overlay computes CONV/MM of layer i, the host applies layer i-1's
+// activations / pooling / residual work. Throughput is bounded by the
+// slower stage. This model checks — rather than assumes — the paper's
+// claim, and finds the host speed at which it would break.
+#pragma once
+
+#include "compiler/scheduler.h"
+
+namespace ftdl::host {
+
+struct HostModel {
+  /// Sustained element-wise throughput of the host CPU (ops/s). A modest
+  /// 4-core CPU with 128-bit SIMD on int16 sustains tens of Gops/s.
+  double ewop_ops_per_sec = 20e9;
+};
+
+struct PipelineReport {
+  double overlay_seconds = 0.0;   ///< per frame, all CONV/MM
+  double host_seconds = 0.0;      ///< per frame, all EWOP
+  /// Pipelined frame time: max of the two stages (steady state).
+  double frame_seconds = 0.0;
+  bool ewop_bounds_throughput = false;
+  /// Host/overlay time ratio; < 1 means the paper's claim holds.
+  double host_over_overlay = 0.0;
+  /// Slowest single host stage vs the matching overlay stage (worst-case
+  /// per-layer imbalance within the pipeline).
+  double worst_stage_ratio = 0.0;
+};
+
+/// Evaluates a scheduled network against a host model.
+PipelineReport evaluate_pipeline(const nn::Network& net,
+                                 const compiler::NetworkSchedule& schedule,
+                                 const HostModel& host);
+
+/// The minimum host throughput (ops/s) at which EWOP stops bounding the
+/// frame rate for this schedule.
+double required_host_ops_per_sec(const nn::Network& net,
+                                 const compiler::NetworkSchedule& schedule);
+
+}  // namespace ftdl::host

@@ -1,0 +1,75 @@
+#include "host/lstm_runner.h"
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace ftdl::host {
+
+namespace {
+
+/// Exact gate matmul: acc[n] = sum_m W[n][m] * v[m], requantized by shift.
+nn::Tensor16 gate_matmul(const nn::Tensor16& w, const nn::Tensor16& x,
+                         const nn::Tensor16& h, int shift) {
+  const int n_dim = w.dims()[0];
+  const int m_dim = w.dims()[1];
+  FTDL_ASSERT(x.size() + h.size() == m_dim);
+  nn::Tensor16 out({n_dim});
+  for (int n = 0; n < n_dim; ++n) {
+    acc_t acc = 0;
+    for (std::int64_t m = 0; m < x.size(); ++m) {
+      acc = macc(acc, w.at(n, static_cast<int>(m)), x[m]);
+    }
+    for (std::int64_t m = 0; m < h.size(); ++m) {
+      acc = macc(acc, w.at(n, static_cast<int>(x.size() + m)), h[m]);
+    }
+    out[n] = requantize(saturate48(acc), shift);
+  }
+  return out;
+}
+
+}  // namespace
+
+LstmWeights LstmWeights::random_for(const LstmSpec& spec, std::uint64_t seed) {
+  Rng rng(seed);
+  LstmWeights w;
+  const std::vector<int> dims = {spec.hidden_size,
+                                 spec.input_size + spec.hidden_size};
+  for (nn::Tensor16* t : {&w.w_i, &w.w_f, &w.w_g, &w.w_o}) {
+    *t = nn::Tensor16(dims);
+    t->fill_random(rng, 15);
+  }
+  return w;
+}
+
+std::vector<nn::Tensor16> run_lstm_sequence(
+    const LstmSpec& spec, const LstmWeights& weights,
+    const std::vector<nn::Tensor16>& inputs) {
+  if (spec.input_size <= 0 || spec.hidden_size <= 0)
+    throw ConfigError("LSTM sizes must be positive");
+  for (const nn::Tensor16* t :
+       {&weights.w_i, &weights.w_f, &weights.w_g, &weights.w_o}) {
+    if (t->dims() !=
+        std::vector<int>{spec.hidden_size, spec.input_size + spec.hidden_size})
+      throw ConfigError("LSTM weight shape mismatch");
+  }
+
+  LstmCellState state{nn::Tensor16({spec.hidden_size}),
+                      nn::Tensor16({spec.hidden_size})};
+  std::vector<nn::Tensor16> outputs;
+  outputs.reserve(inputs.size());
+
+  for (const nn::Tensor16& x : inputs) {
+    if (x.dims() != std::vector<int>{spec.input_size})
+      throw ConfigError("LSTM input vector shape mismatch");
+    const int s = spec.pre_activation_shift;
+    const nn::Tensor16 pre_i = gate_matmul(weights.w_i, x, state.h, s);
+    const nn::Tensor16 pre_f = gate_matmul(weights.w_f, x, state.h, s);
+    const nn::Tensor16 pre_g = gate_matmul(weights.w_g, x, state.h, s);
+    const nn::Tensor16 pre_o = gate_matmul(weights.w_o, x, state.h, s);
+    lstm_cell_update(pre_i, pre_f, pre_g, pre_o, state);
+    outputs.push_back(state.h);
+  }
+  return outputs;
+}
+
+}  // namespace ftdl::host

@@ -1,0 +1,40 @@
+// Quantized LSTM sequence execution.
+//
+// The overlay computes the gate matrices (MM workloads, Table I's seqLSTM);
+// the host applies the cell nonlinearities (ewop_kernels.h). This runner
+// executes a whole sequence the way the deployed system would: per step,
+// four W[H][I+H] x [x_t ; h_{t-1}] products in exact int16/wide arithmetic,
+// requantized to Q4.12 gate pre-activations, then the LUT-based cell update.
+#pragma once
+
+#include <vector>
+
+#include "host/ewop_kernels.h"
+#include "nn/tensor.h"
+
+namespace ftdl::host {
+
+struct LstmSpec {
+  int input_size = 0;
+  int hidden_size = 0;
+  /// Right-shift applied to the gate matmul accumulators to land in Q4.12.
+  int pre_activation_shift = 8;
+};
+
+/// Gate weights, reference MM layout W[N][M] with N = hidden, M = input +
+/// hidden (x first, then h).
+struct LstmWeights {
+  nn::Tensor16 w_i, w_f, w_g, w_o;
+
+  /// Deterministic random weights for a spec.
+  static LstmWeights random_for(const LstmSpec& spec, std::uint64_t seed);
+};
+
+/// Runs `inputs` (one {input_size} vector per step, Q4.12) through the cell;
+/// returns h_t per step (Q4.12). State starts at zero. Throws
+/// ftdl::ConfigError on shape mismatches.
+std::vector<nn::Tensor16> run_lstm_sequence(const LstmSpec& spec,
+                                            const LstmWeights& weights,
+                                            const std::vector<nn::Tensor16>& inputs);
+
+}  // namespace ftdl::host

@@ -1,0 +1,162 @@
+#include "multifpga/partition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace ftdl::multifpga {
+
+namespace {
+
+struct LayerCost {
+  std::int64_t cycles = 0;
+  std::int64_t words = 0;
+  double egress_bytes = 0.0;  ///< activation bytes if a cut follows this layer
+};
+
+std::vector<LayerCost> layer_costs(const compiler::NetworkSchedule& schedule) {
+  std::vector<LayerCost> costs;
+  costs.reserve(schedule.layers.size());
+  for (const compiler::LayerProgram& p : schedule.layers) {
+    LayerCost c;
+    c.cycles = p.total_cycles() * p.layer.repeat;
+    c.words = resident_words(p);
+    c.egress_bytes = 2.0 * double(p.layer.out_elems());
+    costs.push_back(c);
+  }
+  return costs;
+}
+
+}  // namespace
+
+std::int64_t resident_words(const compiler::LayerProgram& prog) {
+  const double e = std::max(prog.perf.e_wbuf, 1e-9);
+  // One weight group resident at a time for group-split layers.
+  return static_cast<std::int64_t>(std::ceil(
+      double(prog.layer.weight_count()) / e / double(prog.weight_groups)));
+}
+
+std::int64_t device_weight_capacity(const arch::OverlayConfig& config) {
+  return std::int64_t{config.tpes()} * config.wbuf_words;
+}
+
+MultiFpgaPlan partition_pipeline(const compiler::NetworkSchedule& schedule,
+                                 int num_devices, const LinkModel& link) {
+  if (num_devices < 1) throw ConfigError("need at least one device");
+  if (schedule.layers.empty()) throw ConfigError("empty schedule");
+
+  const auto costs = layer_costs(schedule);
+  const std::size_t n = costs.size();
+  const int k = std::min<int>(num_devices, static_cast<int>(n));
+  const double clk = schedule.config.clocks.clk_h_hz;
+  const std::int64_t capacity = device_weight_capacity(schedule.config);
+
+  // Stage time of layers [i, j]: compute plus the link transfer of the
+  // boundary activation (overlapped designs would hide it; we charge it to
+  // the producing stage as the conservative bound).
+  auto stage_seconds = [&](std::size_t i, std::size_t j, bool last) {
+    std::int64_t cyc = 0;
+    for (std::size_t t = i; t <= j; ++t) cyc += costs[t].cycles;
+    double s = double(cyc) / clk;
+    if (!last) s += costs[j].egress_bytes / link.bytes_per_sec;
+    return s;
+  };
+  auto stage_words = [&](std::size_t i, std::size_t j) {
+    std::int64_t w = 0;
+    for (std::size_t t = i; t <= j; ++t) w += costs[t].words;
+    return w;
+  };
+
+  // DP over (first i layers, s stages): minimize the bottleneck, with a
+  // large penalty for capacity violations so resident partitions win when
+  // they exist. dp[s][i] = best bottleneck for layers [0, i) in s stages.
+  constexpr double kViolation = 1e6;  // seconds; dwarfs any real stage
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<std::vector<double>> dp(
+      static_cast<std::size_t>(k) + 1, std::vector<double>(n + 1, inf));
+  std::vector<std::vector<std::size_t>> cut(
+      static_cast<std::size_t>(k) + 1, std::vector<std::size_t>(n + 1, 0));
+  dp[0][0] = 0.0;
+
+  for (int s = 1; s <= k; ++s) {
+    const auto su = static_cast<std::size_t>(s);
+    for (std::size_t i = su; i <= n; ++i) {
+      for (std::size_t j = su - 1; j < i; ++j) {  // previous cut at j
+        if (dp[su - 1][j] == inf) continue;
+        double t = stage_seconds(j, i - 1, /*last=*/i == n && s == k);
+        if (stage_words(j, i - 1) > capacity) t += kViolation;
+        const double bottleneck = std::max(dp[su - 1][j], t);
+        if (bottleneck < dp[su][i]) {
+          dp[su][i] = bottleneck;
+          cut[su][i] = j;
+        }
+      }
+    }
+  }
+
+  // Fewer devices than requested can be better never (monotone), but a
+  // stage per device is not mandatory: pick the best stage count <= k.
+  int best_s = k;
+  for (int s = 1; s <= k; ++s) {
+    if (dp[static_cast<std::size_t>(s)][n] <
+        dp[static_cast<std::size_t>(best_s)][n]) {
+      best_s = s;
+    }
+  }
+
+  MultiFpgaPlan plan;
+  // Recover cuts.
+  std::vector<std::size_t> bounds;  // stage end indices (exclusive)
+  std::size_t pos = n;
+  for (int s = best_s; s >= 1; --s) {
+    bounds.push_back(pos);
+    pos = cut[static_cast<std::size_t>(s)][pos];
+  }
+  std::reverse(bounds.begin(), bounds.end());
+
+  std::size_t first = 0;
+  plan.weights_resident = true;
+  double sum_stage = 0.0;
+  for (std::size_t s = 0; s < bounds.size(); ++s) {
+    StagePlan st;
+    st.device_index = static_cast<int>(s);
+    st.first_layer = first;
+    st.last_layer = bounds[s] - 1;
+    for (std::size_t t = first; t < bounds[s]; ++t) st.cycles += costs[t].cycles;
+    st.resident_weight_words = stage_words(first, bounds[s] - 1);
+    st.egress_bytes =
+        (s + 1 < bounds.size()) ? costs[bounds[s] - 1].egress_bytes : 0.0;
+    if (st.resident_weight_words > capacity) plan.weights_resident = false;
+
+    const double t =
+        stage_seconds(first, bounds[s] - 1, s + 1 == bounds.size());
+    plan.bottleneck_seconds = std::max(plan.bottleneck_seconds, t);
+    sum_stage += t;
+    plan.latency_seconds += t + (s + 1 < bounds.size() ? link.hop_latency_s : 0.0);
+    plan.stages.push_back(st);
+    first = bounds[s];
+  }
+  plan.fps = 1.0 / plan.bottleneck_seconds;
+  plan.balance = sum_stage / (double(plan.stages.size()) * plan.bottleneck_seconds);
+  return plan;
+}
+
+int min_devices_for_residency(const compiler::NetworkSchedule& schedule,
+                              const LinkModel& link) {
+  const std::int64_t capacity = device_weight_capacity(schedule.config);
+  for (const compiler::LayerProgram& p : schedule.layers) {
+    if (resident_words(p) > capacity) {
+      throw InfeasibleError(p.layer.name +
+                            " alone exceeds one device's WBUF capacity");
+    }
+  }
+  const int max_devices = static_cast<int>(schedule.layers.size());
+  for (int d = 1; d <= max_devices; ++d) {
+    if (partition_pipeline(schedule, d, link).weights_resident) return d;
+  }
+  throw InternalError("one layer per device must be resident");
+}
+
+}  // namespace ftdl::multifpga

@@ -1,0 +1,73 @@
+// Multi-FPGA model partitioning (Sec. II-B1).
+//
+// One vu125 holds ~2.4 M WBUF words (1200 TPEs x 1024 x 16-bit = 2.4 MB x 2),
+// far below GoogLeNet's ~7 M or ResNet50's ~25.5 M weight words — so a
+// single device cannot keep a whole model weight-stationary. The paper's
+// answer is a multi-FPGA pipeline (citing Brainwave [14]): the layer
+// sequence is split into contiguous stages, one device per stage, weights of
+// each stage resident in that device's WBUFs, activations streamed over
+// inter-FPGA links.
+//
+// This module plans such pipelines: an exact DP partitioner minimizes the
+// bottleneck stage time (compute or link) subject to per-device weight
+// residency, and reports throughput/latency/balance.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "compiler/scheduler.h"
+
+namespace ftdl::multifpga {
+
+/// Inter-FPGA link (e.g. 100G serial): bandwidth plus a fixed hop latency.
+struct LinkModel {
+  double bytes_per_sec = 12.5e9;  ///< 100 Gbit/s
+  double hop_latency_s = 2e-6;
+};
+
+/// One pipeline stage = a contiguous run of overlay layers on one device.
+struct StagePlan {
+  int device_index = 0;
+  std::size_t first_layer = 0;  ///< index into schedule.layers
+  std::size_t last_layer = 0;   ///< inclusive
+  std::int64_t cycles = 0;      ///< stage compute per frame
+  std::int64_t resident_weight_words = 0;  ///< incl. E_WBUF duplication
+  double egress_bytes = 0.0;    ///< activation tensor shipped to next stage
+
+  double compute_seconds(double clk_hz) const { return double(cycles) / clk_hz; }
+};
+
+struct MultiFpgaPlan {
+  std::vector<StagePlan> stages;
+  double fps = 0.0;                 ///< 1 / bottleneck stage time
+  double latency_seconds = 0.0;     ///< one frame through the whole pipeline
+  double bottleneck_seconds = 0.0;
+  bool weights_resident = false;    ///< every stage fits its device's WBUFs
+  double balance = 0.0;             ///< mean/max stage time (1.0 = perfect)
+};
+
+/// Weight words a scheduled layer must hold *simultaneously*: unique
+/// weights inflated by E_WBUF duplication, divided by the layer's weight
+/// groups (a group-split layer keeps one group resident at a time and
+/// reloads between groups — such layers are weight-stationary per group,
+/// not per layer; see DESIGN.md §4).
+std::int64_t resident_words(const compiler::LayerProgram& prog);
+
+/// Total WBUF words of one device running `config`.
+std::int64_t device_weight_capacity(const arch::OverlayConfig& config);
+
+/// Plans a pipeline over `num_devices` identical devices. Throws
+/// ftdl::ConfigError for num_devices < 1 or an empty schedule. If no
+/// partition keeps every stage resident, the plan minimizing the bottleneck
+/// is returned with weights_resident = false.
+MultiFpgaPlan partition_pipeline(const compiler::NetworkSchedule& schedule,
+                                 int num_devices, const LinkModel& link = {});
+
+/// Smallest device count whose best partition keeps all weights resident
+/// (bounded by one layer per device; throws InfeasibleError if even that
+/// fails because a single layer exceeds one device's capacity).
+int min_devices_for_residency(const compiler::NetworkSchedule& schedule,
+                              const LinkModel& link = {});
+
+}  // namespace ftdl::multifpga

@@ -1,0 +1,73 @@
+// GoogLeNet (Szegedy et al., CVPR'15, Table 1) at 224x224, batch 1, with the
+// full inception dataflow graph (branches + channel concat).
+#include "nn/model_zoo.h"
+
+namespace ftdl::nn {
+
+namespace {
+
+/// Appends one inception module reading from `in_name`; returns the output
+/// channel count. The module's output layer is named `tag`/concat.
+/// `c1` 1x1 path; `r3`->`c3` 3x3 path; `r5`->`c5` 5x5 path; `cp` pool proj.
+int inception(Network& net, const std::string& tag, const std::string& in_name,
+              int in_c, int hw, int c1, int r3, int c3, int r5, int c5,
+              int cp) {
+  net.add(with_inputs(make_conv(tag + "/1x1", in_c, hw, hw, c1, 1, 1, 0),
+                      {in_name}));
+  net.add(with_inputs(make_conv(tag + "/3x3_reduce", in_c, hw, hw, r3, 1, 1, 0),
+                      {in_name}));
+  net.add(make_conv(tag + "/3x3", r3, hw, hw, c3, 3, 1, 1));
+  net.add(with_inputs(make_conv(tag + "/5x5_reduce", in_c, hw, hw, r5, 1, 1, 0),
+                      {in_name}));
+  net.add(make_conv(tag + "/5x5", r5, hw, hw, c5, 5, 1, 2));
+  net.add(with_inputs(make_pool(tag + "/pool", in_c, hw, hw, 3, 1, 1),
+                      {in_name}));
+  net.add(make_conv(tag + "/pool_proj", in_c, hw, hw, cp, 1, 1, 0));
+  net.add(make_concat(tag + "/concat", {tag + "/1x1", tag + "/3x3",
+                                        tag + "/5x5", tag + "/pool_proj"}));
+  return c1 + c3 + c5 + cp;
+}
+
+}  // namespace
+
+Network googlenet() {
+  Network net("GoogLeNet");
+
+  net.add(make_conv("conv1/7x7_s2", 3, 224, 224, 64, 7, 2, 3));
+  net.add(make_pool("pool1/3x3_s2", 64, 112, 112, 3, 2, 1));
+  net.add(make_conv("conv2/3x3_reduce", 64, 56, 56, 64, 1, 1, 0));
+  net.add(make_conv("conv2/3x3", 64, 56, 56, 192, 3, 1, 1));
+  net.add(make_pool("pool2/3x3_s2", 192, 56, 56, 3, 2, 1));
+
+  int c = inception(net, "inception_3a", "pool2/3x3_s2", 192, 28, 64, 96, 128,
+                    16, 32, 32);
+  c = inception(net, "inception_3b", "inception_3a/concat", c, 28, 128, 128,
+                192, 32, 96, 64);
+  net.add(make_pool("pool3/3x3_s2", c, 28, 28, 3, 2, 1));
+
+  c = inception(net, "inception_4a", "pool3/3x3_s2", c, 14, 192, 96, 208, 16,
+                48, 64);
+  c = inception(net, "inception_4b", "inception_4a/concat", c, 14, 160, 112,
+                224, 24, 64, 64);
+  c = inception(net, "inception_4c", "inception_4b/concat", c, 14, 128, 128,
+                256, 24, 64, 64);
+  c = inception(net, "inception_4d", "inception_4c/concat", c, 14, 112, 144,
+                288, 32, 64, 64);
+  c = inception(net, "inception_4e", "inception_4d/concat", c, 14, 256, 160,
+                320, 32, 128, 128);
+  net.add(make_pool("pool4/3x3_s2", c, 14, 14, 3, 2, 1));
+
+  c = inception(net, "inception_5a", "pool4/3x3_s2", c, 7, 256, 160, 320, 32,
+                128, 128);
+  c = inception(net, "inception_5b", "inception_5a/concat", c, 7, 384, 192,
+                384, 48, 128, 128);
+  Layer avg = make_pool("pool5/7x7_avg", c, 7, 7, 7, 1, 0);
+  avg.pool_op = PoolOp::Avg;
+  net.add(std::move(avg));
+
+  net.add(make_matmul("loss3/classifier", /*m=*/c, /*n=*/1000, /*p=*/1));
+  net.validate_graph();
+  return net;
+}
+
+}  // namespace ftdl::nn

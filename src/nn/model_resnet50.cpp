@@ -1,0 +1,75 @@
+// ResNet-50 (He et al., CVPR'16, Table 1) at 224x224, batch 1, with the
+// residual dataflow graph (projection shortcuts + add/ReLU).
+#include "nn/model_zoo.h"
+
+#include "common/str_util.h"
+
+namespace ftdl::nn {
+
+namespace {
+
+/// Appends one bottleneck block reading from `in_name` (1x1 reduce, 3x3,
+/// 1x1 expand + projection shortcut on the first block of a stage).
+/// The block's output layer is named `tag`/add_relu.
+int bottleneck(Network& net, const std::string& tag, const std::string& in_name,
+               int in_c, int hw_in, int mid_c, int out_c, int stride,
+               bool project) {
+  const int hw_out = hw_in / stride;
+  net.add(with_inputs(
+      make_conv(tag + "/conv1_1x1", in_c, hw_in, hw_in, mid_c, 1, stride, 0),
+      {in_name}));
+  net.add(make_conv(tag + "/conv2_3x3", mid_c, hw_out, hw_out, mid_c, 3, 1, 1));
+  // The final 1x1 has no fused ReLU: the residual add + ReLU is EWOP below.
+  net.add(make_conv(tag + "/conv3_1x1", mid_c, hw_out, hw_out, out_c, 1, 1, 0,
+                    /*relu=*/false));
+  std::string shortcut = in_name;
+  if (project) {
+    net.add(with_inputs(make_conv(tag + "/shortcut_1x1", in_c, hw_in, hw_in,
+                                  out_c, 1, stride, 0, /*relu=*/false),
+                        {in_name}));
+    shortcut = tag + "/shortcut_1x1";
+  }
+  net.add(make_add_relu(tag + "/add_relu",
+                        std::int64_t{out_c} * hw_out * hw_out,
+                        {tag + "/conv3_1x1", shortcut}));
+  return out_c;
+}
+
+/// A full stage of `blocks` bottlenecks; the first downsamples by `stride`.
+int stage(Network& net, const std::string& tag, int in_c, int& hw, int mid_c,
+          int out_c, int blocks, int stride) {
+  std::string in_name = net.layers().back().name;
+  int c = bottleneck(net, tag + "_1", in_name, in_c, hw, mid_c, out_c, stride,
+                     true);
+  hw /= stride;
+  for (int b = 2; b <= blocks; ++b) {
+    const std::string btag = strformat("%s_%d", tag.c_str(), b);
+    c = bottleneck(net, btag, net.layers().back().name, c, hw, mid_c, out_c, 1,
+                   false);
+  }
+  return c;
+}
+
+}  // namespace
+
+Network resnet50() {
+  Network net("ResNet50");
+
+  net.add(make_conv("conv1/7x7_s2", 3, 224, 224, 64, 7, 2, 3));
+  net.add(make_pool("pool1/3x3_s2", 64, 112, 112, 3, 2, 1));
+
+  int hw = 56;
+  int c = stage(net, "res2", 64, hw, 64, 256, 3, 1);
+  c = stage(net, "res3", c, hw, 128, 512, 4, 2);
+  c = stage(net, "res4", c, hw, 256, 1024, 6, 2);
+  c = stage(net, "res5", c, hw, 512, 2048, 3, 2);
+
+  Layer avg = make_pool("pool5/7x7_avg", c, 7, 7, 7, 1, 0);
+  avg.pool_op = PoolOp::Avg;
+  net.add(std::move(avg));
+  net.add(make_matmul("fc1000", /*m=*/c, /*n=*/1000, /*p=*/1));
+  net.validate_graph();
+  return net;
+}
+
+}  // namespace ftdl::nn

@@ -1,0 +1,42 @@
+// The MLPerf-derived model set of Table I, built layer-by-layer from the
+// original architecture papers (see DESIGN.md §4 note 7).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "nn/network.h"
+
+namespace ftdl::nn {
+
+/// GoogLeNet (Inception v1), 224x224 input: ~3.14 GOP, ~13.7 MB @16-bit.
+Network googlenet();
+
+/// ResNet50, 224x224 input: ~7.7 GOP, ~51 MB @16-bit.
+Network resnet50();
+
+/// AlphaGoZero-style residual policy/value net on a 19x19 board, sized to
+/// Table I's 2.08 MB weight budget.
+Network alphago_zero();
+
+/// Sentimental-seqCNN: 1D text CNN with an EWOP-heavy post-stage (Table I:
+/// 89.9% CONV / 0.15% MM / 10% EWOP, 345 KB weights).
+Network sentimental_seqcnn();
+
+/// Sentimental-seqLSTM: 2-layer LSTM, 1024 hidden (Table I: 99.9% MM,
+/// 39.9 MB weights).
+Network sentimental_seqlstm();
+
+/// MobileNetV1 (1.0, 224x224) — NOT part of Table I; included to study how
+/// depthwise-separable networks map to the overlay (poorly, by design:
+/// depthwise layers have no weight-only loop for the D2 columns).
+Network mobilenet_v1();
+
+/// All Table I models in row order.
+std::vector<Network> mlperf_models();
+
+/// Lookup by Table I name; throws ftdl::ConfigError for unknown names.
+Network model_by_name(const std::string& name);
+
+}  // namespace ftdl::nn

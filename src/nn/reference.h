@@ -1,0 +1,38 @@
+// Scalar reference executor for the quantized datapath.
+//
+// This is the functional ground truth: the cycle-level overlay simulator's
+// outputs are bit-compared against these loops in the test suite.
+#pragma once
+
+#include "nn/layer.h"
+#include "nn/tensor.h"
+
+namespace ftdl::nn {
+
+/// Exact int16 x int16 -> wide-accumulator convolution.
+/// input dims {in_c, in_h, in_w}; weights dims {out_c, in_c, kh, kw};
+/// result dims {out_c, out_h, out_w}. Padding contributes zeros.
+AccTensor conv2d_reference(const Layer& layer, const Tensor16& input,
+                           const Tensor16& weights);
+
+/// Exact depthwise convolution: input {C,H,W}, weights {C,kh,kw},
+/// result {C,out_h,out_w}.
+AccTensor depthwise_reference(const Layer& layer, const Tensor16& input,
+                              const Tensor16& weights);
+
+/// Exact matmul per paper convention: out[N][P] = sum_M W[N][M] * act[M][P].
+/// weights dims {N, M}; act dims {M, P}; result dims {N, P}.
+AccTensor matmul_reference(const Layer& layer, const Tensor16& act,
+                           const Tensor16& weights);
+
+/// Host-side EWOP: requantize accumulators to int16 with `shift`, apply
+/// ReLU when the layer requests it.
+Tensor16 requantize_output(const Layer& layer, const AccTensor& acc, int shift);
+
+/// Max pooling on int16 activations (host EWOP).
+Tensor16 maxpool_reference(const Layer& layer, const Tensor16& input);
+
+/// Average pooling on int16 activations (accumulate + divide).
+Tensor16 avgpool_reference(const Layer& layer, const Tensor16& input);
+
+}  // namespace ftdl::nn

@@ -1,0 +1,11 @@
+// Tensor is header-only; this TU pins the vtable-free template
+// instantiations used across the library to keep link-time object sizes
+// predictable on the single-core builder.
+#include "nn/tensor.h"
+
+namespace ftdl::nn {
+
+template class TensorT<std::int16_t>;
+template class TensorT<acc_t>;
+
+}  // namespace ftdl::nn

@@ -1,0 +1,72 @@
+#include "power/fpga_power.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace ftdl::power {
+
+PowerParams PowerParams::for_family(fpga::Family family) {
+  switch (family) {
+    case fpga::Family::Virtex7:
+      return PowerParams{
+          .dsp_mw_per_mhz = 0.034,
+          .bram18_mw_per_mhz = 0.028,
+          .clb_mw_per_mhz = 0.0009,
+          .clock_tree_w = 2.8,
+          .static_w = 3.2,
+      };
+    case fpga::Family::UltraScale:
+      return PowerParams{
+          .dsp_mw_per_mhz = 0.030,
+          .bram18_mw_per_mhz = 0.025,
+          .clb_mw_per_mhz = 0.0008,
+          .clock_tree_w = 2.5,
+          .static_w = 3.5,
+      };
+  }
+  throw InternalError("unknown family");
+}
+
+PowerBreakdown estimate_power(const fpga::Device& device,
+                              const arch::OverlayConfig& config,
+                              double activity, double dram_avg_w) {
+  FTDL_ASSERT(activity >= 0.0 && activity <= 1.0);
+  const PowerParams p = PowerParams::for_family(device.family);
+
+  const double clk_h_mhz = config.clocks.clk_h_hz / 1e6;
+  const double clk_l_mhz = config.clocks.clk_l_hz / 1e6;
+
+  // Resource counts mirror the placement model: one DSP + one WBUF BRAM18
+  // per TPE, PSumBUF BRAMs per SuperBlock, ~14 CLBs per TPE (ActBUF +
+  // pipeline registers) plus a controller block per SuperBlock row.
+  const double tpes = config.tpes();
+  const std::int64_t psum_brams =
+      (config.psumbuf_words * config.psum_bytes * 8 + 18 * 1024 - 1) /
+      (18 * 1024);
+  const double brams = tpes + double(config.superblocks() * psum_brams);
+  const double clbs = 14.0 * tpes + 80.0 * config.d3;
+
+  PowerBreakdown b;
+  b.dsp_w = tpes * clk_h_mhz * p.dsp_mw_per_mhz * activity * 1e-3;
+  // WBUF/PSumBUF run on the slow clock in a double-pumped design.
+  const double bram_mhz = config.double_pump ? clk_l_mhz : clk_h_mhz;
+  b.bram_w = brams * bram_mhz * p.bram18_mw_per_mhz * activity * 1e-3;
+  b.clb_w = clbs * clk_h_mhz * p.clb_mw_per_mhz * activity * 1e-3;
+  // Clock tree scales with the fabric fraction in use and the frequency.
+  const double fabric_fraction =
+      std::min(1.0, tpes / double(device.total_dsp()));
+  b.clock_w = p.clock_tree_w * fabric_fraction *
+              (config.clocks.clk_h_hz / device.timing.dsp_fmax_hz);
+  b.static_w = p.static_w;
+  b.dram_w = dram_avg_w;
+  return b;
+}
+
+double power_efficiency_gops_per_w(double effective_gops,
+                                   const PowerBreakdown& power) {
+  FTDL_ASSERT(power.total_w() > 0.0);
+  return effective_gops / power.total_w();
+}
+
+}  // namespace ftdl::power

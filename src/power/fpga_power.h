@@ -1,0 +1,51 @@
+// FPGA + system power model.
+//
+// Per-primitive dynamic power scales as count x frequency x toggle activity
+// (CV^2 f), plus clock-network and static components, plus the DRAM power
+// from the dram module. Coefficients are calibrated so the paper's example
+// design (1200 TPEs at 650 MHz, ~81% activity) lands in the reported
+// 45.8 W envelope, giving 27.6 GOPS/W (Table II).
+#pragma once
+
+#include "arch/overlay_config.h"
+#include "dram/dram_power.h"
+#include "fpga/device.h"
+
+namespace ftdl::power {
+
+/// Per-family dynamic coefficients (mW per instance per MHz at activity 1).
+struct PowerParams {
+  double dsp_mw_per_mhz = 0.0;
+  double bram18_mw_per_mhz = 0.0;   ///< at its own (CLKl) clock
+  double clb_mw_per_mhz = 0.0;      ///< per occupied CLB
+  double clock_tree_w = 0.0;        ///< distribution network at full fabric
+  double static_w = 0.0;            ///< device leakage
+
+  static PowerParams for_family(fpga::Family family);
+};
+
+struct PowerBreakdown {
+  double dsp_w = 0.0;
+  double bram_w = 0.0;
+  double clb_w = 0.0;
+  double clock_w = 0.0;
+  double static_w = 0.0;
+  double dram_w = 0.0;
+
+  double total_w() const {
+    return dsp_w + bram_w + clb_w + clock_w + static_w + dram_w;
+  }
+};
+
+/// Estimates the power of an overlay running at `activity` (the fraction of
+/// cycles the datapath toggles — the hardware efficiency is the natural
+/// choice) with `dram_avg_w` from the DRAM model.
+PowerBreakdown estimate_power(const fpga::Device& device,
+                              const arch::OverlayConfig& config,
+                              double activity, double dram_avg_w);
+
+/// GOPS/W figure of merit (Table II bottom row).
+double power_efficiency_gops_per_w(double effective_gops,
+                                   const PowerBreakdown& power);
+
+}  // namespace ftdl::power

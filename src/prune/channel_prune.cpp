@@ -1,0 +1,165 @@
+#include "prune/channel_prune.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/error.h"
+#include "common/math_util.h"
+
+namespace ftdl::prune {
+
+namespace {
+
+struct Shape {
+  int c = 0, h = 0, w = 0;
+  std::int64_t elems() const { return std::int64_t{c} * h * w; }
+};
+
+int rounded_keep(int channels, double ratio, int multiple) {
+  const int kept = static_cast<int>(std::ceil(channels * ratio));
+  const int rounded =
+      static_cast<int>(round_up(std::max(kept, 1), std::max(multiple, 1)));
+  return std::min(rounded, channels);
+}
+
+}  // namespace
+
+nn::Network prune_channels(const nn::Network& net, const PruneSpec& spec,
+                           PruneReport* report) {
+  if (spec.conv_keep_ratio <= 0.0 || spec.conv_keep_ratio > 1.0)
+    throw ConfigError("conv_keep_ratio must be in (0, 1]");
+  for (const auto& [name, r] : spec.overrides) {
+    if (r <= 0.0 || r > 1.0)
+      throw ConfigError("override keep ratio for " + name + " out of (0, 1]");
+    if (net.find(name) < 0)
+      throw ConfigError("override names unknown layer " + name);
+  }
+  net.validate_graph();
+
+  // Residual-safety: producers feeding an AddRelu keep full width.
+  std::unordered_set<std::string> protected_layers;
+  for (std::size_t i = 0; i < net.layers().size(); ++i) {
+    const nn::Layer& l = net.layers()[i];
+    if (l.kind == nn::LayerKind::Ewop && l.ewop_op == nn::EwopOp::AddRelu) {
+      for (const std::string& in : net.resolved_inputs(i)) {
+        protected_layers.insert(in);
+      }
+    }
+  }
+  // Inputs of protected Ewop/pool chains propagate protection backwards one
+  // hop at a time (a pool between a conv and the add still ties widths).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < net.layers().size(); ++i) {
+      const nn::Layer& l = net.layers()[i];
+      const bool passthrough = l.kind == nn::LayerKind::Pool ||
+                               (l.kind == nn::LayerKind::Ewop &&
+                                l.ewop_op == nn::EwopOp::Generic);
+      if (passthrough && protected_layers.contains(l.name)) {
+        for (const std::string& in : net.resolved_inputs(i)) {
+          changed |= protected_layers.insert(in).second;
+        }
+      }
+    }
+  }
+
+  PruneReport rep;
+  nn::Network out(net.name() + "-pruned");
+  std::unordered_map<std::string, Shape> shapes;
+
+  auto producer_shape = [&](const std::string& name,
+                            const nn::Layer& original) -> Shape {
+    if (name == nn::kNetworkInput) {
+      // The network input keeps the original layer's declared geometry.
+      return Shape{original.in_c, original.in_h, original.in_w};
+    }
+    auto it = shapes.find(name);
+    FTDL_ASSERT(it != shapes.end());
+    return it->second;
+  };
+
+  for (std::size_t i = 0; i < net.layers().size(); ++i) {
+    nn::Layer l = net.layers()[i];
+    const auto inputs = net.resolved_inputs(i);
+    rep.macs_before += l.macs() * l.repeat;
+    rep.weights_before += l.weight_count();
+
+    switch (l.kind) {
+      case nn::LayerKind::Conv: {
+        const Shape in = producer_shape(inputs[0], l);
+        l.in_c = in.c;
+        l.in_h = in.h;
+        l.in_w = in.w;
+        const bool is_output = (i + 1 == net.layers().size());
+        const bool keep_full =
+            protected_layers.contains(l.name) || is_output;
+        double ratio = spec.conv_keep_ratio;
+        if (auto it = spec.overrides.find(l.name); it != spec.overrides.end())
+          ratio = it->second;
+        if (keep_full) {
+          ++rep.layers_protected;
+        } else {
+          const int pruned =
+              rounded_keep(l.out_c, ratio, spec.channel_multiple);
+          if (pruned < l.out_c) ++rep.layers_pruned;
+          l.out_c = pruned;
+        }
+        shapes[l.name] = Shape{l.out_c, l.out_h(), l.out_w()};
+        break;
+      }
+      case nn::LayerKind::Depthwise: {
+        // Depthwise channels are tied to the producer: the layer follows
+        // whatever pruning its input received (one filter per channel).
+        const Shape in = producer_shape(inputs[0], l);
+        l.in_c = in.c;
+        l.out_c = in.c;
+        l.in_h = in.h;
+        l.in_w = in.w;
+        shapes[l.name] = Shape{l.in_c, l.out_h(), l.out_w()};
+        break;
+      }
+      case nn::LayerKind::Pool: {
+        const Shape in = producer_shape(inputs[0], l);
+        l.in_c = in.c;
+        l.in_h = in.h;
+        l.in_w = in.w;
+        shapes[l.name] = Shape{l.in_c, l.out_h(), l.out_w()};
+        break;
+      }
+      case nn::LayerKind::Concat: {
+        int c = 0;
+        Shape first = producer_shape(inputs[0], l);
+        for (const std::string& in : inputs) c += producer_shape(in, l).c;
+        shapes[l.name] = Shape{c, first.h, first.w};
+        break;
+      }
+      case nn::LayerKind::Ewop: {
+        // Element-wise op counts stay as declared (AddRelu producers are
+        // protected, so their widths are unchanged; Generic stages carry
+        // workload-level counts independent of pruning).
+        shapes[l.name] = producer_shape(inputs[0], l);
+        break;
+      }
+      case nn::LayerKind::MatMul: {
+        const Shape in = producer_shape(inputs[0], l);
+        if (in.c > 0) l.mm_m = in.elems();  // re-derive flattened width
+        shapes[l.name] =
+            Shape{static_cast<int>(l.mm_n), 1, static_cast<int>(l.mm_p)};
+        break;
+      }
+    }
+
+    rep.macs_after += l.macs() * l.repeat;
+    rep.weights_after += l.weight_count();
+    out.add(std::move(l));
+  }
+
+  out.validate_graph();
+  if (report) *report = rep;
+  return out;
+}
+
+}  // namespace ftdl::prune

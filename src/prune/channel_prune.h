@@ -1,0 +1,53 @@
+// Structured channel pruning (the paper's conclusion: FTDL is designed to
+// combine with "algorithm level acceleration techniques such as model
+// compression and quantization").
+//
+// Prunes convolution output channels by a keep ratio and propagates the
+// reduced widths through the dataflow graph: consumers' input channels
+// shrink, concat widths become the sum of pruned branches, pooling passes
+// channels through, and fully-connected input sizes are recomputed from the
+// pruned producer shape. Structured (whole-channel) pruning is the
+// FPGA-friendly variant — the overlay executes the smaller dense layer
+// directly, no sparse indexing needed.
+//
+// Residual-safety: layers feeding a residual add (EwopOp::AddRelu) keep
+// their full width so the two summands stay shape-compatible.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "nn/network.h"
+
+namespace ftdl::prune {
+
+struct PruneSpec {
+  /// Keep ratio applied to every prunable conv's output channels (0, 1].
+  double conv_keep_ratio = 1.0;
+  /// Kept channel counts are rounded up to a multiple of this (hardware-
+  /// friendly widths; 1 disables rounding).
+  int channel_multiple = 4;
+  /// Per-layer keep-ratio overrides by layer name.
+  std::map<std::string, double> overrides;
+};
+
+/// Statistics of a pruning pass.
+struct PruneReport {
+  std::int64_t macs_before = 0;
+  std::int64_t macs_after = 0;
+  std::int64_t weights_before = 0;
+  std::int64_t weights_after = 0;
+  int layers_pruned = 0;
+  int layers_protected = 0;  ///< kept full width for residual safety
+
+  double mac_reduction() const {
+    return 1.0 - double(macs_after) / double(macs_before);
+  }
+};
+
+/// Returns the pruned network (name suffixed "-pruned"). Throws
+/// ftdl::ConfigError on an invalid spec or graph.
+nn::Network prune_channels(const nn::Network& net, const PruneSpec& spec,
+                           PruneReport* report = nullptr);
+
+}  // namespace ftdl::prune

@@ -1,0 +1,159 @@
+#include "quant/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "nn/reference.h"
+
+namespace ftdl::quant {
+
+QuantParams calibrate(const TensorF& t, int bits) {
+  if (bits < 2 || bits > 16) throw ConfigError("quantization bits must be 2..16");
+  float maxabs = 0.0f;
+  for (std::int64_t i = 0; i < t.size(); ++i) {
+    maxabs = std::max(maxabs, std::abs(t[i]));
+  }
+  QuantParams p;
+  p.bits = bits;
+  const float top_code = float((1 << (bits - 1)) - 1);
+  p.scale = maxabs > 0.0f ? maxabs / top_code : 1.0f;
+  return p;
+}
+
+nn::Tensor16 quantize(const TensorF& t, const QuantParams& p) {
+  const long lo = -(1L << (p.bits - 1));
+  const long hi = (1L << (p.bits - 1)) - 1;
+  nn::Tensor16 out(t.dims());
+  for (std::int64_t i = 0; i < t.size(); ++i) {
+    const long code = std::lround(double(t[i]) / p.scale);
+    out[i] = static_cast<std::int16_t>(std::clamp(code, lo, hi));
+  }
+  return out;
+}
+
+TensorF dequantize(const nn::Tensor16& t, const QuantParams& p) {
+  TensorF out(t.dims());
+  for (std::int64_t i = 0; i < t.size(); ++i) {
+    out[i] = float(t[i]) * p.scale;
+  }
+  return out;
+}
+
+TensorF conv2d_float(const nn::Layer& layer, const TensorF& input,
+                     const TensorF& weights) {
+  FTDL_ASSERT(layer.kind == nn::LayerKind::Conv);
+  const int oh = layer.out_h(), ow = layer.out_w();
+  TensorF out({layer.out_c, oh, ow});
+  for (int m = 0; m < layer.out_c; ++m) {
+    for (int y = 0; y < oh; ++y) {
+      for (int x = 0; x < ow; ++x) {
+        double acc = 0.0;
+        for (int n = 0; n < layer.in_c; ++n) {
+          for (int r = 0; r < layer.kh; ++r) {
+            const int iy = y * layer.stride + r - layer.pad;
+            if (iy < 0 || iy >= layer.in_h) continue;
+            for (int s = 0; s < layer.kw; ++s) {
+              const int ix = x * layer.stride + s - layer.pad;
+              if (ix < 0 || ix >= layer.in_w) continue;
+              acc += double(weights.at(m, n, r, s)) * input.at(n, iy, ix);
+            }
+          }
+        }
+        out.at(m, y, x) = static_cast<float>(acc);
+      }
+    }
+  }
+  return out;
+}
+
+TensorF matmul_float(const nn::Layer& layer, const TensorF& act,
+                     const TensorF& weights) {
+  FTDL_ASSERT(layer.kind == nn::LayerKind::MatMul);
+  const int m_dim = static_cast<int>(layer.mm_m);
+  const int n_dim = static_cast<int>(layer.mm_n);
+  const int p_dim = static_cast<int>(layer.mm_p);
+  TensorF out({n_dim, p_dim});
+  for (int n = 0; n < n_dim; ++n) {
+    for (int p = 0; p < p_dim; ++p) {
+      double acc = 0.0;
+      for (int m = 0; m < m_dim; ++m) {
+        acc += double(weights.at(n, m)) * act.at(m, p);
+      }
+      out.at(n, p) = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+double sqnr_db(const TensorF& reference, const TensorF& test) {
+  if (reference.dims() != test.dims())
+    throw ConfigError("SQNR needs matching tensor shapes");
+  double signal = 0.0, noise = 0.0;
+  for (std::int64_t i = 0; i < reference.size(); ++i) {
+    signal += double(reference[i]) * reference[i];
+    const double e = double(reference[i]) - test[i];
+    noise += e * e;
+  }
+  if (noise == 0.0) return 200.0;
+  if (signal == 0.0) return 0.0;
+  return 10.0 * std::log10(signal / noise);
+}
+
+void fill_random_float(TensorF& t, std::uint64_t seed, float magnitude) {
+  Rng rng(seed);
+  for (std::int64_t i = 0; i < t.size(); ++i) {
+    // Triangular distribution on (-1, 1): sum of two uniforms, centred.
+    const double v = rng.uniform01() + rng.uniform01() - 1.0;
+    t[i] = static_cast<float>(v) * magnitude;
+  }
+}
+
+LayerQuantStudy study_layer(const nn::Layer& layer, int bits,
+                            std::uint64_t seed) {
+  LayerQuantStudy study;
+  study.bits = bits;
+
+  TensorF input_f, weights_f;
+  if (layer.kind == nn::LayerKind::Conv) {
+    input_f = TensorF({layer.in_c, layer.in_h, layer.in_w});
+    weights_f = TensorF({layer.out_c, layer.in_c, layer.kh, layer.kw});
+  } else if (layer.kind == nn::LayerKind::MatMul) {
+    input_f = TensorF({static_cast<int>(layer.mm_m),
+                       static_cast<int>(layer.mm_p)});
+    weights_f = TensorF({static_cast<int>(layer.mm_n),
+                         static_cast<int>(layer.mm_m)});
+  } else {
+    throw ConfigError(layer.name + ": quant study covers CONV and MM layers");
+  }
+  fill_random_float(input_f, seed);
+  fill_random_float(weights_f, seed + 1, 0.5f);
+
+  const QuantParams qa = calibrate(input_f, bits);
+  const QuantParams qw = calibrate(weights_f, bits);
+  const nn::Tensor16 input_q = quantize(input_f, qa);
+  const nn::Tensor16 weights_q = quantize(weights_f, qw);
+
+  study.weight_sqnr_db = sqnr_db(weights_f, dequantize(weights_q, qw));
+
+  // Exact integer path (what the overlay computes), rescaled to float by
+  // the product of the two scales.
+  const nn::AccTensor acc =
+      layer.kind == nn::LayerKind::Conv
+          ? nn::conv2d_reference(layer, input_q, weights_q)
+          : nn::matmul_reference(layer, input_q, weights_q);
+  TensorF out_q(acc.dims());
+  const double out_scale = double(qa.scale) * qw.scale;
+  for (std::int64_t i = 0; i < acc.size(); ++i) {
+    out_q[i] = static_cast<float>(double(acc[i]) * out_scale);
+  }
+
+  const TensorF out_f = layer.kind == nn::LayerKind::Conv
+                            ? conv2d_float(layer, input_f, weights_f)
+                            : matmul_float(layer, input_f, weights_f);
+  study.output_sqnr_db = sqnr_db(out_f, out_q);
+  return study;
+}
+
+}  // namespace ftdl::quant

@@ -1,0 +1,63 @@
+// Quantization study: why 16-bit fixed point is the paper's choice.
+//
+// Sec. II-B1 adopts 16-bit weight quantization "with the quantization
+// technique [13]". This module provides the float-domain reference path,
+// a symmetric max-abs quantizer at arbitrary bit widths, and SQNR
+// (signal-to-quantization-noise) measurement of the quantized datapath
+// against the float reference — so the 16-vs-8-bit trade the paper takes
+// for granted is measurable in this repository.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/layer.h"
+#include "nn/tensor.h"
+
+namespace ftdl::quant {
+
+/// Float tensors reuse the generic dense container.
+using TensorF = nn::TensorT<float>;
+
+/// Symmetric (zero-point-free) quantization parameters.
+struct QuantParams {
+  int bits = 16;      ///< total bits incl. sign, in [2, 16]
+  float scale = 1.0f; ///< float value of one LSB
+};
+
+/// Max-abs calibration: the largest magnitude maps to the top code.
+QuantParams calibrate(const TensorF& t, int bits);
+
+/// Quantizes to int16 codes (saturating round-to-nearest). Codes use the
+/// `bits`-wide range even though storage is int16 — exactly how a 16-bit
+/// datapath runs lower-precision models.
+nn::Tensor16 quantize(const TensorF& t, const QuantParams& p);
+
+/// Reconstructs float values from codes.
+TensorF dequantize(const nn::Tensor16& t, const QuantParams& p);
+
+/// Float-domain references mirroring nn::conv2d_reference / matmul layouts.
+TensorF conv2d_float(const nn::Layer& layer, const TensorF& input,
+                     const TensorF& weights);
+TensorF matmul_float(const nn::Layer& layer, const TensorF& act,
+                     const TensorF& weights);
+
+/// Signal-to-quantization-noise ratio in dB (+inf-free: returns 200 dB when
+/// the error is exactly zero). Throws ftdl::ConfigError on shape mismatch.
+double sqnr_db(const TensorF& reference, const TensorF& test);
+
+/// Fills a float tensor with a deterministic triangular(-1,1) sample —
+/// a stand-in for trained-weight/activation distributions.
+void fill_random_float(TensorF& t, std::uint64_t seed, float magnitude = 1.0f);
+
+/// End-to-end layer study: float reference vs the quantized integer path
+/// (weights and activations quantized at `bits`, exact integer MACs,
+/// result dequantized by the product scale).
+struct LayerQuantStudy {
+  int bits = 0;
+  double output_sqnr_db = 0.0;
+  double weight_sqnr_db = 0.0;
+};
+LayerQuantStudy study_layer(const nn::Layer& layer, int bits,
+                            std::uint64_t seed);
+
+}  // namespace ftdl::quant

@@ -1,0 +1,97 @@
+#include "roofline/roofline.h"
+
+#include "common/csv.h"
+#include "common/error.h"
+#include "common/str_util.h"
+
+namespace ftdl::roofline {
+
+namespace {
+
+/// Mean total-storage inflation of a scatter: practical WBUF bytes are
+/// unique-weights / E_WBUF, so 1/E_WBUF is the per-solution inflation.
+double mean_inflation(const std::vector<RooflinePoint>& pts) {
+  if (pts.empty()) return 0.0;
+  double sum = 0.0;
+  for (const RooflinePoint& p : pts) sum += 1.0 / std::max(p.e_wbuf, 1e-9);
+  return sum / double(pts.size());
+}
+
+double best_gops(const std::vector<RooflinePoint>& pts) {
+  double best = 0.0;
+  for (const RooflinePoint& p : pts) best = std::max(best, p.gops);
+  return best;
+}
+
+}  // namespace
+
+double RooflineStudy::wbuf_savings() const {
+  const double balance = mean_inflation(balance_points);
+  return balance > 0.0 ? mean_inflation(performance_points) / balance : 0.0;
+}
+
+double RooflineStudy::best_gops_performance() const {
+  return best_gops(performance_points);
+}
+
+double RooflineStudy::best_gops_balance() const {
+  return best_gops(balance_points);
+}
+
+RooflinePoint to_point(const compiler::Solution& s, const compiler::Workload& w,
+                       const arch::OverlayConfig& config) {
+  RooflinePoint p;
+  const double ops = 2.0 * double(w.macs());
+  const double bytes = s.perf.dram_rd_bytes + s.perf.dram_wr_bytes;
+  p.arithmetic_intensity = bytes > 0.0 ? ops / bytes : 0.0;
+  p.gops = ops / s.perf.seconds(config) / 1e9;
+  p.e_wbuf = s.perf.e_wbuf;
+  p.c_exe = s.perf.c_exe;
+  p.wbuf_words_per_tpe = s.perf.buffers.wbuf_words_per_tpe;
+  return p;
+}
+
+RooflineStudy run_roofline_study(const nn::Layer& layer,
+                                 const arch::OverlayConfig& config,
+                                 int top_k, std::int64_t max_candidates) {
+  const compiler::Workload w = compiler::Workload::from_layer(layer);
+
+  RooflineStudy study;
+  study.peak_gops = 2.0 * double(config.tpes()) * config.clocks.clk_h_hz / 1e9;
+  study.dram_gbps =
+      (config.dram_rd_bytes_per_sec + config.dram_wr_bytes_per_sec) / 1e9;
+
+  for (compiler::Objective obj :
+       {compiler::Objective::Performance, compiler::Objective::Balance}) {
+    compiler::SearchOptions opt;
+    opt.objective = obj;
+    opt.top_k = top_k;
+    opt.max_candidates = max_candidates;
+    const compiler::SearchResult r = compiler::search_mappings(w, config, opt);
+    auto& dst = (obj == compiler::Objective::Performance)
+                    ? study.performance_points
+                    : study.balance_points;
+    dst.reserve(r.top.size());
+    for (const compiler::Solution& s : r.top) {
+      dst.push_back(to_point(s, w, config));
+    }
+  }
+  return study;
+}
+
+std::string export_csv(const RooflineStudy& study, const std::string& path) {
+  CsvWriter csv(path, {"objective", "arithmetic_intensity", "gops", "e_wbuf",
+                       "c_exe", "wbuf_words_per_tpe"});
+  auto dump = [&csv](const char* tag, const std::vector<RooflinePoint>& pts) {
+    for (const RooflinePoint& p : pts) {
+      csv.row({tag, strformat("%.6g", p.arithmetic_intensity),
+               strformat("%.6g", p.gops), strformat("%.6g", p.e_wbuf),
+               std::to_string(p.c_exe), std::to_string(p.wbuf_words_per_tpe)});
+    }
+  };
+  dump("performance", study.performance_points);
+  dump("balance", study.balance_points);
+  return path;
+}
+
+}  // namespace ftdl::roofline

@@ -1,0 +1,57 @@
+// Roofline-based performance visualization (Sec. V-C1, Fig. 7).
+//
+// For a layer on a given overlay, each mapping solution becomes a point
+// (arithmetic intensity, attainable GOPS) colored by its WBUF efficiency.
+// The tool exports the top-k scatter for both objectives plus the roofline
+// itself (compute roof = 2 * #TPE * CLKh; memory roof = AI * DRAM bw), and
+// the WBUF-savings summary the paper highlights (Obj.2 saves ~5x WBUF over
+// Obj.1 at a slight performance loss).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "compiler/search.h"
+
+namespace ftdl::roofline {
+
+struct RooflinePoint {
+  double arithmetic_intensity = 0.0;  ///< ops per DRAM byte
+  double gops = 0.0;                  ///< attained throughput
+  double e_wbuf = 0.0;                ///< color axis of Fig. 7
+  std::int64_t c_exe = 0;
+  std::int64_t wbuf_words_per_tpe = 0;
+};
+
+struct RooflineStudy {
+  double peak_gops = 0.0;             ///< compute roof
+  /// Memory-roof slope: combined read+write channel bandwidth. With
+  /// separate RD/WR channels, time >= (rd+wr)/(bw_rd+bw_wr), so
+  /// GOPS <= AI * (bw_rd + bw_wr) holds rigorously.
+  double dram_gbps = 0.0;
+  std::vector<RooflinePoint> performance_points;  ///< Obj.1 top-k
+  std::vector<RooflinePoint> balance_points;      ///< Obj.2 top-k
+
+  /// WBUF storage savings of Obj.2 over Obj.1: the ratio of the two
+  /// scatters' mean storage inflation 1/E_WBUF (the paper's ~5x).
+  double wbuf_savings() const;
+  /// Best attainable GOPS under each objective.
+  double best_gops_performance() const;
+  double best_gops_balance() const;
+};
+
+/// Converts one solved mapping to a roofline point.
+RooflinePoint to_point(const compiler::Solution& s, const compiler::Workload& w,
+                       const arch::OverlayConfig& config);
+
+/// Runs the two top-k searches (Obj.1, Obj.2) for one layer.
+RooflineStudy run_roofline_study(const nn::Layer& layer,
+                                 const arch::OverlayConfig& config,
+                                 int top_k = 200,
+                                 std::int64_t max_candidates = 200'000);
+
+/// Writes a study to CSV (columns: objective, ai, gops, e_wbuf, c_exe,
+/// wbuf_words). Returns the path written.
+std::string export_csv(const RooflineStudy& study, const std::string& path);
+
+}  // namespace ftdl::roofline

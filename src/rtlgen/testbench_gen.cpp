@@ -1,0 +1,223 @@
+#include "rtlgen/testbench_gen.h"
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/str_util.h"
+
+namespace ftdl::rtlgen {
+
+namespace {
+
+std::string hex_file_u64(const std::vector<std::uint64_t>& words) {
+  std::string out;
+  for (std::uint64_t w : words) {
+    out += strformat("%016llx\n", static_cast<unsigned long long>(w));
+  }
+  return out;
+}
+
+std::string hex_file_u16(const std::vector<std::int16_t>& words) {
+  std::string out;
+  for (std::int16_t w : words) {
+    out += strformat("%04x\n", static_cast<unsigned>(static_cast<std::uint16_t>(w)));
+  }
+  return out;
+}
+
+std::string tb_controller_v(const compiler::LayerProgram& program) {
+  const auto& perf = program.perf;
+  const long long expected_maccs =
+      static_cast<long long>(perf.x) * perf.l * perf.t;
+  return strformat(R"(// tb_ftdl_controller.v — generated self-checking bench.
+// Streams the compiled layer's InstBUS words (insts.hex) and checks the
+// controller executes the Listing-1 nest: exactly X*L*T = %lld MACC cycles.
+`timescale 1ns/1ps
+`include "ftdl_defines.vh"
+
+module tb_ftdl_controller;
+
+  reg clk_h = 1'b0;
+  reg rst = 1'b1;
+  always #0.769 clk_h = ~clk_h;  // ~650 MHz
+
+  reg                     inst_valid = 1'b0;
+  reg  [`FTDL_INST_W-1:0] inst_word = {`FTDL_INST_W{1'b0}};
+  wire running, phase, macc_en, psum_we, psum_accumulate, done;
+  wire [`FTDL_ACTBUF_AW-1:0] ra_a, ra_b;
+  wire [`FTDL_WBUF_AW-1:0]   wr;
+  wire [`FTDL_PSUM_AW-1:0]   pa;
+
+  ftdl_controller dut (
+    .clk_h(clk_h), .rst(rst),
+    .inst_valid(inst_valid), .inst_word(inst_word),
+    .running(running), .phase(phase), .macc_en(macc_en),
+    .actbuf_raddr_a(ra_a), .actbuf_raddr_b(ra_b),
+    .wbuf_raddr(wr), .psum_addr(pa), .psum_we(psum_we),
+    .psum_accumulate(psum_accumulate), .done(done)
+  );
+
+  reg [`FTDL_INST_W-1:0] insts [0:%zu];
+  integer i;
+  integer macc_count = 0;
+
+  always @(posedge clk_h) if (macc_en) macc_count = macc_count + 1;
+
+  initial begin
+    $readmemh("insts.hex", insts);
+    repeat (4) @(posedge clk_h);
+    rst = 1'b0;
+    for (i = 0; i < %zu; i = i + 1) begin
+      @(posedge clk_h);
+      inst_valid = 1'b1;
+      inst_word = insts[i];
+    end
+    @(posedge clk_h);
+    inst_valid = 1'b0;
+    wait (done);
+    repeat (4) @(posedge clk_h);
+    if (macc_count == %lld) begin
+      $display("PASS: controller issued %%0d MACC cycles", macc_count);
+    end else begin
+      $display("FAIL: expected %lld MACC cycles, got %%0d", macc_count);
+      $fatal(1);
+    end
+    $finish;
+  end
+
+endmodule
+)",
+                   expected_maccs, program.row_stream.size() - 1,
+                   program.row_stream.size(), expected_maccs, expected_maccs);
+}
+
+std::string tb_tpe_v(int burst_len, long long golden) {
+  return strformat(R"(// tb_ftdl_tpe.v — generated self-checking bench.
+// Preloads %d weights (weights.hex) and %d activations (acts.hex), runs a
+// double-pumped burst of %d MACCs through one TPE and compares the final
+// 48-bit cascade accumulator against the precomputed golden value.
+`timescale 1ns/1ps
+`include "ftdl_defines.vh"
+
+module tb_ftdl_tpe;
+
+  reg clk_l = 1'b0;
+  always #1.538 clk_l = ~clk_l;          // ~325 MHz
+  reg clk_h = 1'b0;
+  always #0.769 clk_h = ~clk_h;          // ~650 MHz, phase-aligned 2x
+  reg rst = 1'b1;
+
+  reg                        wbuf_we = 1'b0;
+  reg  [`FTDL_WBUF_AW-1:0]   wbuf_waddr = 0;
+  reg  [`FTDL_DATA_W-1:0]    wbuf_wdata = 0;
+  reg  [`FTDL_WBUF_AW-1:0]   wbuf_raddr = 0;
+  reg                        actbuf_we = 1'b0;
+  reg  [`FTDL_ACTBUF_AW-1:0] actbuf_waddr = 0;
+  reg  [`FTDL_DATA_W-1:0]    actbuf_wdata = 0;
+  reg  [`FTDL_ACTBUF_AW-1:0] raddr_a = 0, raddr_b = 0;
+  reg                        phase = 1'b0;
+  reg                        macc_en = 1'b0;
+  wire [`FTDL_ACC_W-1:0]     cascade_out;
+
+  ftdl_tpe dut (
+    .clk_h(clk_h), .clk_l(clk_l), .rst(rst),
+    .wbuf_we(wbuf_we), .wbuf_waddr(wbuf_waddr), .wbuf_wdata(wbuf_wdata),
+    .wbuf_raddr(wbuf_raddr),
+    .actbuf_we(actbuf_we), .actbuf_waddr(actbuf_waddr),
+    .actbuf_wdata(actbuf_wdata),
+    .actbuf_raddr_a(raddr_a), .actbuf_raddr_b(raddr_b),
+    .phase(phase), .macc_en(macc_en),
+    .cascade_in({`FTDL_ACC_W{1'b0}}), .cascade_out(cascade_out)
+  );
+
+  reg [`FTDL_DATA_W-1:0] weights [0:%d];
+  reg [`FTDL_DATA_W-1:0] acts    [0:%d];
+  integer i;
+
+  initial begin
+    $readmemh("weights.hex", weights);
+    $readmemh("acts.hex", acts);
+    repeat (4) @(posedge clk_l);
+    rst = 1'b0;
+
+    // Preload WBUF (clk_l domain) and ActBUF (clk_h domain).
+    for (i = 0; i < %d; i = i + 1) begin
+      @(posedge clk_l);
+      wbuf_we = 1'b1; wbuf_waddr = i[`FTDL_WBUF_AW-1:0];
+      wbuf_wdata = weights[i];
+    end
+    @(posedge clk_l); wbuf_we = 1'b0;
+    for (i = 0; i < %d; i = i + 1) begin
+      @(posedge clk_h);
+      actbuf_we = 1'b1; actbuf_waddr = i[`FTDL_ACTBUF_AW-1:0];
+      actbuf_wdata = acts[i];
+    end
+    @(posedge clk_h); actbuf_we = 1'b0;
+
+    // Double-pumped burst: weight address advances every clk_l; the two
+    // activation addresses alternate by phase each clk_h cycle.
+    for (i = 0; i < %d; i = i + 1) begin
+      @(posedge clk_h);
+      macc_en = 1'b1;
+      phase = i[0];
+      wbuf_raddr = (i / 2);
+      raddr_a = (2 * (i / 2));
+      raddr_b = (2 * (i / 2) + 1);
+    end
+    // Drain the DSP pipeline (A/B, M, P registers).
+    repeat (8) begin @(posedge clk_h); macc_en = 1'b1; end
+    macc_en = 1'b0;
+
+    if ($signed(cascade_out) == %lld) begin
+      $display("PASS: TPE accumulator = %%0d", $signed(cascade_out));
+    end else begin
+      $display("FAIL: expected %lld, got %%0d", $signed(cascade_out));
+      $fatal(1);
+    end
+    $finish;
+  end
+
+endmodule
+)",
+                   burst_len / 2, burst_len, burst_len, burst_len / 2 - 1,
+                   burst_len - 1, burst_len / 2, burst_len, burst_len, golden,
+                   golden);
+}
+
+}  // namespace
+
+RtlBundle generate_testbenches(const compiler::LayerProgram& program,
+                               const arch::OverlayConfig& config,
+                               const TbOptions& options) {
+  FTDL_ASSERT(options.burst_len >= 4 && options.burst_len % 2 == 0);
+  RtlBundle bundle = generate_overlay_rtl(config);
+
+  // Deterministic stimulus: burst_len/2 weights, each used for two
+  // consecutive activations (the double pump).
+  Rng rng(0x7b);
+  std::vector<std::int16_t> weights(static_cast<std::size_t>(options.burst_len / 2));
+  std::vector<std::int16_t> acts(static_cast<std::size_t>(options.burst_len));
+  for (auto& w : weights) w = rng.int16_small(63);
+  for (auto& a : acts) a = rng.int16_small(63);
+
+  long long golden = 0;
+  for (int i = 0; i < options.burst_len; ++i) {
+    golden += static_cast<long long>(weights[static_cast<std::size_t>(i / 2)]) *
+              acts[static_cast<std::size_t>(i)];
+  }
+
+  bundle["insts.hex"] = hex_file_u64(program.encoded_stream());
+  bundle["weights.hex"] = hex_file_u16(weights);
+  bundle["acts.hex"] = hex_file_u16(acts);
+  bundle["tb_ftdl_controller.v"] = tb_controller_v(program);
+  bundle["tb_ftdl_tpe.v"] = tb_tpe_v(options.burst_len, golden);
+
+  // Lint only the Verilog sources (hex files have no structure).
+  RtlBundle verilog_only;
+  for (const auto& [name, text] : bundle) {
+    if (name.ends_with(".v") || name.ends_with(".vh")) verilog_only[name] = text;
+  }
+  lint_rtl(verilog_only);
+  return bundle;
+}
+
+}  // namespace ftdl::rtlgen

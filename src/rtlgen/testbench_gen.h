@@ -1,0 +1,33 @@
+// Self-checking Verilog testbench generation.
+//
+// Complements verilog_gen.h: from a compiled layer the generator emits
+// unit-level testbenches plus their stimulus/golden hex files, the way an
+// RTL project ships its verification collateral:
+//   tb_ftdl_controller.v — streams the layer's real InstBUS words from
+//       insts.hex, waits for done, and checks that the controller issued
+//       exactly X*L*T MACC cycles (the Listing-1 loop nest).
+//   tb_ftdl_tpe.v — preloads weights.hex into the WBUF, fills the ActBUF
+//       from acts.hex, runs a double-pumped MACC burst and compares the
+//       final cascade accumulator against golden.hex.
+// No Verilog simulator is bundled in this repository; the benches are
+// structurally linted here and runnable under any IEEE-1364 simulator.
+#pragma once
+
+#include "compiler/codegen.h"
+#include "nn/tensor.h"
+#include "rtlgen/verilog_gen.h"
+
+namespace ftdl::rtlgen {
+
+/// Testbench stimulus sizes (kept small so simulation is instant).
+struct TbOptions {
+  int burst_len = 32;  ///< MACC burst length of the TPE testbench
+};
+
+/// Generates tb files + hex stimulus for `program`'s instruction stream and
+/// a deterministic weight/activation burst. The returned bundle also lints.
+RtlBundle generate_testbenches(const compiler::LayerProgram& program,
+                               const arch::OverlayConfig& config,
+                               const TbOptions& options = {});
+
+}  // namespace ftdl::rtlgen

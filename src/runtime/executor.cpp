@@ -1,0 +1,291 @@
+#include "runtime/executor.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/math_util.h"
+#include "compiler/codegen.h"
+#include "nn/reference.h"
+#include "sim/ftdl_sim.h"
+
+namespace ftdl::runtime {
+
+namespace {
+
+using nn::AccTensor;
+using nn::Layer;
+using nn::LayerKind;
+using nn::Tensor16;
+
+/// Requantization shift for a wide-accumulator tensor: scale the max
+/// magnitude into ~2^target_bits.
+int calibrate_shift(const AccTensor& acc, int target_bits) {
+  acc_t maxabs = 0;
+  for (std::int64_t i = 0; i < acc.size(); ++i) {
+    maxabs = std::max<acc_t>(maxabs, std::abs(acc[i]));
+  }
+  if (maxabs <= (acc_t{1} << target_bits)) return 0;
+  return ilog2(maxabs) - target_bits;
+}
+
+/// Reshapes {C,H,W} to the {M,1} column a MM layer consumes.
+Tensor16 flatten_for_mm(const Tensor16& t, const Layer& layer) {
+  if (t.dims().size() == 2) return t;
+  if (t.size() != layer.mm_m * layer.mm_p)
+    throw ConfigError(layer.name + ": input element count mismatches MM shape");
+  Tensor16 flat({static_cast<int>(layer.mm_m), static_cast<int>(layer.mm_p)});
+  for (std::int64_t i = 0; i < t.size(); ++i) flat[i] = t[i];
+  return flat;
+}
+
+/// A weight-group slice of a conv/MM layer and its weights.
+struct GroupSlice {
+  Layer layer;
+  Tensor16 weights;
+  int offset = 0;  ///< first output channel / feature of this group
+};
+
+std::vector<GroupSlice> slice_groups(const Layer& layer, const Tensor16& w,
+                                     int groups) {
+  std::vector<GroupSlice> out;
+  const int total = layer.kind == LayerKind::Conv   ? layer.out_c
+                    : layer.kind == LayerKind::Depthwise
+                        ? layer.in_c
+                        : static_cast<int>(layer.mm_n);
+  const int gsz = static_cast<int>(ceil_div(total, groups));
+  for (int off = 0; off < total; off += gsz) {
+    GroupSlice gs;
+    gs.offset = off;
+    const int n = std::min(gsz, total - off);
+    gs.layer = layer;
+    if (layer.kind == LayerKind::Conv) {
+      gs.layer.out_c = n;
+      gs.weights = Tensor16({n, layer.in_c, layer.kh, layer.kw});
+      for (int o = 0; o < n; ++o)
+        for (int i = 0; i < layer.in_c; ++i)
+          for (int r = 0; r < layer.kh; ++r)
+            for (int s = 0; s < layer.kw; ++s)
+              gs.weights.at(o, i, r, s) = w.at(off + o, i, r, s);
+    } else if (layer.kind == LayerKind::Depthwise) {
+      gs.layer.in_c = n;
+      gs.layer.out_c = n;
+      gs.weights = Tensor16({n, layer.kh, layer.kw});
+      for (int o = 0; o < n; ++o)
+        for (int r = 0; r < layer.kh; ++r)
+          for (int s = 0; s < layer.kw; ++s)
+            gs.weights.at(o, r, s) = w.at(off + o, r, s);
+    } else {
+      gs.layer.mm_n = n;
+      gs.weights = Tensor16({n, static_cast<int>(layer.mm_m)});
+      for (int o = 0; o < n; ++o)
+        for (int m = 0; m < static_cast<int>(layer.mm_m); ++m)
+          gs.weights.at(o, m) = w.at(off + o, m);
+    }
+    out.push_back(std::move(gs));
+  }
+  return out;
+}
+
+class Executor {
+ public:
+  Executor(const nn::Network& net, const WeightStore& weights,
+           const ExecOptions& options)
+      : net_(net), weights_(weights), opt_(options) {}
+
+  ExecResult run(const Tensor16& input) {
+    net_.validate_graph();
+    tensors_.clear();
+    tensors_.emplace(nn::kNetworkInput, input);
+
+    ExecResult result;
+    for (std::size_t i = 0; i < net_.layers().size(); ++i) {
+      const Layer& layer = net_.layers()[i];
+      if (layer.repeat != 1)
+        throw ConfigError(layer.name +
+                          ": recurrent (repeat>1) layers are not executable "
+                          "feed-forward");
+      LayerRun run;
+      run.name = layer.name;
+      run.kind = layer.kind;
+      Tensor16 out = execute_layer(layer, net_.resolved_inputs(i), run);
+      result.total_sim_cycles += run.sim_cycles;
+      result.runs.push_back(std::move(run));
+      tensors_[layer.name] = std::move(out);
+    }
+    result.output = tensors_.at(net_.layers().back().name);
+    return result;
+  }
+
+ private:
+  const Tensor16& tensor(const std::string& name) const {
+    auto it = tensors_.find(name);
+    if (it == tensors_.end())
+      throw ConfigError("no tensor produced for " + name);
+    return it->second;
+  }
+
+  Tensor16 execute_layer(const Layer& layer,
+                         const std::vector<std::string>& inputs,
+                         LayerRun& run) {
+    switch (layer.kind) {
+      case LayerKind::Conv:
+      case LayerKind::Depthwise:
+      case LayerKind::MatMul:
+        return execute_overlay(layer, tensor(inputs.at(0)), run);
+      case LayerKind::Pool: {
+        const Tensor16& in = tensor(inputs.at(0));
+        return layer.pool_op == nn::PoolOp::Max
+                   ? nn::maxpool_reference(layer, in)
+                   : nn::avgpool_reference(layer, in);
+      }
+      case LayerKind::Concat:
+        return concat(layer, inputs);
+      case LayerKind::Ewop:
+        return ewop(layer, inputs);
+    }
+    throw InternalError("unhandled layer kind");
+  }
+
+  Tensor16 execute_overlay(const Layer& layer, const Tensor16& input,
+                           LayerRun& run) {
+    const Tensor16& w = weights_.get(layer);
+    if ((layer.kind == LayerKind::Conv || layer.kind == LayerKind::Depthwise) &&
+        input.dims() != std::vector<int>{layer.in_c, layer.in_h, layer.in_w}) {
+      throw ConfigError(layer.name + ": input tensor shape mismatch");
+    }
+    const Tensor16 act = layer.kind == LayerKind::MatMul
+                             ? flatten_for_mm(input, layer)
+                             : input;
+
+    AccTensor acc;
+    if (opt_.path == OverlayPath::Reference) {
+      switch (layer.kind) {
+        case LayerKind::Conv:
+          acc = nn::conv2d_reference(layer, act, w);
+          break;
+        case LayerKind::Depthwise:
+          acc = nn::depthwise_reference(layer, act, w);
+          break;
+        default:
+          acc = nn::matmul_reference(layer, act, w);
+      }
+    } else {
+      acc = simulate(layer, act, w, run);
+    }
+
+    run.requant_shift = calibrate_shift(acc, opt_.target_magnitude_bits);
+    return nn::requantize_output(layer, acc, run.requant_shift);
+  }
+
+  /// Cycle-level path: compile (with weight-group splitting), simulate each
+  /// group, and stitch the output slices.
+  AccTensor simulate(const Layer& layer, const Tensor16& act,
+                     const Tensor16& w, LayerRun& run) {
+    const compiler::LayerProgram master = compiler::compile_layer(
+        layer, opt_.config, compiler::Objective::Performance,
+        opt_.search_budget_per_layer);
+    run.weight_groups = master.weight_groups;
+
+    AccTensor acc = layer.kind == LayerKind::MatMul
+                        ? AccTensor({static_cast<int>(layer.mm_n),
+                                     static_cast<int>(layer.mm_p)})
+                        : AccTensor({layer.out_c, layer.out_h(), layer.out_w()});
+
+    for (const GroupSlice& gs : slice_groups(layer, w, master.weight_groups)) {
+      const compiler::LayerProgram prog = compiler::compile_layer(
+          gs.layer, opt_.config, compiler::Objective::Performance,
+          opt_.search_budget_per_layer);
+      // Depthwise groups split the channel dimension of the *activations*
+      // too; slice the input accordingly.
+      const Tensor16* group_act = &act;
+      Tensor16 act_slice;
+      if (layer.kind == LayerKind::Depthwise && master.weight_groups > 1) {
+        act_slice = Tensor16({gs.layer.in_c, layer.in_h, layer.in_w});
+        for (int c = 0; c < gs.layer.in_c; ++c)
+          for (int y = 0; y < layer.in_h; ++y)
+            for (int x = 0; x < layer.in_w; ++x)
+              act_slice.at(c, y, x) = act.at(gs.offset + c, y, x);
+        group_act = &act_slice;
+      }
+      const sim::SimResult r =
+          sim::simulate_layer(prog, opt_.config, gs.weights, *group_act);
+      run.sim_cycles += r.stats.cycles;
+      // Stitch the group's output slice into the full tensor.
+      if (layer.kind == LayerKind::MatMul) {
+        for (int o = 0; o < static_cast<int>(gs.layer.mm_n); ++o)
+          for (int p = 0; p < static_cast<int>(layer.mm_p); ++p)
+            acc.at(gs.offset + o, p) = r.output.at(o, p);
+      } else {
+        const int oc = layer.kind == LayerKind::Depthwise ? gs.layer.in_c
+                                                          : gs.layer.out_c;
+        for (int o = 0; o < oc; ++o)
+          for (int y = 0; y < layer.out_h(); ++y)
+            for (int x = 0; x < layer.out_w(); ++x)
+              acc.at(gs.offset + o, y, x) = r.output.at(o, y, x);
+      }
+    }
+    return acc;
+  }
+
+  Tensor16 concat(const Layer& layer,
+                  const std::vector<std::string>& inputs) const {
+    int channels = 0;
+    const Tensor16& first = tensor(inputs.front());
+    if (first.dims().size() != 3)
+      throw ConfigError(layer.name + ": concat expects CHW inputs");
+    const int h = first.dims()[1], w = first.dims()[2];
+    for (const std::string& in : inputs) {
+      const Tensor16& t = tensor(in);
+      if (t.dims().size() != 3 || t.dims()[1] != h || t.dims()[2] != w)
+        throw ConfigError(layer.name + ": concat input shape mismatch at " + in);
+      channels += t.dims()[0];
+    }
+    Tensor16 out({channels, h, w});
+    int c0 = 0;
+    for (const std::string& in : inputs) {
+      const Tensor16& t = tensor(in);
+      for (int c = 0; c < t.dims()[0]; ++c)
+        for (int y = 0; y < h; ++y)
+          for (int x = 0; x < w; ++x) out.at(c0 + c, y, x) = t.at(c, y, x);
+      c0 += t.dims()[0];
+    }
+    return out;
+  }
+
+  Tensor16 ewop(const Layer& layer,
+                const std::vector<std::string>& inputs) const {
+    switch (layer.ewop_op) {
+      case nn::EwopOp::Generic:
+        // Op-count-only stage: identity over its (single) input.
+        return tensor(inputs.at(0));
+      case nn::EwopOp::AddRelu: {
+        const Tensor16& a = tensor(inputs.at(0));
+        const Tensor16& b = tensor(inputs.at(1));
+        if (a.dims() != b.dims())
+          throw ConfigError(layer.name + ": residual input shape mismatch");
+        Tensor16 out(a.dims());
+        for (std::int64_t i = 0; i < a.size(); ++i) {
+          const acc_t sum = acc_t{a[i]} + acc_t{b[i]};
+          out[i] = relu(requantize(sum, 0));
+        }
+        return out;
+      }
+    }
+    throw InternalError("unhandled ewop op");
+  }
+
+  const nn::Network& net_;
+  const WeightStore& weights_;
+  const ExecOptions& opt_;
+  std::unordered_map<std::string, Tensor16> tensors_;
+};
+
+}  // namespace
+
+ExecResult run_network(const nn::Network& net, const Tensor16& input,
+                       const WeightStore& weights, const ExecOptions& options) {
+  Executor exec(net, weights, options);
+  return exec.run(input);
+}
+
+}  // namespace ftdl::runtime

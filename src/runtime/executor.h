@@ -1,0 +1,60 @@
+// Functional end-to-end network execution.
+//
+// Runs a whole feed-forward network on int16 data: CONV/MM layers execute
+// either through the scalar reference (fast path) or through the compiled
+// cycle-level overlay simulator (exact hardware path, including weight-group
+// splitting); pooling / concat / residual EWOP run as host-side kernels.
+// Between layers, wide accumulators are requantized back to int16 with a
+// per-layer shift chosen by a simple max-abs calibration — the host EWOP
+// stage of Sec. V-A.
+//
+// Recurrent networks (seqLSTM) are not executable feed-forward and are
+// rejected with ConfigError.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/overlay_config.h"
+#include "nn/network.h"
+#include "nn/tensor.h"
+#include "runtime/weight_store.h"
+
+namespace ftdl::runtime {
+
+enum class OverlayPath {
+  Reference,  ///< scalar reference executor (fast, same arithmetic)
+  CycleSim,   ///< compiled instruction streams on the cycle-level simulator
+};
+
+struct ExecOptions {
+  OverlayPath path = OverlayPath::Reference;
+  /// Overlay used by the CycleSim path (keep it small for speed).
+  arch::OverlayConfig config;
+  std::int64_t search_budget_per_layer = 8'000;
+  /// Headroom bits kept when calibrating the requantization shift: outputs
+  /// are scaled into roughly +-2^(7) so the next layer's accumulators
+  /// cannot overflow 48 bits.
+  int target_magnitude_bits = 7;
+};
+
+struct LayerRun {
+  std::string name;
+  nn::LayerKind kind{};
+  int requant_shift = 0;      ///< 0 for host layers
+  std::int64_t sim_cycles = 0;  ///< CycleSim path only
+  int weight_groups = 1;
+};
+
+struct ExecResult {
+  nn::Tensor16 output;          ///< final layer's tensor
+  std::vector<LayerRun> runs;   ///< per-layer record, execution order
+  std::int64_t total_sim_cycles = 0;
+};
+
+/// Executes `net` on `input` (dims {C,H,W} for vision nets, {M,P} when the
+/// first layer is MM). Throws ftdl::ConfigError on graph/shape problems.
+ExecResult run_network(const nn::Network& net, const nn::Tensor16& input,
+                       const WeightStore& weights, const ExecOptions& options);
+
+}  // namespace ftdl::runtime

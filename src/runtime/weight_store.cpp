@@ -1,0 +1,54 @@
+#include "runtime/weight_store.h"
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace ftdl::runtime {
+
+std::vector<int> weight_dims(const nn::Layer& layer) {
+  switch (layer.kind) {
+    case nn::LayerKind::Conv:
+      return {layer.out_c, layer.in_c, layer.kh, layer.kw};
+    case nn::LayerKind::Depthwise:
+      return {layer.in_c, layer.kh, layer.kw};
+    case nn::LayerKind::MatMul:
+      return {static_cast<int>(layer.mm_n), static_cast<int>(layer.mm_m)};
+    default:
+      return {};
+  }
+}
+
+WeightStore WeightStore::random_for(const nn::Network& net, std::uint64_t seed,
+                                    std::int16_t magnitude) {
+  WeightStore ws;
+  Rng rng(seed);
+  for (const nn::Layer& layer : net.layers()) {
+    const std::vector<int> dims = weight_dims(layer);
+    if (dims.empty()) continue;
+    nn::Tensor16 w(dims);
+    w.fill_random(rng, magnitude);
+    ws.set(layer.name, std::move(w));
+  }
+  return ws;
+}
+
+void WeightStore::set(const std::string& layer_name, nn::Tensor16 weights) {
+  store_[layer_name] = std::move(weights);
+}
+
+const nn::Tensor16& WeightStore::get(const nn::Layer& layer) const {
+  auto it = store_.find(layer.name);
+  if (it == store_.end())
+    throw ConfigError("no weights stored for layer " + layer.name);
+  if (it->second.dims() != weight_dims(layer))
+    throw ConfigError("stored weight shape mismatches layer " + layer.name);
+  return it->second;
+}
+
+std::int64_t WeightStore::total_words() const {
+  std::int64_t n = 0;
+  for (const auto& [name, t] : store_) n += t.size();
+  return n;
+}
+
+}  // namespace ftdl::runtime

@@ -1,0 +1,43 @@
+// Per-layer weight storage for functional network execution.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "nn/network.h"
+#include "nn/tensor.h"
+
+namespace ftdl::runtime {
+
+/// Holds one int16 weight tensor per weighted layer, in the reference
+/// layouts (conv: {out_c, in_c, kh, kw}; MM: {N, M}).
+class WeightStore {
+ public:
+  /// Deterministic random weights for every weighted layer of `net`.
+  static WeightStore random_for(const nn::Network& net, std::uint64_t seed,
+                                std::int16_t magnitude = 7);
+
+  /// Adds or replaces the weights of `layer_name`.
+  void set(const std::string& layer_name, nn::Tensor16 weights);
+
+  /// Weights of `layer_name`; throws ftdl::ConfigError if absent or if the
+  /// stored shape does not match `layer`.
+  const nn::Tensor16& get(const nn::Layer& layer) const;
+
+  bool contains(const std::string& layer_name) const {
+    return store_.contains(layer_name);
+  }
+
+  std::size_t size() const { return store_.size(); }
+
+  /// Total stored weight words.
+  std::int64_t total_words() const;
+
+ private:
+  std::unordered_map<std::string, nn::Tensor16> store_;
+};
+
+/// Expected weight tensor dims for a layer (empty for weightless layers).
+std::vector<int> weight_dims(const nn::Layer& layer);
+
+}  // namespace ftdl::runtime

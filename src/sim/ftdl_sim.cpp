@@ -1,0 +1,371 @@
+#include "sim/ftdl_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/error.h"
+#include "arch/isa.h"
+#include "common/math_util.h"
+
+namespace ftdl::sim {
+
+namespace {
+
+using compiler::HwLevel;
+using compiler::Mapping;
+using compiler::Workload;
+using compiler::WorkloadKind;
+
+/// Mixed-radix odometer over the per-loop tiles of one hardware level.
+/// digits()[k] is the current sub-index of workload loop k at this level.
+class Odometer {
+ public:
+  Odometer(const Mapping& m, HwLevel level)
+      : radix_(m.t[static_cast<int>(level)]),
+        digits_(radix_.size(), 0) {}
+
+  const std::vector<std::int64_t>& digits() const { return digits_; }
+
+  /// Total number of states (the level product).
+  std::int64_t states() const {
+    std::int64_t p = 1;
+    for (std::int64_t r : radix_) p *= r;
+    return p;
+  }
+
+  /// Advances to the next state; returns false on wrap-around to zero.
+  bool advance() {
+    for (std::size_t k = digits_.size(); k-- > 0;) {
+      if (++digits_[k] < radix_[k]) return true;
+      digits_[k] = 0;
+    }
+    return false;
+  }
+
+  void reset() { std::fill(digits_.begin(), digits_.end(), 0); }
+
+ private:
+  std::vector<std::int64_t> radix_;
+  std::vector<std::int64_t> digits_;
+};
+
+/// Per-TPE spatial digits, enumerated once (the hardware runs these in
+/// parallel every cycle).
+std::vector<std::vector<std::int64_t>> enumerate_spatial(const Mapping& m,
+                                                         int k) {
+  Odometer d3(m, HwLevel::D3), d2(m, HwLevel::D2), d1(m, HwLevel::D1);
+  std::vector<std::vector<std::int64_t>> out;
+  do {
+    do {
+      do {
+        // Combined spatial digit per loop: ((d3 * TD2 + d2) * TD1 + d1),
+        // matching the H-matrix nesting of Eqn. 5.
+        std::vector<std::int64_t> digit(static_cast<std::size_t>(k));
+        for (int i = 0; i < k; ++i) {
+          const auto iu = static_cast<std::size_t>(i);
+          digit[iu] = (d3.digits()[iu] * m.tile(HwLevel::D2, i) +
+                       d2.digits()[iu]) *
+                          m.tile(HwLevel::D1, i) +
+                      d1.digits()[iu];
+        }
+        out.push_back(std::move(digit));
+      } while (d1.advance());
+    } while (d2.advance());
+  } while (d3.advance());
+  return out;
+}
+
+struct Shape {
+  // Conv fields.
+  int in_c = 0, in_h = 0, in_w = 0, out_c = 0, kh = 0, kw = 0, stride = 1,
+      pad = 0, oh = 0, ow = 0;
+  // MM fields.
+  int mm_m = 0, mm_n = 0, mm_p = 0;
+};
+
+Shape checked_shape(const compiler::LayerProgram& program,
+                    const nn::Tensor16& weights, const nn::Tensor16& input) {
+  const nn::Layer& layer = program.layer;
+  Shape s;
+  if (layer.kind == nn::LayerKind::Depthwise) {
+    s.in_c = layer.in_c;
+    s.in_h = layer.in_h;
+    s.in_w = layer.in_w;
+    s.out_c = layer.in_c;
+    s.kh = layer.kh;
+    s.kw = layer.kw;
+    s.stride = layer.stride;
+    s.pad = layer.pad;
+    s.oh = layer.out_h();
+    s.ow = layer.out_w();
+    if (input.dims() != std::vector<int>{s.in_c, s.in_h, s.in_w})
+      throw ConfigError(layer.name + ": input tensor layout mismatch");
+    if (weights.dims() != std::vector<int>{s.in_c, s.kh, s.kw})
+      throw ConfigError(layer.name + ": weight tensor layout mismatch");
+  } else if (layer.kind == nn::LayerKind::Conv) {
+    s.in_c = layer.in_c;
+    s.in_h = layer.in_h;
+    s.in_w = layer.in_w;
+    s.out_c = layer.out_c;
+    s.kh = layer.kh;
+    s.kw = layer.kw;
+    s.stride = layer.stride;
+    s.pad = layer.pad;
+    s.oh = layer.out_h();
+    s.ow = layer.out_w();
+    if (input.dims() != std::vector<int>{s.in_c, s.in_h, s.in_w})
+      throw ConfigError(layer.name + ": input tensor layout mismatch");
+    if (weights.dims() != std::vector<int>{s.out_c, s.in_c, s.kh, s.kw})
+      throw ConfigError(layer.name + ": weight tensor layout mismatch");
+  } else {
+    s.mm_m = static_cast<int>(layer.mm_m);
+    s.mm_n = static_cast<int>(layer.mm_n);
+    s.mm_p = static_cast<int>(layer.mm_p);
+    if (input.dims() != std::vector<int>{s.mm_m, s.mm_p})
+      throw ConfigError(layer.name + ": input tensor layout mismatch");
+    if (weights.dims() != std::vector<int>{s.mm_n, s.mm_m})
+      throw ConfigError(layer.name + ": weight tensor layout mismatch");
+  }
+  return s;
+}
+
+}  // namespace
+
+SimResult simulate_layer(const compiler::LayerProgram& program,
+                         const arch::OverlayConfig& config,
+                         const nn::Tensor16& weights, const nn::Tensor16& input,
+                         const SimOptions& options) {
+  const Workload& w = program.workload;
+  const Mapping& m = program.mapping;
+  FTDL_ASSERT(m.k() == w.k());
+
+  if (m.padded_macs() > options.max_padded_macs)
+    throw Error(w.name + ": padded iteration space too large to simulate");
+
+  const Shape shape = checked_shape(program, weights, input);
+
+  // Consume the controller's instruction stream the way the hardware
+  // would: decode the encoded InstBUS words and take the temporal
+  // configuration from the resulting controller state, cross-checking it
+  // against the mapping the compiler claims to have lowered.
+  const arch::ControllerState ctrl =
+      arch::interpret_stream(arch::decode_stream(program.encoded_stream()));
+  if (ctrl.x_trip != static_cast<std::uint64_t>(m.level_product(HwLevel::X)) ||
+      ctrl.l_trip != static_cast<std::uint64_t>(m.level_product(HwLevel::L)) ||
+      ctrl.t_trip != static_cast<std::uint64_t>(m.level_product(HwLevel::T))) {
+    throw Error(w.name + ": instruction stream disagrees with the mapping");
+  }
+
+  SimResult result;
+  result.output = (w.kind == WorkloadKind::MatMul)
+                      ? nn::AccTensor({shape.mm_n, shape.mm_p})
+                      : nn::AccTensor({shape.out_c, shape.oh, shape.ow});
+
+  // Loop indices within the workload vector.
+  const bool conv_like = w.kind != WorkloadKind::MatMul;
+  const bool is_dw = w.kind == WorkloadKind::DepthwiseConv;
+  const int iM = (w.kind == WorkloadKind::MatMul ||
+                  w.kind == WorkloadKind::Conv)
+                     ? w.loop_index('M')
+                     : -1;
+  const int iN = conv_like || w.kind == WorkloadKind::MatMul
+                     ? w.loop_index('N')
+                     : -1;
+  const int iE = conv_like ? w.loop_index('E') : -1;
+  const int iF = conv_like ? w.loop_index('F') : -1;
+  const int iR = conv_like ? w.loop_index('R') : -1;
+  const int iS = conv_like ? w.loop_index('S') : -1;
+  const int iNmm = (w.kind == WorkloadKind::MatMul) ? w.loop_index('N') : -1;
+  const int iP = (w.kind == WorkloadKind::MatMul) ? w.loop_index('P') : -1;
+
+  const auto spatial = enumerate_spatial(m, w.k());
+
+  // Timing ingredients (shared with the analytical model so the two agree
+  // on tile geometry; the *schedule* below is simulated, not formulaic).
+  const std::int64_t t_trip = m.level_product(HwLevel::T);
+  const std::int64_t l_trip = m.level_product(HwLevel::L);
+  const std::int64_t x_trip = m.level_product(HwLevel::X);
+  const bool reuse_ok =
+      !config.double_pump || compiler::weight_reuse_at_t(w, m) >= 2;
+  const std::int64_t burst_cycles = t_trip * (reuse_ok ? 1 : 2);
+  const std::int64_t refill_cycles = ceil_div(
+      compiler::act_refill_words(w, m), config.actbus_words_per_cycle);
+  const std::int64_t psum_words = compiler::psum_tile_words(w, m);
+  const std::int64_t passes = compiler::psum_passes(w, m);
+  const std::int64_t psum_traffic = passes > 1 ? 2 * psum_words : psum_words;
+  const std::int64_t drain_cycles =
+      ceil_div(psum_traffic, config.psumbus_words_per_cycle) * config.d3;
+  const std::int64_t act_bytes_per_refill =
+      2 * compiler::act_refill_words(w, m) * config.d3;
+  const std::int64_t psum_bytes_per_x = std::int64_t{config.psum_bytes} *
+                                        psum_words * config.d2 * config.d3;
+  const std::int64_t dram_rd_per_refill = static_cast<std::int64_t>(
+      std::ceil(double(act_bytes_per_refill) / config.dram_rd_bytes_per_cycle()));
+  const std::int64_t dram_wr_per_x = static_cast<std::int64_t>(
+      std::ceil(double(psum_bytes_per_x) / config.dram_wr_bytes_per_cycle()));
+
+  SimStats& st = result.stats;
+  std::int64_t pending_drain = 0;  // previous LoopX's psum drain in flight
+
+  // Buffer-footprint tracking (check_buffers): one activation set per TPE
+  // (reset per LoopL phase), one psum set per SuperBlock (reset per LoopX
+  // phase), one weight set per TPE (whole layer).
+  const std::size_t n_tpes = spatial.size();
+  const std::int64_t d1_prod = m.level_product(HwLevel::D1);
+  const std::size_t n_sbs = n_tpes / static_cast<std::size_t>(d1_prod);
+  std::vector<std::unordered_set<std::int64_t>> act_sets, psum_sets, wbuf_sets;
+  if (options.check_buffers) {
+    act_sets.resize(n_tpes);
+    psum_sets.resize(n_sbs);
+    wbuf_sets.resize(n_tpes);
+  }
+  auto flush_act_sets = [&] {
+    for (auto& set : act_sets) {
+      st.max_act_words_per_tpe = std::max<std::int64_t>(
+          st.max_act_words_per_tpe, static_cast<std::int64_t>(set.size()));
+      set.clear();
+    }
+  };
+  auto flush_psum_sets = [&] {
+    for (auto& set : psum_sets) {
+      st.max_psum_words_per_sb = std::max<std::int64_t>(
+          st.max_psum_words_per_sb, static_cast<std::int64_t>(set.size()));
+      set.clear();
+    }
+  };
+
+  Odometer x_od(m, HwLevel::X), l_od(m, HwLevel::L), t_od(m, HwLevel::T);
+  std::vector<std::int64_t> gidx(static_cast<std::size_t>(w.k()));
+
+  for (std::int64_t x = 0; x < x_trip; ++x) {
+    std::int64_t x_compute = 0;
+    l_od.reset();
+    for (std::int64_t l = 0; l < l_trip; ++l) {
+      // ActBUF refill (double-buffered): overlaps this burst.
+      const std::int64_t fetch = std::max(refill_cycles, dram_rd_per_refill);
+      const std::int64_t step = std::max(burst_cycles, fetch);
+      st.act_stall_cycles += step - burst_cycles;
+      st.compute_cycles += burst_cycles;
+      x_compute += step;
+      ++st.act_refills;
+      if (options.collect_trace) {
+        result.trace.add(static_cast<std::uint64_t>(st.cycles + x_compute),
+                         dram::AccessKind::Read,
+                         static_cast<std::uint64_t>(act_bytes_per_refill));
+      }
+
+      // ---- functional burst: every TPE, every LoopT state ----
+      t_od.reset();
+      for (std::int64_t t = 0; t < t_trip; ++t) {
+        for (std::size_t sp_idx = 0; sp_idx < spatial.size(); ++sp_idx) {
+          const auto& sp = spatial[sp_idx];
+          bool valid = true;
+          for (int k = 0; k < w.k(); ++k) {
+            const auto ku = static_cast<std::size_t>(k);
+            // Eqn. 2 nesting: ((spatial * TX + x) * TL + l) * TT + t.
+            std::int64_t v = sp[ku];
+            v = v * m.tile(HwLevel::X, k) + x_od.digits()[ku];
+            v = v * m.tile(HwLevel::L, k) + l_od.digits()[ku];
+            v = v * m.tile(HwLevel::T, k) + t_od.digits()[ku];
+            if (v >= w.loops[ku].trip) {
+              valid = false;
+              break;
+            }
+            gidx[ku] = v;
+          }
+          ++st.padded_maccs;
+          if (!valid) continue;
+
+          if (conv_like) {
+            const int y = static_cast<int>(gidx[static_cast<std::size_t>(iE)]) *
+                              shape.stride +
+                          static_cast<int>(gidx[static_cast<std::size_t>(iR)]) -
+                          shape.pad;
+            const int xc = static_cast<int>(gidx[static_cast<std::size_t>(iF)]) *
+                               shape.stride +
+                           static_cast<int>(gidx[static_cast<std::size_t>(iS)]) -
+                           shape.pad;
+            if (y < 0 || y >= shape.in_h || xc < 0 || xc >= shape.in_w) continue;
+            const auto n = static_cast<int>(gidx[static_cast<std::size_t>(iN)]);
+            const auto mo =
+                is_dw ? n : static_cast<int>(gidx[static_cast<std::size_t>(iM)]);
+            const auto e = static_cast<int>(gidx[static_cast<std::size_t>(iE)]);
+            const auto f = static_cast<int>(gidx[static_cast<std::size_t>(iF)]);
+            const auto r = static_cast<int>(gidx[static_cast<std::size_t>(iR)]);
+            const auto sIdx = static_cast<int>(gidx[static_cast<std::size_t>(iS)]);
+            const std::int16_t wv = is_dw ? weights.at(n, r, sIdx)
+                                          : weights.at(mo, n, r, sIdx);
+            result.output.at(mo, e, f) =
+                macc(result.output.at(mo, e, f), wv, input.at(n, y, xc));
+            if (options.check_buffers) {
+              const std::int64_t act_id =
+                  (std::int64_t{n} * shape.in_h + y) * shape.in_w + xc;
+              act_sets[sp_idx].insert(act_id);
+              const std::int64_t w_id =
+                  ((std::int64_t{mo} * shape.in_c + n) * shape.kh + r) *
+                      shape.kw + sIdx;
+              wbuf_sets[sp_idx].insert(w_id);
+              const std::int64_t out_id =
+                  (std::int64_t{mo} * shape.oh + e) * shape.ow + f;
+              psum_sets[sp_idx / static_cast<std::size_t>(d1_prod)].insert(
+                  out_id);
+            }
+          } else {
+            const auto mm = static_cast<int>(gidx[static_cast<std::size_t>(iM)]);
+            const auto n = static_cast<int>(gidx[static_cast<std::size_t>(iNmm)]);
+            const auto pp = static_cast<int>(gidx[static_cast<std::size_t>(iP)]);
+            result.output.at(n, pp) =
+                macc(result.output.at(n, pp), weights.at(n, mm), input.at(mm, pp));
+            if (options.check_buffers) {
+              act_sets[sp_idx].insert(std::int64_t{mm} * shape.mm_p + pp);
+              wbuf_sets[sp_idx].insert(std::int64_t{n} * shape.mm_m + mm);
+              psum_sets[sp_idx / static_cast<std::size_t>(d1_prod)].insert(
+                  std::int64_t{n} * shape.mm_p + pp);
+            }
+          }
+          ++st.valid_maccs;
+        }
+        t_od.advance();
+      }
+      if (options.check_buffers) flush_act_sets();
+      l_od.advance();
+    }
+
+    // Pipeline latency of the TPE chain per LoopX iteration (Eqn. 7).
+    x_compute += config.pipeline_latency();
+
+    // The previous LoopX's psum drain must have finished before this one's
+    // results need the other sub-buffer (double buffering, depth 1).
+    const std::int64_t advance = std::max(x_compute, pending_drain);
+    st.psum_stall_cycles += advance - x_compute;
+    st.cycles += advance;
+
+    if (options.check_buffers) flush_psum_sets();
+    pending_drain = std::max(drain_cycles, dram_wr_per_x);
+    ++st.psum_drains;
+    if (options.collect_trace) {
+      result.trace.add(static_cast<std::uint64_t>(st.cycles),
+                       dram::AccessKind::Write,
+                       static_cast<std::uint64_t>(psum_bytes_per_x));
+    }
+    x_od.advance();
+  }
+  // The final drain is not hidden by any compute.
+  st.cycles += pending_drain;
+  result.trace.total_cycles = static_cast<std::uint64_t>(st.cycles);
+
+  if (options.check_buffers) {
+    for (const auto& set : wbuf_sets) {
+      st.max_wbuf_words_per_tpe = std::max<std::int64_t>(
+          st.max_wbuf_words_per_tpe, static_cast<std::int64_t>(set.size()));
+    }
+  }
+
+  // valid_maccs counts per-TPE operations; padded_maccs should equal the
+  // mapping's padded space.
+  FTDL_ASSERT(st.padded_maccs == m.padded_macs());
+  return result;
+}
+
+}  // namespace ftdl::sim

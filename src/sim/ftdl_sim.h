@@ -1,0 +1,72 @@
+// Cycle-level, functionally-exact simulator of the FTDL overlay.
+//
+// Executes a compiled LayerProgram the way the hardware would:
+//   * the iteration space is the padded 6-level x K-loop nest of Eqn. 2
+//     (spatial D3/D2/D1 in parallel, temporal X/L/T in sequence);
+//   * every valid iteration performs one int16 x int16 MACC into the wide
+//     DSP accumulator of the owning output element;
+//   * the Listing-1 control flow is timed: LoopT bursts overlap ActBUF
+//     refills (double buffering), LoopX overlaps PSumBUF drains, and the
+//     slower side stalls the machine — reproducing Eqn. 12's max() as an
+//     emergent per-iteration behaviour rather than a formula;
+//   * every off-chip transfer is logged to a dram::AccessTrace.
+//
+// The output accumulators are bit-compared against nn::conv2d_reference /
+// nn::matmul_reference in the test suite.
+#pragma once
+
+#include "arch/overlay_config.h"
+#include "compiler/codegen.h"
+#include "dram/trace.h"
+#include "nn/tensor.h"
+
+namespace ftdl::sim {
+
+struct SimOptions {
+  bool collect_trace = true;
+  /// Track the true buffer footprints (unique activation words per TPE per
+  /// LoopL phase, psum entries per SuperBlock per LoopX phase, weight words
+  /// per TPE over the layer) and report them in SimStats — lets tests prove
+  /// the analytical buffer-sizing formulas are upper bounds of reality.
+  /// Costs memory/time; off by default.
+  bool check_buffers = false;
+  /// Guard for accidental huge functional runs (padded MACs).
+  std::int64_t max_padded_macs = std::int64_t{1} << 33;
+};
+
+struct SimStats {
+  std::int64_t cycles = 0;           ///< total CLKh cycles
+  std::int64_t compute_cycles = 0;   ///< LoopT bursts
+  std::int64_t act_stall_cycles = 0; ///< refill time not hidden by compute
+  std::int64_t psum_stall_cycles = 0;
+  std::int64_t valid_maccs = 0;      ///< MACCs on real (unpadded) iterations
+  std::int64_t padded_maccs = 0;     ///< total issued including padding
+  std::int64_t act_refills = 0;
+  std::int64_t psum_drains = 0;
+
+  // Measured buffer footprints (only when SimOptions::check_buffers).
+  std::int64_t max_act_words_per_tpe = 0;   ///< worst LoopL phase
+  std::int64_t max_psum_words_per_sb = 0;   ///< worst LoopX phase
+  std::int64_t max_wbuf_words_per_tpe = 0;  ///< whole layer
+
+  double hardware_efficiency(int tpes) const {
+    return double(valid_maccs) / (double(cycles) * double(tpes));
+  }
+};
+
+struct SimResult {
+  nn::AccTensor output;   ///< wide accumulators (pre-requantization)
+  SimStats stats;
+  dram::AccessTrace trace;
+};
+
+/// Simulates one compiled layer. `weights` / `input` use the reference
+/// layouts (conv: {out_c, in_c, kh, kw} and {in_c, h, w}; MM: {N, M} and
+/// {M, P}). Throws ftdl::ConfigError on layout mismatch and ftdl::Error when
+/// the padded iteration space exceeds options.max_padded_macs.
+SimResult simulate_layer(const compiler::LayerProgram& program,
+                         const arch::OverlayConfig& config,
+                         const nn::Tensor16& weights, const nn::Tensor16& input,
+                         const SimOptions& options = {});
+
+}  // namespace ftdl::sim

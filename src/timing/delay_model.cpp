@@ -1,0 +1,122 @@
+#include "timing/delay_model.h"
+
+#include "common/error.h"
+
+namespace ftdl::timing {
+
+DelayParams DelayParams::for_family(fpga::Family family) {
+  // Calibration: the coefficients reproduce (i) the datasheet primitive
+  // ceilings quoted by the paper, (ii) the Fig. 6 post-P&R plateaus
+  // (Virtex-7 > 620 MHz, UltraScale > 650 MHz at full device utilization),
+  // and (iii) the sub-250 MHz figures typical of boundary-fed designs that
+  // the paper's introduction cites.
+  switch (family) {
+    case fpga::Family::Virtex7:
+      return DelayParams{
+          .route_ps_per_um = 0.58,
+          .route_base_ps = 90.0,
+          .ff_clk_to_q_ps = 350.0,
+          .ff_setup_ps = 150.0,
+          .lut_level_ps = 250.0,
+          .bram_clk_to_q_ps = 630.0,
+          .lutram_clk_to_q_ps = 450.0,
+          .dsp_input_mux_ps = 200.0,
+          .dsp_cascade_ps = 1060.0,
+          .dsp_setup_ps = 170.0,
+          .congestion_coef = 0.18,
+      };
+    case fpga::Family::UltraScale:
+      return DelayParams{
+          .route_ps_per_um = 0.46,
+          .route_base_ps = 80.0,
+          .ff_clk_to_q_ps = 300.0,
+          .ff_setup_ps = 130.0,
+          .lut_level_ps = 210.0,
+          .bram_clk_to_q_ps = 560.0,
+          .lutram_clk_to_q_ps = 380.0,
+          .dsp_input_mux_ps = 170.0,
+          .dsp_cascade_ps = 950.0,
+          .dsp_setup_ps = 150.0,
+          .congestion_coef = 0.15,
+      };
+  }
+  throw InternalError("unknown family");
+}
+
+namespace {
+
+/// Routed wire delay over `length_um` with congestion inflation.
+double route_ps(double length_um, const DelayParams& p, double utilization) {
+  const double congestion = 1.0 + p.congestion_coef * utilization;
+  return p.route_base_ps + length_um * p.route_ps_per_um * congestion;
+}
+
+/// Source clock-to-out delay by net class.
+double source_q_ps(NetKind kind, const DelayParams& p) {
+  switch (kind) {
+    case NetKind::WeightFetch:
+      return p.bram_clk_to_q_ps;
+    case NetKind::ActFetch:
+      return p.lutram_clk_to_q_ps;
+    default:
+      return p.ff_clk_to_q_ps;
+  }
+}
+
+/// Destination setup delay by net class.
+double dest_setup_ps(NetKind kind, const DelayParams& p) {
+  switch (kind) {
+    case NetKind::WeightFetch:
+    case NetKind::ActFetch:
+    case NetKind::DspInputMux:
+      return p.dsp_setup_ps;
+    default:
+      return p.ff_setup_ps;
+  }
+}
+
+}  // namespace
+
+double net_delay_ps(const Net& net, const DelayParams& p, double utilization) {
+  FTDL_ASSERT(net.pipeline_stages >= 1);
+  FTDL_ASSERT(utilization >= 0.0 && utilization <= 1.0);
+
+  if (net.kind == NetKind::DspCascade) {
+    // Dedicated silicon: no fabric routing, no congestion exposure.
+    return p.dsp_cascade_ps;
+  }
+
+  // Pipeline registers split the route into equal segments; the binding
+  // delay is one segment (source q + segment route + LUT levels + setup).
+  const double seg_len = net.length_um / net.pipeline_stages;
+  double delay = source_q_ps(net.kind, p) + route_ps(seg_len, p, utilization) +
+                 dest_setup_ps(net.kind, p);
+  delay += net.lut_levels * p.lut_level_ps;
+
+  // Operand-select mux of the double pump sits in front of the DSP register.
+  if (net.kind == NetKind::ActFetch || net.kind == NetKind::DspInputMux) {
+    delay += p.dsp_input_mux_ps;
+  }
+  return delay;
+}
+
+const char* to_string(NetKind k) {
+  switch (k) {
+    case NetKind::DspInternal: return "dsp-internal";
+    case NetKind::DspInputMux: return "dsp-input-mux";
+    case NetKind::WeightFetch: return "weight-fetch";
+    case NetKind::ActFetch: return "act-fetch";
+    case NetKind::DspCascade: return "dsp-cascade";
+    case NetKind::PsumWriteback: return "psum-writeback";
+    case NetKind::ControlHop: return "control-hop";
+    case NetKind::ActBusHop: return "actbus-hop";
+    case NetKind::PsumBusHop: return "psumbus-hop";
+    case NetKind::BramInternal: return "bram-internal";
+    case NetKind::SystolicPeLink: return "systolic-pe-link";
+    case NetKind::SystolicMemFeed: return "systolic-mem-feed";
+    case NetKind::SystolicDrain: return "systolic-drain";
+  }
+  return "?";
+}
+
+}  // namespace ftdl::timing

@@ -1,0 +1,38 @@
+// Distance-based post-place-and-route delay model.
+//
+// Delays are composed as: source clock-to-out + LUT levels + routed wire
+// delay (linear in Manhattan length, inflated by a congestion factor that
+// grows with device utilization) + destination setup. The coefficients are
+// calibrated per family against the datasheet numbers the paper quotes
+// (DSP/CLB ~740 MHz, BRAM ~528 MHz) and against the paper's observed
+// post-P&R plateaus (>620 MHz Virtex-7, >650 MHz UltraScale).
+#pragma once
+
+#include "fpga/device.h"
+#include "timing/net.h"
+
+namespace ftdl::timing {
+
+/// Family-specific delay coefficients (picoseconds / micrometres).
+struct DelayParams {
+  double route_ps_per_um = 0.0;   ///< wire delay slope
+  double route_base_ps = 0.0;     ///< fixed switch-box entry/exit cost per hop
+  double ff_clk_to_q_ps = 0.0;
+  double ff_setup_ps = 0.0;
+  double lut_level_ps = 0.0;      ///< one LUT + local route
+  double bram_clk_to_q_ps = 0.0;  ///< with output register enabled
+  double lutram_clk_to_q_ps = 0.0;
+  double dsp_input_mux_ps = 0.0;  ///< double-pump operand mux in front of DSP
+  double dsp_cascade_ps = 0.0;    ///< dedicated PCOUT->PCIN hop, no fabric route
+  double dsp_setup_ps = 0.0;
+  double congestion_coef = 0.0;   ///< route inflation at 100% utilization
+
+  static DelayParams for_family(fpga::Family family);
+};
+
+/// Path delay of one representative net in picoseconds, at the given device
+/// utilization in [0,1]. For pipelined nets the returned value is the
+/// per-stage (i.e. timing-binding) delay.
+double net_delay_ps(const Net& net, const DelayParams& p, double utilization);
+
+}  // namespace ftdl::timing

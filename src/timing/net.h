@@ -1,0 +1,48 @@
+// Net taxonomy of the placed overlay.
+//
+// The timing model does not route individual wires; instead the placement
+// step enumerates the *worst-case representative net* of each structural
+// class (the timing-critical one), and static timing analysis takes the max
+// over classes per clock domain. This mirrors how the paper argues about
+// timing: every net class of the FTDL overlay has O(1) length in design
+// scale, while the boundary-fed baseline has nets that grow with scale.
+#pragma once
+
+namespace ftdl::timing {
+
+enum class NetKind {
+  DspInternal,       ///< registered multiply-accumulate path inside the DSP
+  DspInputMux,       ///< double-pump operand select in front of the DSP
+  WeightFetch,       ///< WBUF BRAM -> DSP B-operand (crosses CLKl -> CLKh)
+  ActFetch,          ///< ActBUF LUTRAM -> DSP A-operand
+  DspCascade,        ///< dedicated PCOUT->PCIN chain between stacked DSPs
+  PsumWriteback,     ///< last TPE -> PSumBUF BRAM write
+  ControlHop,        ///< pipelined controller broadcast between SuperBlocks
+  ActBusHop,         ///< pipelined ActBUS spine segment
+  PsumBusHop,        ///< vertical PSumBUS segment between SuperBlocks (CLKl)
+  BramInternal,      ///< BRAM array access path (bounds CLKl)
+  SystolicPeLink,    ///< baseline: PE-to-PE link of a systolic array
+  SystolicMemFeed,   ///< baseline: BRAM bank -> boundary PE feed
+  SystolicDrain,     ///< baseline: accumulator drain from array to memory
+};
+
+const char* to_string(NetKind k);
+
+/// Which clock the net's endpoints run on.
+enum class ClockDomain {
+  High,  ///< CLKh (DSP, LUTRAM, control)
+  Low,   ///< CLKl (BRAM side)
+};
+
+/// One representative net with its physical route length and the number of
+/// pipeline register stages the designer inserted along it (stage count 1
+/// means a plain reg-to-reg path).
+struct Net {
+  NetKind kind{};
+  ClockDomain domain = ClockDomain::High;
+  double length_um = 0.0;
+  int pipeline_stages = 1;
+  int lut_levels = 0;  ///< combinational LUT levels on the path (decoders etc.)
+};
+
+}  // namespace ftdl::timing

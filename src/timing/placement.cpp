@@ -1,0 +1,153 @@
+#include "timing/placement.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/str_util.h"
+
+namespace ftdl::timing {
+
+double PlacementResult::utilization() const {
+  // DSP occupancy dominates routing pressure for MACC-dense designs; BRAM
+  // occupancy contributes through the weight/psum fetch wiring.
+  return std::clamp(0.7 * dsp_utilization + 0.3 * bram_utilization, 0.0, 1.0);
+}
+
+int auto_pipeline_stages(double length_um) {
+  const int stages = static_cast<int>(std::ceil(length_um / 700.0));
+  return std::clamp(stages, 1, 4);
+}
+
+PlacementResult place_ftdl(const fpga::Device& device, const OverlayGeometry& g) {
+  if (g.d1 <= 0 || g.d2 <= 0 || g.d3 <= 0)
+    throw ConfigError("overlay extents must be positive");
+  if (g.d2 > device.dsp_columns)
+    throw ConfigError(strformat("D2=%d exceeds %d DSP columns on %s", g.d2,
+                                device.dsp_columns, device.name.c_str()));
+  if (g.d1 * g.d3 > device.dsp_per_column)
+    throw ConfigError(strformat("D1*D3=%d exceeds %d DSPs per column on %s",
+                                g.d1 * g.d3, device.dsp_per_column,
+                                device.name.c_str()));
+
+  // One BRAM18 (WBUF) per TPE + PSumBUF BRAMs per SuperBlock.
+  const int bram_needed =
+      g.tpes() + g.superblocks() * g.psum_bram18_per_superblock;
+  if (bram_needed > device.total_bram18())
+    throw ConfigError(strformat("overlay needs %d BRAM18 but %s has %d",
+                                bram_needed, device.name.c_str(),
+                                device.total_bram18()));
+
+  PlacementResult r;
+  r.dsp_utilization = double(g.tpes()) / device.total_dsp();
+  r.bram_utilization = double(bram_needed) / device.total_bram18();
+  r.dsp_columns_used = g.d2;
+  // ActBUF LUTRAM + control + pipeline registers; ~14 CLBs per TPE plus a
+  // controller block per SuperBlock row.
+  r.clbs_used = 14L * g.tpes() + 80L * g.d3;
+
+  // Use the D2 DSP columns closest to the die centre (the mapper groups the
+  // overlay compactly); the worst WBUF fetch is the used DSP column that is
+  // farthest from its nearest BRAM column.
+  const int first_col = std::max(0, (device.dsp_columns - g.d2) / 2);
+  double worst_weight_um = 0.0;
+  for (int c = first_col; c < first_col + g.d2; ++c) {
+    const int b = device.nearest_bram_column(c);
+    const double dx =
+        std::abs(device.dsp_col_x_um(c) - device.bram_col_x_um(b));
+    worst_weight_um = std::max(worst_weight_um, dx);
+  }
+  // Vertical offset: a TPE's WBUF sits within a few BRAM rows of its DSP.
+  // Vendor fabrics interleave BRAM columns within a few pitches of every DSP
+  // column (the uniform-spread abstraction of Device overestimates on parts
+  // with few, tall columns), and the TPE macro constrains the mapper to pick
+  // the local BRAM — so the fetch is capped at a handful of column pitches.
+  const double bram_y_pitch = device.die_height_um() / device.bram18_per_column;
+  const double weight_len =
+      std::min(worst_weight_um, 4.0 * device.col_pitch_um) + 2.0 * bram_y_pitch;
+
+  const double dsp_y_pitch = device.die_height_um() / device.dsp_per_column;
+  const double dsp_col_spacing = device.die_width_um() / device.dsp_columns;
+
+  auto add = [&r](NetKind kind, ClockDomain dom, double len, int stages,
+                  int luts) {
+    r.nets.push_back(Net{kind, dom, len, stages, luts});
+  };
+
+  // Intra-TPE nets: O(1) length regardless of design scale — the heart of
+  // the layout-aware argument.
+  add(NetKind::WeightFetch, ClockDomain::High, weight_len, 1, 0);
+  add(NetKind::ActFetch, ClockDomain::High, 3.0 * device.col_pitch_um, 1, 0);
+  add(NetKind::PsumWriteback, ClockDomain::High, weight_len, 1, 0);
+
+  // Cascade between vertically adjacent DSPs: dedicated wiring.
+  add(NetKind::DspCascade, ClockDomain::High, dsp_y_pitch, 1, 0);
+
+  // Control broadcast: one pipelined hop per SuperBlock column (Fig. 2);
+  // hop length = spacing between adjacent used DSP columns.
+  add(NetKind::ControlHop, ClockDomain::High, dsp_col_spacing,
+      auto_pipeline_stages(dsp_col_spacing), 1);
+  add(NetKind::ActBusHop, ClockDomain::High, dsp_col_spacing,
+      auto_pipeline_stages(dsp_col_spacing), 0);
+
+  // PSumBUS: vertical hop spanning one SuperBlock (D1 TPEs) on CLKl.
+  const double psum_hop = g.d1 * dsp_y_pitch;
+  add(NetKind::PsumBusHop, ClockDomain::Low, psum_hop,
+      auto_pipeline_stages(psum_hop), 0);
+
+  return r;
+}
+
+PlacementResult place_systolic(const fpga::Device& device, int rows, int cols) {
+  if (rows <= 0 || cols <= 0) throw ConfigError("systolic extents must be positive");
+  if (cols > device.dsp_columns)
+    throw ConfigError(strformat("systolic cols=%d exceeds %d DSP columns", cols,
+                                device.dsp_columns));
+  if (rows > device.dsp_per_column)
+    throw ConfigError(strformat("systolic rows=%d exceeds %d DSPs per column",
+                                rows, device.dsp_per_column));
+
+  PlacementResult r;
+  const int pes = rows * cols;
+  r.dsp_utilization = double(pes) / device.total_dsp();
+  // The baseline also keeps weights on chip; BRAM demand mirrors FTDL's.
+  r.bram_utilization =
+      std::min(1.0, double(pes) / device.total_bram18());
+  r.dsp_columns_used = cols;
+  r.clbs_used = 22L * pes;  // PE control + accumulation fabric logic
+
+  const double dsp_col_spacing = device.die_width_um() / device.dsp_columns;
+  const double dsp_y_pitch = device.die_height_um() / device.dsp_per_column;
+  const double array_width = cols * dsp_col_spacing;
+  const double array_height = rows * dsp_y_pitch;
+
+  auto add = [&r](NetKind kind, ClockDomain dom, double len, int stages,
+                  int luts) {
+    r.nets.push_back(Net{kind, dom, len, stages, luts});
+  };
+
+  // Horizontal PE-to-PE link crosses to the neighbouring DSP column through
+  // general fabric routing, with accumulate/select logic in LUTs. The
+  // ASIC-oriented design assumes this is a short local wire, so it is not
+  // pipelined — the architecture-layout mismatch.
+  add(NetKind::SystolicPeLink, ClockDomain::High, dsp_col_spacing, 1, 2);
+
+  // Memory feed: BRAM banks sit at the array boundary, so the feed net
+  // spans from the BRAM region to the array interior and grows with the
+  // array extent. Designers typically afford a single re-timing register.
+  const double feed_len = device.die_width_um() / 8.0 + array_width / 2.0 +
+                          array_height / 4.0;
+  add(NetKind::SystolicMemFeed, ClockDomain::High, feed_len, 2, 1);
+
+  // Result drain from the far edge of the array back to memory.
+  const double drain_len = array_height / 2.0 + device.die_width_um() / 8.0;
+  add(NetKind::SystolicDrain, ClockDomain::High, drain_len, 2, 1);
+
+  // Single-clock design: the BRAMs run on the same clock as the PEs, so the
+  // BRAM array access is a High-domain constraint here (no double pump).
+  add(NetKind::BramInternal, ClockDomain::High, 0.0, 1, 0);
+
+  return r;
+}
+
+}  // namespace ftdl::timing

@@ -1,0 +1,59 @@
+// Placement of an overlay (or the baseline systolic array) onto a device.
+//
+// FTDL placement (Sec. III-A1): each TPE groups one DSP, one BRAM18 and a
+// handful of CLBs in a local fabric area; D2 SuperBlock columns occupy D2
+// adjacent DSP columns around the die centre, each holding D1 x D3 TPEs.
+// The placement emits the worst-case representative net of every class
+// together with resource-utilization figures.
+//
+// Baseline placement: an ASIC-style output/weight-stationary systolic array
+// whose activation and weight memories sit at the array boundary — the
+// architecture-layout mismatch the paper's introduction describes. Its
+// memory-feed nets grow with array extent.
+#pragma once
+
+#include <vector>
+
+#include "fpga/device.h"
+#include "timing/net.h"
+
+namespace ftdl::timing {
+
+/// Overlay shape as seen by the physical model (the full OverlayConfig
+/// lives in src/arch; timing only needs the spatial extents).
+struct OverlayGeometry {
+  int d1 = 0;  ///< TPEs per SuperBlock (cascade length)
+  int d2 = 0;  ///< SuperBlock columns
+  int d3 = 0;  ///< SuperBlock rows
+  int psum_bram18_per_superblock = 2;
+
+  int tpes() const { return d1 * d2 * d3; }
+  int superblocks() const { return d2 * d3; }
+};
+
+/// Result of placing a design: representative nets + utilization.
+struct PlacementResult {
+  std::vector<Net> nets;
+  double dsp_utilization = 0.0;    ///< fraction of device DSPs in use
+  double bram_utilization = 0.0;   ///< fraction of device BRAM18s in use
+  long clbs_used = 0;
+  int dsp_columns_used = 0;
+
+  /// Overall routing-pressure proxy used for congestion inflation.
+  double utilization() const;
+};
+
+/// Places the FTDL overlay. Throws ftdl::ConfigError if the shape does not
+/// fit the device (D2 exceeding DSP columns, D1*D3 exceeding column height,
+/// or BRAM demand exceeding the device).
+PlacementResult place_ftdl(const fpga::Device& device, const OverlayGeometry& g);
+
+/// Places the baseline systolic array with `rows` x `cols` PEs (one PE per
+/// DSP; cols maps to DSP columns). Memories at the array boundary.
+PlacementResult place_systolic(const fpga::Device& device, int rows, int cols);
+
+/// Auto pipeline depth for a long broadcast/spine net: one register every
+/// ~700 um, between 1 and 4 stages (the pipeline registers of Fig. 2).
+int auto_pipeline_stages(double length_um);
+
+}  // namespace ftdl::timing

@@ -1,0 +1,94 @@
+#include "timing/scaling_study.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/math_util.h"
+
+namespace ftdl::timing {
+
+std::vector<OverlayGeometry> scaling_geometries(const fpga::Device& device,
+                                                int points) {
+  FTDL_ASSERT(points >= 2);
+
+  // Fill a full DSP column with D1 x D3 TPEs: pick the largest D1 <= 16 that
+  // divides the column height (keeping SuperBlocks a practical cascade
+  // length), then scale D2 from 1 to the full column count.
+  int d1 = 0;
+  for (int cand = 16; cand >= 4; --cand) {
+    if (device.dsp_per_column % cand == 0) {
+      d1 = cand;
+      break;
+    }
+  }
+  if (d1 == 0) d1 = 10;
+  int d3 = device.dsp_per_column / d1;
+
+  // BRAM feasibility cap: every TPE needs a WBUF BRAM18 and every
+  // SuperBlock a PSumBUF; devices with a DSP:BRAM ratio above ~1 (large
+  // UltraScale parts) cannot host a TPE on every DSP, so the sweep tops
+  // out at the largest buildable overlay instead of 100% of the DSPs.
+  OverlayGeometry probe;
+  probe.d1 = d1;
+  const int psum = probe.psum_bram18_per_superblock;
+  const std::int64_t tpe_cap =
+      device.total_bram18() * std::int64_t{d1} / (d1 + psum);
+  while (d3 > 1 &&
+         std::int64_t{d1} * d3 * device.dsp_columns > tpe_cap) {
+    --d3;
+  }
+
+  std::vector<OverlayGeometry> out;
+  for (int i = 0; i < points; ++i) {
+    // Grow the TPE count toward the full device, widening D2 and deepening
+    // D3 together ("scale-up fashion").
+    const double frac = double(i + 1) / points;
+    const double target = frac * device.total_dsp();
+    OverlayGeometry g;
+    g.d1 = d1;
+    g.d2 = std::clamp<int>(static_cast<int>(std::ceil(frac * device.dsp_columns)),
+                           1, device.dsp_columns);
+    g.d3 = std::clamp<int>(
+        static_cast<int>(std::lround(target / (double(d1) * g.d2))), 1, d3);
+    out.push_back(g);
+  }
+  // The final point uses every DSP on the device (100% utilization, Fig. 6).
+  out.back().d2 = device.dsp_columns;
+  out.back().d3 = d3;
+  return out;
+}
+
+std::vector<ScalePoint> run_scaling_study(const fpga::Device& device, int points) {
+  std::vector<ScalePoint> out;
+  for (const OverlayGeometry& g : scaling_geometries(device, points)) {
+    ScalePoint pt;
+    pt.geometry = g;
+    pt.tpes = g.tpes();
+
+    const PlacementResult ftdl_place = place_ftdl(device, g);
+    pt.dsp_utilization = ftdl_place.dsp_utilization;
+    pt.bram_utilization = ftdl_place.bram_utilization;
+    pt.ftdl = analyze_double_pump(device, ftdl_place);
+
+    // Baseline at the same PE count: near-square array, columns bounded by
+    // the device's DSP columns.
+    const int pes = g.tpes();
+    int cols = std::min<int>(device.dsp_columns,
+                             std::max<int>(1, static_cast<int>(std::lround(
+                                                  std::sqrt(double(pes) / 24.0)))));
+    int rows = std::min<int>(device.dsp_per_column, ceil_div(pes, cols));
+    // Grow columns until the array holds the PE count.
+    while (rows * cols < pes && cols < device.dsp_columns) {
+      ++cols;
+      rows = std::min<int>(device.dsp_per_column, ceil_div(pes, cols));
+    }
+    const PlacementResult sys_place = place_systolic(device, rows, cols);
+    pt.systolic = analyze_single_clock(device, sys_place);
+
+    out.push_back(pt);
+  }
+  return out;
+}
+
+}  // namespace ftdl::timing

@@ -1,0 +1,36 @@
+// Scale-up study driver (Fig. 6 and the layout ablation).
+//
+// Generates the seven scale-up configurations evaluated per device (growing
+// D2 toward 100% DSP-column usage at fixed D1 x D3 = full column height),
+// runs placement + timing for the FTDL overlay and for the boundary-fed
+// systolic baseline at the same DSP count, and returns one row per point.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fpga/device.h"
+#include "timing/timing_analyzer.h"
+
+namespace ftdl::timing {
+
+struct ScalePoint {
+  OverlayGeometry geometry;        ///< FTDL shape at this scale
+  int tpes = 0;
+  double dsp_utilization = 0.0;
+  double bram_utilization = 0.0;
+  TimingReport ftdl;               ///< double-pumped overlay timing
+  TimingReport systolic;           ///< baseline at the same PE count
+};
+
+/// The per-device scale-up sweep. `points` configurations are generated
+/// (default 7, as in Fig. 6), the last one using 100% of the DSPs.
+std::vector<ScalePoint> run_scaling_study(const fpga::Device& device,
+                                          int points = 7);
+
+/// The seven overlay geometries for a device without running timing
+/// (exposed so benches/tests can reuse the exact Fig. 6 configurations).
+std::vector<OverlayGeometry> scaling_geometries(const fpga::Device& device,
+                                                int points = 7);
+
+}  // namespace ftdl::timing

@@ -1,0 +1,100 @@
+#include "timing/timing_analyzer.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace ftdl::timing {
+
+namespace {
+
+/// Path delay of a net, including the intrinsic-primitive special cases.
+double path_ps(const Net& net, const fpga::Device& device, const DelayParams& p,
+               double util) {
+  switch (net.kind) {
+    case NetKind::BramInternal:
+      return 1e12 / device.timing.bram_fmax_hz;
+    case NetKind::DspInternal:
+      // Registered multiply-accumulate inside the DSP plus the double-pump
+      // operand mux that sits in front of the input register.
+      return 1e12 / device.timing.dsp_fmax_hz +
+             p.dsp_input_mux_ps * (1.0 + p.congestion_coef * util);
+    default:
+      return net_delay_ps(net, p, util);
+  }
+}
+
+struct DomainWorst {
+  double ps = 0.0;
+  NetKind kind{};
+  bool seen = false;
+};
+
+TimingReport analyze(const fpga::Device& device, const PlacementResult& placement,
+                     bool double_pump) {
+  const DelayParams p = DelayParams::for_family(device.family);
+  const double util = placement.utilization();
+
+  // Every design implicitly contains the DSP MACC path and the BRAM array
+  // access, even if the placement did not enumerate them.
+  std::vector<Net> nets = placement.nets;
+  nets.push_back(Net{NetKind::DspInternal, ClockDomain::High, 0.0, 1, 0});
+  if (double_pump) {
+    nets.push_back(Net{NetKind::BramInternal, ClockDomain::Low, 0.0, 1, 0});
+  }
+
+  DomainWorst high, low;
+  for (const Net& n : nets) {
+    const double d = path_ps(n, device, p, util);
+    DomainWorst& w = (n.domain == ClockDomain::High) ? high : low;
+    if (!w.seen || d > w.ps) {
+      w.ps = d;
+      w.kind = n.kind;
+      w.seen = true;
+    }
+  }
+  FTDL_ASSERT(high.seen);
+
+  TimingReport r;
+  r.utilization = util;
+
+  const double fmax_from_high = 1e12 / high.ps;
+  if (!double_pump) {
+    r.clk_h_fmax_hz = fmax_from_high;
+    r.clk_l_fmax_hz = fmax_from_high;
+    r.critical_path_ps = high.ps;
+    r.critical_net = high.kind;
+    r.critical_domain = ClockDomain::High;
+    return r;
+  }
+
+  FTDL_ASSERT(low.seen);
+  const double fmax_from_low = 2.0 * (1e12 / low.ps);
+  if (fmax_from_high <= fmax_from_low) {
+    r.clk_h_fmax_hz = fmax_from_high;
+    r.critical_path_ps = high.ps;
+    r.critical_net = high.kind;
+    r.critical_domain = ClockDomain::High;
+  } else {
+    r.clk_h_fmax_hz = fmax_from_low;
+    r.critical_path_ps = low.ps;
+    r.critical_net = low.kind;
+    r.critical_domain = ClockDomain::Low;
+  }
+  r.clk_l_fmax_hz = r.clk_h_fmax_hz / 2.0;
+  return r;
+}
+
+}  // namespace
+
+TimingReport analyze_double_pump(const fpga::Device& device,
+                                 const PlacementResult& placement) {
+  return analyze(device, placement, /*double_pump=*/true);
+}
+
+TimingReport analyze_single_clock(const fpga::Device& device,
+                                  const PlacementResult& placement) {
+  return analyze(device, placement, /*double_pump=*/false);
+}
+
+}  // namespace ftdl::timing

@@ -1,0 +1,38 @@
+// Static timing analysis over the representative nets of a placement.
+//
+// Produces the achievable CLKh / CLKl of the double-pumped overlay (or the
+// single achievable clock of the baseline), plus the critical path and the
+// net class that binds it — the data behind Fig. 6.
+#pragma once
+
+#include "fpga/device.h"
+#include "timing/delay_model.h"
+#include "timing/placement.h"
+
+namespace ftdl::timing {
+
+struct TimingReport {
+  double clk_h_fmax_hz = 0.0;      ///< achievable fast clock
+  double clk_l_fmax_hz = 0.0;      ///< achievable slow (BRAM) clock
+  double critical_path_ps = 0.0;   ///< binding path delay
+  NetKind critical_net{};          ///< class of the binding path
+  ClockDomain critical_domain = ClockDomain::High;
+  double utilization = 0.0;        ///< routing-pressure proxy used
+
+  /// clk_h as a fraction of the theoretical DSP fmax (the paper's >88% metric).
+  double fraction_of_dsp_fmax(const fpga::Device& d) const {
+    return clk_h_fmax_hz / d.timing.dsp_fmax_hz;
+  }
+};
+
+/// Analyzes a double-pumped FTDL placement: CLKh bound by High-domain paths
+/// and by 2x the Low-domain bound.
+TimingReport analyze_double_pump(const fpga::Device& device,
+                                 const PlacementResult& placement);
+
+/// Analyzes a single-clock design (the systolic baseline): every path,
+/// including BRAM access, must meet the one clock; clk_l == clk_h.
+TimingReport analyze_single_clock(const fpga::Device& device,
+                                  const PlacementResult& placement);
+
+}  // namespace ftdl::timing

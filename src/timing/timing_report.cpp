@@ -1,0 +1,76 @@
+#include "timing/timing_report.h"
+
+#include "common/str_util.h"
+#include "common/table.h"
+#include "timing/delay_model.h"
+#include "timing/placement.h"
+
+namespace ftdl::timing {
+
+std::string render_timing_report(const fpga::Device& device,
+                                 const OverlayGeometry& geometry,
+                                 const fpga::ClockPair& target) {
+  const PlacementResult placement = place_ftdl(device, geometry);
+  const TimingReport sta = analyze_double_pump(device, placement);
+  const DelayParams params = DelayParams::for_family(device.family);
+  const double util = placement.utilization();
+
+  std::string out;
+  out += strformat("Timing report: FTDL %dx%dx%d on %s (%s)\n", geometry.d1,
+                   geometry.d2, geometry.d3, device.name.c_str(),
+                   to_string(device.family));
+  out += strformat("Target clocks: CLKh %s / CLKl %s | post-P&R fmax: %s\n",
+                   format_hz(target.clk_h_hz).c_str(),
+                   format_hz(target.clk_l_hz).c_str(),
+                   format_hz(sta.clk_h_fmax_hz).c_str());
+  out += strformat("Routing pressure: %.0f%% (congestion factor %.3f)\n\n",
+                   100.0 * util, 1.0 + params.congestion_coef * util);
+
+  // Per-net table, including the implicit primitive paths the analyzer adds.
+  std::vector<Net> nets = placement.nets;
+  nets.push_back(Net{NetKind::DspInternal, ClockDomain::High, 0.0, 1, 0});
+  nets.push_back(Net{NetKind::BramInternal, ClockDomain::Low, 0.0, 1, 0});
+
+  AsciiTable table({"Net class", "Clock", "Length (um)", "Stages", "Delay (ps)",
+                    "Period (ps)", "Slack (ps)"});
+  for (const Net& n : nets) {
+    double delay_ps;
+    switch (n.kind) {
+      case NetKind::BramInternal:
+        delay_ps = 1e12 / device.timing.bram_fmax_hz;
+        break;
+      case NetKind::DspInternal:
+        delay_ps = 1e12 / device.timing.dsp_fmax_hz +
+                   params.dsp_input_mux_ps * (1.0 + params.congestion_coef * util);
+        break;
+      default:
+        delay_ps = net_delay_ps(n, params, util);
+    }
+    const double period_ps =
+        1e12 / (n.domain == ClockDomain::High ? target.clk_h_hz
+                                              : target.clk_l_hz);
+    const double slack = period_ps - delay_ps;
+    table.row({to_string(n.kind),
+               n.domain == ClockDomain::High ? "CLKh" : "CLKl",
+               strformat("%.0f", n.length_um), std::to_string(n.pipeline_stages),
+               strformat("%.0f", delay_ps), strformat("%.0f", period_ps),
+               strformat("%.0f%s", slack, slack < 0 ? " (VIOLATED)" : "")});
+  }
+  out += table.render();
+
+  out += strformat(
+      "\nCritical path: %s (%s domain), %.0f ps\n",
+      to_string(sta.critical_net),
+      sta.critical_domain == ClockDomain::High ? "CLKh" : "CLKl",
+      sta.critical_path_ps);
+  out += strformat(
+      "Utilization: DSP %.1f%% (%d TPEs), BRAM18 %.1f%%, ~%ld CLBs\n",
+      100.0 * placement.dsp_utilization, geometry.tpes(),
+      100.0 * placement.bram_utilization, placement.clbs_used);
+  out += strformat("Timing %s at the target clocks.\n",
+                   target.clk_h_hz <= sta.clk_h_fmax_hz + 1.0 ? "MET"
+                                                              : "NOT MET");
+  return out;
+}
+
+}  // namespace ftdl::timing

@@ -1,0 +1,23 @@
+// Vivado-style text timing report for a placed overlay.
+//
+// Lists every representative net class with its path delay, clock domain,
+// pipeline depth and slack against the target clock pair, plus the resource
+// utilization summary — the artifact a hardware engineer would skim after
+// place-and-route.
+#pragma once
+
+#include <string>
+
+#include "fpga/clocking.h"
+#include "timing/timing_analyzer.h"
+
+namespace ftdl::timing {
+
+/// Renders a full report for an FTDL placement at `target` clocks.
+/// The report never throws on negative slack — failing paths are marked
+/// "(VIOLATED)" the way vendor tools do.
+std::string render_timing_report(const fpga::Device& device,
+                                 const OverlayGeometry& geometry,
+                                 const fpga::ClockPair& target);
+
+}  // namespace ftdl::timing

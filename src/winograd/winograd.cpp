@@ -1,0 +1,193 @@
+#include "winograd/winograd.h"
+
+#include "common/error.h"
+#include "common/math_util.h"
+#include "compiler/codegen.h"
+
+namespace ftdl::winograd {
+
+namespace {
+
+// F(2x2, 3x3) transform matrices. G is fractional ([1,0,0; .5,.5,.5;
+// .5,-.5,.5; 0,0,1]); we use 2G so every intermediate stays integral and
+// the final result is exactly 4x the true convolution.
+constexpr int kG2[4][3] = {{2, 0, 0}, {1, 1, 1}, {1, -1, 1}, {0, 0, 2}};
+constexpr int kBt[4][4] = {{1, 0, -1, 0}, {0, 1, 1, 0}, {0, -1, 1, 0},
+                           {0, 1, 0, -1}};
+constexpr int kAt[2][4] = {{1, 1, 1, 0}, {0, 1, -1, -1}};
+
+/// U' = (2G) g (2G)^T for one 3x3 kernel (4x the true U).
+void transform_weight(const nn::Tensor16& w, int m, int n, acc_t u[4][4]) {
+  acc_t tmp[4][3];
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      acc_t s = 0;
+      for (int k = 0; k < 3; ++k) s += acc_t{kG2[i][k]} * w.at(m, n, k, j);
+      tmp[i][j] = s;
+    }
+  }
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      acc_t s = 0;
+      for (int k = 0; k < 3; ++k) s += tmp[i][k] * kG2[j][k];
+      u[i][j] = s;
+    }
+  }
+}
+
+/// V = B^T d B for one 4x4 input patch (zero-padded at the borders).
+void transform_input(const nn::Tensor16& in, int n, int y0, int x0, int in_h,
+                     int in_w, acc_t v[4][4]) {
+  acc_t d[4][4];
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      const int y = y0 + i, x = x0 + j;
+      d[i][j] = (y >= 0 && y < in_h && x >= 0 && x < in_w)
+                    ? acc_t{in.at(n, y, x)}
+                    : 0;
+    }
+  }
+  acc_t tmp[4][4];
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      acc_t s = 0;
+      for (int k = 0; k < 4; ++k) s += acc_t{kBt[i][k]} * d[k][j];
+      tmp[i][j] = s;
+    }
+  }
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      acc_t s = 0;
+      for (int k = 0; k < 4; ++k) s += tmp[i][k] * kBt[j][k];
+      v[i][j] = s;
+    }
+  }
+}
+
+void check_eligible(const nn::Layer& layer) {
+  if (!is_winograd_eligible(layer))
+    throw ConfigError(layer.name +
+                      ": Winograd F(2x2,3x3) needs a 3x3 stride-1 CONV");
+}
+
+}  // namespace
+
+bool is_winograd_eligible(const nn::Layer& layer) {
+  return layer.kind == nn::LayerKind::Conv && layer.kh == 3 && layer.kw == 3 &&
+         layer.stride == 1;
+}
+
+nn::AccTensor winograd_conv(const nn::Layer& layer, const nn::Tensor16& input,
+                            const nn::Tensor16& weights) {
+  check_eligible(layer);
+  if (input.dims() != std::vector<int>{layer.in_c, layer.in_h, layer.in_w})
+    throw ConfigError(layer.name + ": input tensor layout mismatch");
+  if (weights.dims() !=
+      std::vector<int>{layer.out_c, layer.in_c, 3, 3})
+    throw ConfigError(layer.name + ": weight tensor layout mismatch");
+
+  const int oh = layer.out_h(), ow = layer.out_w();
+  nn::AccTensor out({layer.out_c, oh, ow});
+
+  // Pre-transform all kernels once: U'[m][n] (4 x the true value).
+  std::vector<acc_t> u_all(static_cast<std::size_t>(layer.out_c) *
+                           layer.in_c * 16);
+  for (int m = 0; m < layer.out_c; ++m) {
+    for (int n = 0; n < layer.in_c; ++n) {
+      acc_t u[4][4];
+      transform_weight(weights, m, n, u);
+      acc_t* dst =
+          &u_all[(static_cast<std::size_t>(m) * layer.in_c + n) * 16];
+      for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j) dst[i * 4 + j] = u[i][j];
+    }
+  }
+
+  for (int ty = 0; ty < oh; ty += 2) {
+    for (int tx = 0; tx < ow; tx += 2) {
+      // Input patch origin for this tile (accounting for padding).
+      const int y0 = ty - layer.pad;
+      const int x0 = tx - layer.pad;
+
+      // V per input channel (shared across output channels).
+      std::vector<acc_t> v_all(static_cast<std::size_t>(layer.in_c) * 16);
+      for (int n = 0; n < layer.in_c; ++n) {
+        acc_t v[4][4];
+        transform_input(input, n, y0, x0, layer.in_h, layer.in_w, v);
+        for (int i = 0; i < 4; ++i)
+          for (int j = 0; j < 4; ++j)
+            v_all[static_cast<std::size_t>(n) * 16 + i * 4 + j] = v[i][j];
+      }
+
+      for (int m = 0; m < layer.out_c; ++m) {
+        // M' = sum_n U'(m,n) (.) V(n)  — 16 multiplies per channel.
+        acc_t acc[16] = {};
+        for (int n = 0; n < layer.in_c; ++n) {
+          const acc_t* u =
+              &u_all[(static_cast<std::size_t>(m) * layer.in_c + n) * 16];
+          const acc_t* v = &v_all[static_cast<std::size_t>(n) * 16];
+          for (int e = 0; e < 16; ++e) acc[e] += u[e] * v[e];
+        }
+        // Y' = A^T M' A; Y = Y' / 4 (exact).
+        acc_t tmp[2][4];
+        for (int i = 0; i < 2; ++i) {
+          for (int j = 0; j < 4; ++j) {
+            acc_t s = 0;
+            for (int k = 0; k < 4; ++k) s += acc_t{kAt[i][k]} * acc[k * 4 + j];
+            tmp[i][j] = s;
+          }
+        }
+        for (int i = 0; i < 2; ++i) {
+          for (int j = 0; j < 2; ++j) {
+            if (ty + i >= oh || tx + j >= ow) continue;
+            acc_t s = 0;
+            for (int k = 0; k < 4; ++k) s += tmp[i][k] * kAt[j][k];
+            FTDL_ASSERT(s % 4 == 0);
+            out.at(m, ty + i, tx + j) = s / 4;
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+WinogradPlan plan_winograd(const nn::Layer& layer) {
+  check_eligible(layer);
+  const std::int64_t tiles = ceil_div(layer.out_h(), 2) * ceil_div(layer.out_w(), 2);
+
+  WinogradPlan plan;
+  // Each transformed-tile position e in [0,16) is an independent MM:
+  // out_e[M][tiles] = U_e[M][C] x V_e[C][tiles].
+  plan.mm = nn::make_matmul(layer.name + "/winograd_mm", layer.in_c,
+                            layer.out_c, tiles);
+  plan.num_mms = 16;
+  plan.direct_macs = layer.macs();
+  plan.winograd_macs = 16LL * layer.in_c * layer.out_c * tiles;
+  // Transforms: B^T d B is 32 adds per 4x4 channel-tile; A^T M A is 24 adds
+  // per output tile per channel (weight transforms are offline).
+  plan.transform_ewop_ops =
+      tiles * (32LL * layer.in_c + 24LL * layer.out_c);
+  return plan;
+}
+
+WinogradComparison compare_schedules(const nn::Layer& layer,
+                                     const arch::OverlayConfig& config,
+                                     std::int64_t max_candidates) {
+  const WinogradPlan plan = plan_winograd(layer);
+
+  WinogradComparison cmp;
+  cmp.direct_cycles = compiler::compile_layer(layer, config,
+                                              compiler::Objective::Performance,
+                                              max_candidates)
+                          .total_cycles();
+  // The 16 MMs are identical in shape: schedule once, run 16 times.
+  cmp.winograd_cycles = 16 * compiler::compile_layer(
+                                 plan.mm, config,
+                                 compiler::Objective::Performance,
+                                 max_candidates)
+                                 .total_cycles();
+  return cmp;
+}
+
+}  // namespace ftdl::winograd

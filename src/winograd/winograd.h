@@ -1,0 +1,63 @@
+// Winograd fast convolution F(2x2, 3x3) — the algorithm-level acceleration
+// the paper's conclusion anticipates combining with FTDL (and the technique
+// behind prior work [4], Lu et al. FCCM'17).
+//
+// A 3x3/stride-1 convolution becomes, per 2x2 output tile, 16 element-wise
+// products between transformed 4x4 weight and input tiles, reduced over
+// input channels — i.e. 16 independent MM workloads of [out_c x in_c] x
+// [in_c x tiles] that FTDL schedules natively. The multiply count drops
+// from 36·C to 16·C per tile (2.25x); the transforms are cheap adds that
+// join the host EWOP class.
+//
+// Arithmetic is exact: the fractional G matrix is replaced by 2G (integer),
+// making the transformed product 4x the true value, and the final 2x2
+// output is divided by 4 — an exact integer division because the result is
+// exactly 4x the direct convolution.
+#pragma once
+
+#include "compiler/scheduler.h"
+#include "nn/layer.h"
+#include "nn/tensor.h"
+
+namespace ftdl::winograd {
+
+/// True iff the layer admits F(2x2, 3x3): 3x3 kernel, stride 1.
+bool is_winograd_eligible(const nn::Layer& layer);
+
+/// Exact functional Winograd convolution; bit-identical to
+/// nn::conv2d_reference for eligible layers. Throws ftdl::ConfigError for
+/// ineligible layers or layout mismatches.
+nn::AccTensor winograd_conv(const nn::Layer& layer, const nn::Tensor16& input,
+                            const nn::Tensor16& weights);
+
+/// The overlay-facing view: the 16 transformed-domain MM workloads plus the
+/// host-side transform cost.
+struct WinogradPlan {
+  nn::Layer mm;                    ///< one of the 16 identical MM layers
+  int num_mms = 16;                ///< one per transformed-tile position
+  std::int64_t transform_ewop_ops = 0;  ///< input/output transform adds
+  std::int64_t direct_macs = 0;    ///< MACs of the direct convolution
+  std::int64_t winograd_macs = 0;  ///< MACs in the transformed domain
+
+  double mac_reduction() const {
+    return double(direct_macs) / double(winograd_macs);
+  }
+};
+
+/// Builds the plan; throws ftdl::ConfigError for ineligible layers.
+WinogradPlan plan_winograd(const nn::Layer& layer);
+
+/// Schedules the layer both ways on `config` and returns the cycle counts
+/// (direct, winograd incl. all 16 MMs). Winograd's MMs share one search.
+struct WinogradComparison {
+  std::int64_t direct_cycles = 0;
+  std::int64_t winograd_cycles = 0;
+  double speedup() const {
+    return double(direct_cycles) / double(winograd_cycles);
+  }
+};
+WinogradComparison compare_schedules(const nn::Layer& layer,
+                                     const arch::OverlayConfig& config,
+                                     std::int64_t max_candidates = 20'000);
+
+}  // namespace ftdl::winograd

@@ -1,0 +1,111 @@
+// Tests for the prior-work database (Table II normalization) and the
+// roofline study tool (Fig. 7).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "arch/overlay_config.h"
+#include "baseline/prior_work.h"
+#include "roofline/roofline.h"
+
+namespace ftdl {
+namespace {
+
+constexpr double kGoogLeNetOps = 3.14e9;  // 2 ops per MAC, 224x224
+constexpr double kResNet50Ops = 7.72e9;
+
+TEST(PriorWork, TableHasTenWorksInColumnOrder) {
+  const auto& works = baseline::table2_prior_works();
+  ASSERT_EQ(works.size(), 10u);
+  EXPECT_EQ(works.front().key, "[10]");
+  EXPECT_EQ(works.back().key, "[9]");
+  for (const auto& w : works) {
+    EXPECT_GT(w.dsp_freq_mhz, 0.0);
+    EXPECT_GT(w.hardware_efficiency, 0.0);
+    EXPECT_LE(w.hardware_efficiency, 1.0);
+  }
+}
+
+TEST(PriorWork, NormalizationReproducesTable2Fps) {
+  const auto& works = baseline::table2_prior_works();
+  // Paper Table II GoogLeNet FPS per column at 1200 DSPs.
+  const double expected_googlenet[] = {52.0, 55.7, 68.7, 86.1, 73.8,
+                                       73.5, 82.3, 81.1, 99.3, 163.3};
+  const double expected_resnet[] = {21.2, 22.7, 28.0, 35.0, 30.1,
+                                    29.9, 33.5, 33.0, 40.4, 66.5};
+  for (std::size_t i = 0; i < works.size(); ++i) {
+    EXPECT_NEAR(baseline::normalized_fps(works[i], 1200, kGoogLeNetOps),
+                expected_googlenet[i], expected_googlenet[i] * 0.03)
+        << works[i].key;
+    EXPECT_NEAR(baseline::normalized_fps(works[i], 1200, kResNet50Ops),
+                expected_resnet[i], expected_resnet[i] * 0.03)
+        << works[i].key;
+  }
+}
+
+TEST(PriorWork, FtdlPointReproducesPaperFps) {
+  // FTDL row: 650 MHz, 81.1% / 74.8% -> 402.6 / 151.2 FPS.
+  EXPECT_NEAR(baseline::normalized_fps(650e6, 0.811, 1200, kGoogLeNetOps),
+              402.6, 5.0);
+  EXPECT_NEAR(baseline::normalized_fps(650e6, 0.748, 1200, kResNet50Ops),
+              151.2, 3.0);
+}
+
+TEST(Roofline, StudyProducesBothScatters) {
+  const nn::Layer layer = nn::make_conv("c", 160, 14, 14, 320, 3, 1, 1);
+  const auto study = roofline::run_roofline_study(layer, arch::paper_config(),
+                                                  /*top_k=*/50,
+                                                  /*max_candidates=*/20'000);
+  EXPECT_FALSE(study.performance_points.empty());
+  EXPECT_FALSE(study.balance_points.empty());
+  EXPECT_NEAR(study.peak_gops, 2.0 * 1200 * 0.65, 1e-6);  // 1560 GOPS
+
+  for (const auto& p : study.performance_points) {
+    EXPECT_GT(p.arithmetic_intensity, 0.0);
+    EXPECT_GT(p.gops, 0.0);
+    EXPECT_LE(p.gops, study.peak_gops * 1.001);
+    // Attained perf respects the memory roof too.
+    EXPECT_LE(p.gops,
+              p.arithmetic_intensity * study.dram_gbps * 1.01 + 1e-6);
+  }
+}
+
+TEST(Roofline, BalanceSavesWbufAtSlightPerfLoss) {
+  // Fig. 7: for a CONV layer whose performance-optimal mappings duplicate
+  // weights (GoogLeNet conv2-like), Obj.2 keeps E_WBUF near 1, saving
+  // several x of WBUF storage at a modest performance loss.
+  const nn::Layer layer = nn::make_conv("c", 64, 56, 56, 192, 3, 1, 1);
+  const auto study = roofline::run_roofline_study(layer, arch::paper_config(),
+                                                  /*top_k=*/100,
+                                                  /*max_candidates=*/50'000);
+  ASSERT_FALSE(study.balance_points.empty());
+  ASSERT_FALSE(study.performance_points.empty());
+  EXPECT_GT(study.balance_points.front().e_wbuf,
+            2.0 * study.performance_points.front().e_wbuf);
+  EXPECT_GT(study.balance_points.front().e_wbuf, 0.6);
+  EXPECT_GT(study.wbuf_savings(), 2.0);
+  EXPECT_GT(study.best_gops_balance(), 0.5 * study.best_gops_performance());
+}
+
+TEST(Roofline, CsvExport) {
+  const nn::Layer layer = nn::make_conv("c", 32, 14, 14, 32, 3, 1, 1);
+  const auto study = roofline::run_roofline_study(layer, arch::paper_config(),
+                                                  10, 5'000);
+  const std::string path =
+      roofline::export_csv(study, "roofline_test_tmp.csv");
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header,
+            "objective,arithmetic_intensity,gops,e_wbuf,c_exe,wbuf_words_per_tpe");
+  int lines = 0;
+  for (std::string l; std::getline(in, l);) ++lines;
+  EXPECT_EQ(lines, static_cast<int>(study.performance_points.size() +
+                                    study.balance_points.size()));
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace ftdl

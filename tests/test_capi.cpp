@@ -1,0 +1,90 @@
+// Tests for the C API surface.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "capi/ftdl_c.h"
+
+namespace {
+
+TEST(CApi, VersionString) {
+  ASSERT_NE(ftdl_version(), nullptr);
+  EXPECT_NE(std::strstr(ftdl_version(), "ftdl"), nullptr);
+}
+
+TEST(CApi, CreateEvaluateDestroy) {
+  char err[256] = {0};
+  ftdl_framework* fw =
+      ftdl_framework_create("xcvu125", 0, 0, 0, 0.0, err, sizeof err);
+  ASSERT_NE(fw, nullptr) << err;
+  EXPECT_GT(ftdl_fmax_mhz(fw), 650.0);
+
+  ftdl_report report{};
+  ASSERT_EQ(ftdl_evaluate_model(fw, "Sentimental-seqCNN", 3000, &report, err,
+                                sizeof err), 0)
+      << err;
+  EXPECT_GT(report.fps, 0.0);
+  EXPECT_GT(report.hardware_efficiency, 0.0);
+  EXPECT_LE(report.hardware_efficiency, 1.0);
+  EXPECT_GT(report.power_watts, 0.0);
+  EXPECT_GT(report.overlay_layers, 0);
+  ftdl_framework_destroy(fw);
+}
+
+TEST(CApi, EvaluateSpecString) {
+  char err[256] = {0};
+  ftdl_framework* fw =
+      ftdl_framework_create("xcvu125", 12, 5, 20, 650.0, err, sizeof err);
+  ASSERT_NE(fw, nullptr) << err;
+
+  const char* spec = R"(
+network capi_toy
+input 3 32 32
+conv c1 out=16 k=3 pad=1
+pool p1 k=2
+fc f1 out=10
+)";
+  ftdl_report report{};
+  ASSERT_EQ(ftdl_evaluate_spec(fw, spec, 3000, &report, err, sizeof err), 0)
+      << err;
+  EXPECT_EQ(report.overlay_layers, 2);
+  EXPECT_GT(report.fps, 0.0);
+  ftdl_framework_destroy(fw);
+}
+
+TEST(CApi, ErrorsAreReportedNotThrown) {
+  char err[256] = {0};
+  // Unknown device.
+  EXPECT_EQ(ftdl_framework_create("xc_bogus", 0, 0, 0, 0.0, err, sizeof err),
+            nullptr);
+  EXPECT_NE(std::strlen(err), 0u);
+
+  ftdl_framework* fw =
+      ftdl_framework_create("xcvu125", 0, 0, 0, 0.0, err, sizeof err);
+  ASSERT_NE(fw, nullptr);
+  ftdl_report report{};
+  // Unknown model.
+  err[0] = '\0';
+  EXPECT_EQ(ftdl_evaluate_model(fw, "VGG16", 1000, &report, err, sizeof err),
+            -1);
+  EXPECT_NE(std::strstr(err, "unknown model"), nullptr);
+  // Malformed spec.
+  err[0] = '\0';
+  EXPECT_EQ(ftdl_evaluate_spec(fw, "garbage", 1000, &report, err, sizeof err),
+            -1);
+  EXPECT_NE(std::strlen(err), 0u);
+  // Null arguments.
+  EXPECT_EQ(ftdl_evaluate_model(nullptr, "GoogLeNet", 1, &report, err,
+                                sizeof err), -1);
+  ftdl_framework_destroy(fw);
+  ftdl_framework_destroy(nullptr);  // must be safe
+}
+
+TEST(CApi, OverlayThatDoesNotFitFailsCleanly) {
+  char err[256] = {0};
+  EXPECT_EQ(ftdl_framework_create("xc7z020", 12, 5, 20, 650.0, err, sizeof err),
+            nullptr);
+  EXPECT_NE(std::strlen(err), 0u);
+}
+
+}  // namespace

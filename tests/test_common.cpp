@@ -1,0 +1,163 @@
+// Unit tests for the common support library.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/csv.h"
+#include "common/error.h"
+#include "common/fixed_point.h"
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "common/table.h"
+
+namespace ftdl {
+namespace {
+
+TEST(MathUtil, CeilDiv) {
+  EXPECT_EQ(ceil_div(10, 5), 2);
+  EXPECT_EQ(ceil_div(11, 5), 3);
+  EXPECT_EQ(ceil_div(1, 5), 1);
+  EXPECT_EQ(ceil_div(5, 1), 5);
+}
+
+TEST(MathUtil, RoundUp) {
+  EXPECT_EQ(round_up(10, 4), 12);
+  EXPECT_EQ(round_up(12, 4), 12);
+  EXPECT_EQ(round_up(1, 7), 7);
+}
+
+TEST(MathUtil, Pow2Helpers) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(63));
+  EXPECT_EQ(next_pow2(1), 1);
+  EXPECT_EQ(next_pow2(5), 8);
+  EXPECT_EQ(next_pow2(64), 64);
+  EXPECT_EQ(ilog2(1), 0);
+  EXPECT_EQ(ilog2(1024), 10);
+  EXPECT_EQ(ilog2(1023), 9);
+}
+
+TEST(MathUtil, Divisors) {
+  EXPECT_EQ(divisors(1), (std::vector<std::int64_t>{1}));
+  EXPECT_EQ(divisors(12), (std::vector<std::int64_t>{1, 2, 3, 4, 6, 12}));
+  EXPECT_EQ(divisors(7), (std::vector<std::int64_t>{1, 7}));
+  EXPECT_EQ(divisors(36).size(), 9u);  // perfect square: no duplicate sqrt
+}
+
+TEST(MathUtil, TileCandidatesIncludePaddedDivisors) {
+  // Trip count 7 is prime, but tile 4 (pad to 8) and 2 must be offered.
+  const auto c = tile_candidates(7);
+  EXPECT_NE(std::find(c.begin(), c.end(), 2), c.end());
+  EXPECT_NE(std::find(c.begin(), c.end(), 4), c.end());
+  EXPECT_NE(std::find(c.begin(), c.end(), 7), c.end());
+  // Sorted and unique, all <= n.
+  EXPECT_TRUE(std::is_sorted(c.begin(), c.end()));
+  EXPECT_EQ(std::adjacent_find(c.begin(), c.end()), c.end());
+  for (auto v : c) EXPECT_LE(v, 7);
+}
+
+TEST(MathUtil, ProductAndGcd) {
+  EXPECT_EQ(product({}), 1);
+  EXPECT_EQ(product({2, 3, 4}), 24);
+  EXPECT_EQ(gcd64(12, 18), 6);
+  EXPECT_EQ(gcd64(7, 13), 1);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformInRange) {
+  Rng r(1);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, Uniform01Bounds) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(FixedPoint, MaccMatchesWideArithmetic) {
+  EXPECT_EQ(macc(0, 100, 200), 20000);
+  EXPECT_EQ(macc(-5, -3, 7), -26);
+  EXPECT_EQ(macc(kAcc48Max, 0, 0), kAcc48Max);
+}
+
+TEST(FixedPoint, Saturate48) {
+  EXPECT_EQ(saturate48(kAcc48Max + 10), kAcc48Max);
+  EXPECT_EQ(saturate48(kAcc48Min - 10), kAcc48Min);
+  EXPECT_EQ(saturate48(12345), 12345);
+}
+
+TEST(FixedPoint, Requantize) {
+  EXPECT_EQ(requantize(1 << 10, 10), 1);
+  EXPECT_EQ(requantize((acc_t{40000}) << 8, 8), 32767);   // saturates high
+  EXPECT_EQ(requantize((acc_t{-40000}) << 8, 8), -32768); // saturates low
+  EXPECT_EQ(relu(-5), 0);
+  EXPECT_EQ(relu(5), 5);
+}
+
+TEST(StrUtil, Formatters) {
+  EXPECT_EQ(format_hz(650e6), "650.0 MHz");
+  EXPECT_EQ(format_hz(1.23e9), "1.23 GHz");
+  EXPECT_EQ(format_bytes(13.7 * 1024 * 1024), "13.7 MB");
+  EXPECT_EQ(format_percent(0.811), "81.1%");
+  EXPECT_EQ(join_x({12, 5, 20}), "12 x 5 x 20");
+  EXPECT_EQ(strformat("%d-%s", 7, "x"), "7-x");
+}
+
+TEST(Csv, WritesEscapedRows) {
+  const std::string path = "test_common_csv_tmp.csv";
+  {
+    CsvWriter w(path, {"a", "b"});
+    w.row({"1", "has,comma"});
+    w.row_numeric({2.5, 3.0});
+  }
+  std::ifstream in(path);
+  std::string l1, l2, l3;
+  std::getline(in, l1);
+  std::getline(in, l2);
+  std::getline(in, l3);
+  EXPECT_EQ(l1, "a,b");
+  EXPECT_EQ(l2, "1,\"has,comma\"");
+  EXPECT_EQ(l3, "2.5,3");
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, ArityMismatchThrows) {
+  const std::string path = "test_common_csv_tmp2.csv";
+  CsvWriter w(path, {"a", "b"});
+  EXPECT_THROW(w.row({"only-one"}), InternalError);
+  std::filesystem::remove(path);
+}
+
+TEST(AsciiTable, RendersAligned) {
+  AsciiTable t({"name", "val"});
+  t.row({"x", "1"});
+  t.row({"longer", "22"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("| name   | val |"), std::string::npos);
+  EXPECT_NE(s.find("| longer | 22  |"), std::string::npos);
+}
+
+TEST(Error, AssertThrowsInternalError) {
+  EXPECT_THROW(FTDL_ASSERT(1 == 2), InternalError);
+  EXPECT_NO_THROW(FTDL_ASSERT(1 == 1));
+}
+
+}  // namespace
+}  // namespace ftdl

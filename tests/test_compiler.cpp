@@ -1,0 +1,437 @@
+// Tests for the FTDL compiler: workload lowering, mapping algebra,
+// adjacency, the analytical model and the mapping search.
+#include <gtest/gtest.h>
+
+#include "arch/overlay_config.h"
+#include "common/error.h"
+#include "compiler/adjacency.h"
+#include "compiler/codegen.h"
+#include "compiler/scheduler.h"
+#include "compiler/search.h"
+#include "fpga/device_zoo.h"
+#include "nn/model_zoo.h"
+
+namespace ftdl::compiler {
+namespace {
+
+using arch::OverlayConfig;
+using arch::paper_config;
+
+nn::Layer example_conv() {
+  // inception_4e/3x3-like layer: M=320, N=160, E=F=14, R=S=3.
+  return nn::make_conv("conv", 160, 14, 14, 320, 3, 1, 1);
+}
+
+// ---- workload lowering ------------------------------------------------------
+
+TEST(Workload, MatMulLowering) {
+  const Workload w = Workload::from_layer(nn::make_matmul("fc", 1024, 1000, 8));
+  EXPECT_EQ(w.kind, WorkloadKind::MatMul);
+  ASSERT_EQ(w.k(), 3);
+  EXPECT_EQ(w.loops[w.loop_index('M')].trip, 1024);
+  EXPECT_TRUE(w.loops[w.loop_index('M')].is_reduction);
+  EXPECT_TRUE(w.loops[w.loop_index('M')].indexes_weight);
+  EXPECT_TRUE(w.loops[w.loop_index('M')].indexes_act);
+  EXPECT_FALSE(w.loops[w.loop_index('N')].indexes_act);
+  EXPECT_FALSE(w.loops[w.loop_index('P')].indexes_weight);
+  EXPECT_EQ(w.macs(), 1024LL * 1000 * 8);
+  EXPECT_EQ(w.weight_words(), 1024LL * 1000);
+}
+
+TEST(Workload, ConvLowering) {
+  const Workload w = Workload::from_layer(example_conv());
+  EXPECT_EQ(w.kind, WorkloadKind::Conv);
+  ASSERT_EQ(w.k(), 6);
+  EXPECT_EQ(w.loops[w.loop_index('M')].trip, 320);
+  EXPECT_EQ(w.loops[w.loop_index('E')].trip, 14);
+  EXPECT_TRUE(w.loops[w.loop_index('N')].is_reduction);
+  EXPECT_TRUE(w.loops[w.loop_index('R')].is_reduction);
+  EXPECT_FALSE(w.loops[w.loop_index('M')].indexes_act);
+  EXPECT_FALSE(w.loops[w.loop_index('E')].indexes_weight);
+  EXPECT_EQ(w.weight_words(), 320LL * 160 * 3 * 3);
+}
+
+TEST(Workload, HostLayersRejected) {
+  EXPECT_THROW(Workload::from_layer(nn::make_ewop("e", 10)), ConfigError);
+  EXPECT_THROW(Workload::from_layer(nn::make_pool("p", 8, 8, 8, 2, 2)),
+               ConfigError);
+}
+
+// ---- mapping algebra --------------------------------------------------------
+
+TEST(Mapping, ProductsAndCoverage) {
+  const Workload w = Workload::from_layer(nn::make_matmul("fc", 12, 10, 8));
+  Mapping m = Mapping::identity(w.k());
+  m.tile(HwLevel::D1, w.loop_index('M')) = 4;
+  m.tile(HwLevel::T, w.loop_index('M')) = 3;
+  m.tile(HwLevel::D2, w.loop_index('N')) = 5;
+  m.tile(HwLevel::X, w.loop_index('N')) = 2;
+  m.tile(HwLevel::T, w.loop_index('P')) = 8;
+
+  EXPECT_EQ(m.level_product(HwLevel::D1), 4);
+  EXPECT_EQ(m.level_product(HwLevel::T), 24);
+  EXPECT_EQ(m.loop_coverage(w.loop_index('M')), 12);
+  EXPECT_EQ(m.temporal_extent(w.loop_index('M')), 3);
+  EXPECT_EQ(m.spatial_extent(w.loop_index('M')), 4);
+  EXPECT_EQ(m.padded_macs(), 12LL * 10 * 8);
+}
+
+TEST(Mapping, LogicalConstraints) {
+  const Workload w = Workload::from_layer(nn::make_matmul("fc", 12, 10, 8));
+  Mapping m = Mapping::identity(w.k());
+  // Nothing covered yet: coverage 1 < trips.
+  EXPECT_FALSE(satisfies_logical_constraints(m, w, 12, 5, 20));
+  m.tile(HwLevel::D1, w.loop_index('M')) = 12;
+  m.tile(HwLevel::D2, w.loop_index('N')) = 5;
+  m.tile(HwLevel::X, w.loop_index('N')) = 2;
+  m.tile(HwLevel::T, w.loop_index('P')) = 8;
+  EXPECT_TRUE(satisfies_logical_constraints(m, w, 12, 5, 20));
+  // Eqn. 10 violation: spatial product exceeds the extent.
+  EXPECT_FALSE(satisfies_logical_constraints(m, w, 11, 5, 20));
+  // Padding is allowed: coverage 16 >= 12 is fine.
+  m.tile(HwLevel::X, w.loop_index('M')) = 2;
+  m.tile(HwLevel::D1, w.loop_index('M')) = 8;
+  EXPECT_TRUE(satisfies_logical_constraints(m, w, 12, 5, 20));
+}
+
+// ---- adjacency (Fig. 5) -----------------------------------------------------
+
+TEST(Adjacency, MatMulMatrix) {
+  const Workload w = Workload::from_layer(nn::make_matmul("fc", 64, 32, 16));
+  const int m = w.loop_index('M'), n = w.loop_index('N'), p = w.loop_index('P');
+  // D1: only the reduction loop M.
+  EXPECT_TRUE(adjacency_allows(w, HwLevel::D1, m));
+  EXPECT_FALSE(adjacency_allows(w, HwLevel::D1, n));
+  EXPECT_FALSE(adjacency_allows(w, HwLevel::D1, p));
+  // D2: only the weight-only loop N (shared ActBUS).
+  EXPECT_FALSE(adjacency_allows(w, HwLevel::D2, m));
+  EXPECT_TRUE(adjacency_allows(w, HwLevel::D2, n));
+  EXPECT_FALSE(adjacency_allows(w, HwLevel::D2, p));
+  // D3, X, T: everything.
+  for (int i : {m, n, p}) {
+    EXPECT_TRUE(adjacency_allows(w, HwLevel::D3, i));
+    EXPECT_TRUE(adjacency_allows(w, HwLevel::X, i));
+    EXPECT_TRUE(adjacency_allows(w, HwLevel::T, i));
+  }
+  // L: activation-indexing loops only (M, P).
+  EXPECT_TRUE(adjacency_allows(w, HwLevel::L, m));
+  EXPECT_FALSE(adjacency_allows(w, HwLevel::L, n));
+  EXPECT_TRUE(adjacency_allows(w, HwLevel::L, p));
+}
+
+TEST(Adjacency, ConvMatrix) {
+  const Workload w = Workload::from_layer(example_conv());
+  const int m = w.loop_index('M'), n = w.loop_index('N');
+  const int r = w.loop_index('R'), e = w.loop_index('E');
+  EXPECT_FALSE(adjacency_allows(w, HwLevel::D1, m));
+  EXPECT_TRUE(adjacency_allows(w, HwLevel::D1, n));
+  EXPECT_TRUE(adjacency_allows(w, HwLevel::D1, r));
+  EXPECT_TRUE(adjacency_allows(w, HwLevel::D2, m));
+  EXPECT_FALSE(adjacency_allows(w, HwLevel::D2, n));
+  EXPECT_FALSE(adjacency_allows(w, HwLevel::D2, e));
+  EXPECT_FALSE(adjacency_allows(w, HwLevel::L, m));  // M does not index acts
+  EXPECT_TRUE(adjacency_allows(w, HwLevel::L, e));
+}
+
+TEST(Adjacency, HostReductionDetected) {
+  const Workload w = Workload::from_layer(example_conv());
+  Mapping m = Mapping::identity(w.k());
+  EXPECT_FALSE(needs_host_reduction(m, w));
+  m.tile(HwLevel::D3, w.loop_index('N')) = 2;  // split reduction across rows
+  EXPECT_TRUE(needs_host_reduction(m, w));
+}
+
+// ---- analytical model -------------------------------------------------------
+
+/// A hand-built, fully feasible mapping of a small MM on the paper config:
+/// M=96 -> D1=12 x T=8; N=100 -> D2=5 x D3=20; P=64 -> T=4 x L=16.
+struct SmallMm {
+  Workload w = Workload::from_layer(nn::make_matmul("fc", 96, 100, 64));
+  Mapping m = Mapping::identity(3);
+  OverlayConfig cfg = paper_config();
+
+  SmallMm() {
+    m.tile(HwLevel::D1, w.loop_index('M')) = 12;
+    m.tile(HwLevel::T, w.loop_index('M')) = 8;
+    m.tile(HwLevel::D2, w.loop_index('N')) = 5;
+    m.tile(HwLevel::D3, w.loop_index('N')) = 20;
+    m.tile(HwLevel::T, w.loop_index('P')) = 4;
+    m.tile(HwLevel::L, w.loop_index('P')) = 16;
+  }
+};
+
+TEST(AnalyticalModel, Eqn7ComputationTime) {
+  SmallMm s;
+  const Performance p = evaluate(s.w, s.m, s.cfg);
+  // X = 1, L = 16, T = 8 * 4 = 32; C_comp = 1 * (16*32 + (12+6)).
+  EXPECT_EQ(p.x, 1);
+  EXPECT_EQ(p.l, 16);
+  EXPECT_EQ(p.t, 32);
+  EXPECT_EQ(p.c_comp, 16 * 32 + 18);
+  EXPECT_TRUE(p.weight_reuse_ok);  // TT_P = 4 >= 2
+}
+
+TEST(AnalyticalModel, PerfectMappingHasUnitEwbuf) {
+  SmallMm s;
+  const Performance p = evaluate(s.w, s.m, s.cfg);
+  // No loop is split spatially except weight loops -> no duplication.
+  EXPECT_NEAR(p.e_wbuf, 1.0, 1e-12);
+  EXPECT_TRUE(p.buffers_fit);
+  // WBUF tile: temporal weight extents = 8 (M) x 1 (N) = 8 words.
+  EXPECT_EQ(p.buffers.wbuf_words_per_tpe, 8);
+  // ActBUF tile: TT_M * TT_P = 8 * 4 = 32 <= 64 usable words.
+  EXPECT_EQ(p.buffers.actbuf_words_per_tpe, 32);
+  // PSum tile: (TT*TL) over non-reduction loops = 1 (N) * 64 (P).
+  EXPECT_EQ(p.buffers.psum_words_per_superblock, 64);
+}
+
+TEST(AnalyticalModel, DuplicationLowersEwbuf) {
+  // Split the act-only loop P across D3: every row stores the same weights.
+  Workload w = Workload::from_layer(nn::make_matmul("fc", 96, 5, 40));
+  OverlayConfig cfg = paper_config();
+  Mapping m = Mapping::identity(3);
+  m.tile(HwLevel::D1, w.loop_index('M')) = 12;
+  m.tile(HwLevel::T, w.loop_index('M')) = 8;
+  m.tile(HwLevel::D2, w.loop_index('N')) = 5;
+  m.tile(HwLevel::D3, w.loop_index('P')) = 20;
+  m.tile(HwLevel::T, w.loop_index('P')) = 2;
+  const Performance p = evaluate(w, m, cfg);
+  EXPECT_NEAR(p.e_wbuf, 1.0 / 20.0, 1e-12);  // 20x duplication
+}
+
+TEST(AnalyticalModel, WeightReusePenaltyWithoutActOnlyInnerLoop) {
+  // All of P spatial: no act-only loop remains in T -> the BRAM weight port
+  // cannot feed the DSP every CLKh cycle.
+  Workload w = Workload::from_layer(nn::make_matmul("fc", 96, 5, 20));
+  OverlayConfig cfg = paper_config();
+  Mapping m = Mapping::identity(3);
+  m.tile(HwLevel::D1, w.loop_index('M')) = 12;
+  m.tile(HwLevel::T, w.loop_index('M')) = 8;
+  m.tile(HwLevel::D2, w.loop_index('N')) = 5;
+  m.tile(HwLevel::D3, w.loop_index('P')) = 20;
+  const Performance p = evaluate(w, m, cfg);
+  EXPECT_FALSE(p.weight_reuse_ok);
+  EXPECT_EQ(p.c_comp, 1 * (2 * 8 + 18));  // burst stretched 2x
+
+  cfg.double_pump = false;  // single clock: no reuse requirement
+  const Performance p2 = evaluate(w, m, cfg);
+  EXPECT_TRUE(p2.weight_reuse_ok);
+}
+
+TEST(AnalyticalModel, MultiPassDoublesPsumTraffic) {
+  Workload w = Workload::from_layer(nn::make_matmul("fc", 192, 100, 64));
+  OverlayConfig cfg = paper_config();
+  Mapping single = Mapping::identity(3);
+  single.tile(HwLevel::D1, w.loop_index('M')) = 12;
+  single.tile(HwLevel::T, w.loop_index('M')) = 16;
+  single.tile(HwLevel::D2, w.loop_index('N')) = 5;
+  single.tile(HwLevel::D3, w.loop_index('N')) = 20;
+  single.tile(HwLevel::T, w.loop_index('P')) = 64;
+
+  Mapping multi = single;
+  multi.tile(HwLevel::T, w.loop_index('M')) = 8;
+  multi.tile(HwLevel::X, w.loop_index('M')) = 2;  // reduction split at X
+
+  const Performance ps = evaluate(w, single, cfg);
+  const Performance pm = evaluate(w, multi, cfg);
+  // Same psum tile, but two passes with store+reload = 4x bus cycles
+  // (2x traffic x 2 X-iterations).
+  EXPECT_EQ(pm.c_psum_bus, 4 * ps.c_psum_bus);
+}
+
+TEST(AnalyticalModel, ExeIsMaxOfChannels) {
+  SmallMm s;
+  const Performance p = evaluate(s.w, s.m, s.cfg);
+  EXPECT_EQ(p.c_exe, std::max({p.c_comp, p.c_act_bus, p.c_psum_bus,
+                               p.c_dram_rd, p.c_dram_wr}));
+  EXPECT_GT(p.hardware_efficiency, 0.0);
+  EXPECT_LE(p.hardware_efficiency, 1.0);
+}
+
+TEST(AnalyticalModel, BalanceScoreNormalization) {
+  SmallMm s;
+  const Performance p = evaluate(s.w, s.m, s.cfg);
+  const std::int64_t cmin = min_execution_cycles(s.w, s.cfg);
+  const double score = balance_score(p, cmin);
+  // Score = Cmin/Cexe + E_WBUF, both terms in (0, 1].
+  EXPECT_GT(score, 0.0);
+  EXPECT_LE(score, 2.0 + 1e-9);
+}
+
+// ---- search -----------------------------------------------------------------
+
+TEST(Search, FindsFeasibleMappingForConv) {
+  const Workload w = Workload::from_layer(example_conv());
+  SearchOptions opt;
+  opt.max_candidates = 20'000;
+  opt.top_k = 10;
+  const SearchResult r = search_mappings(w, paper_config(), opt);
+  ASSERT_FALSE(r.top.empty());
+  EXPECT_GT(r.feasible, 0);
+  for (const Solution& s : r.top) {
+    EXPECT_TRUE(s.perf.feasible);
+    EXPECT_TRUE(satisfies_adjacency(s.mapping, w));
+    EXPECT_TRUE(satisfies_logical_constraints(s.mapping, w, 12, 5, 20));
+  }
+  // Sorted best-first.
+  for (std::size_t i = 1; i < r.top.size(); ++i) {
+    EXPECT_GE(r.top[i - 1].score, r.top[i].score);
+  }
+}
+
+TEST(Search, ConvEfficiencyIsHigh) {
+  // The compiler claim: >80% hardware efficiency on typical CONV layers.
+  const Workload w = Workload::from_layer(example_conv());
+  const Solution s = best_mapping(w, paper_config(), Objective::Performance,
+                                  50'000);
+  EXPECT_GT(s.perf.hardware_efficiency, 0.70) << s.mapping.to_string(w);
+}
+
+TEST(Search, BalanceObjectivePrefersHighEwbuf) {
+  const Workload w = Workload::from_layer(example_conv());
+  const Solution perf =
+      best_mapping(w, paper_config(), Objective::Performance, 30'000);
+  const Solution bal =
+      best_mapping(w, paper_config(), Objective::Balance, 30'000);
+  EXPECT_GE(bal.perf.e_wbuf, perf.perf.e_wbuf - 1e-9);
+  // Balance trades at most a modest slowdown for the WBUF savings.
+  EXPECT_LE(double(bal.perf.c_exe), 3.0 * double(perf.perf.c_exe));
+}
+
+TEST(Search, DeterministicForFixedSeed) {
+  const Workload w = Workload::from_layer(example_conv());
+  SearchOptions opt;
+  opt.max_candidates = 5'000;
+  const SearchResult a = search_mappings(w, paper_config(), opt);
+  const SearchResult b = search_mappings(w, paper_config(), opt);
+  ASSERT_FALSE(a.top.empty());
+  EXPECT_EQ(a.top.front().perf.c_exe, b.top.front().perf.c_exe);
+  EXPECT_EQ(a.evaluated, b.evaluated);
+}
+
+TEST(Search, TinyWorkloadDoesNotHang) {
+  const Workload w = Workload::from_layer(nn::make_matmul("t", 2, 2, 2));
+  SearchOptions opt;
+  opt.max_candidates = 100'000;  // far more than the space size
+  const SearchResult r = search_mappings(w, paper_config(), opt);
+  EXPECT_FALSE(r.top.empty());
+}
+
+TEST(Search, MatMulLayerSchedules) {
+  const Workload w =
+      Workload::from_layer(nn::make_matmul("fc", 1024, 1000, 1));
+  const Solution s = best_mapping(w, paper_config());
+  EXPECT_TRUE(s.perf.feasible);
+  // P=1 (batch 1 FC): weight reuse is impossible, the penalty must appear.
+  EXPECT_FALSE(s.perf.weight_reuse_ok);
+}
+
+// ---- codegen ----------------------------------------------------------------
+
+TEST(Codegen, StreamMatchesMapping) {
+  const nn::Layer layer = example_conv();
+  const LayerProgram prog = compile_layer(layer, paper_config(),
+                                          Objective::Performance, 20'000);
+  ASSERT_GE(prog.row_stream.size(), 8u);
+  // The three SetLoop instructions carry X, L, T of the mapping.
+  EXPECT_EQ(prog.row_stream[0].imm, static_cast<std::uint64_t>(prog.perf.x));
+  EXPECT_EQ(prog.row_stream[1].imm, static_cast<std::uint64_t>(prog.perf.l));
+  EXPECT_EQ(prog.row_stream[2].imm, static_cast<std::uint64_t>(prog.perf.t));
+  EXPECT_EQ(prog.row_stream.back().op, arch::Opcode::Barrier);
+  // Encoded stream decodes back to the same instructions.
+  const auto words = prog.encoded_stream();
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    EXPECT_EQ(arch::decode(words[i]), prog.row_stream[i]);
+  }
+}
+
+// ---- network scheduling -----------------------------------------------------
+
+TEST(Scheduler, SmallNetworkEndToEnd) {
+  nn::Network net("tiny");
+  net.add(nn::make_conv("c1", 16, 28, 28, 32, 3, 1, 1));
+  net.add(nn::make_pool("p1", 32, 28, 28, 2, 2));
+  net.add(nn::make_conv("c2", 32, 14, 14, 64, 3, 1, 1));
+  net.add(nn::make_matmul("fc", 64 * 14 * 14, 10, 1));
+
+  const NetworkSchedule s =
+      schedule_network(net, paper_config(), Objective::Performance, 10'000);
+  EXPECT_EQ(s.layers.size(), 3u);  // pool excluded
+  EXPECT_GT(s.total_cycles, 0);
+  EXPECT_GT(s.fps(), 0.0);
+  EXPECT_GT(s.hardware_efficiency, 0.0);
+  EXPECT_GT(s.host_ewop_ops, 0);
+  EXPECT_EQ(s.overlay_macs,
+            net.layers()[0].macs() + net.layers()[2].macs() +
+                net.layers()[3].macs());
+}
+
+TEST(Scheduler, RepeatedShapesShareOneSearch) {
+  nn::Network net("repeat");
+  for (int i = 0; i < 4; ++i) {
+    net.add(nn::make_conv("c" + std::to_string(i), 32, 14, 14, 32, 3, 1, 1));
+  }
+  const NetworkSchedule s =
+      schedule_network(net, paper_config(), Objective::Performance, 10'000);
+  ASSERT_EQ(s.layers.size(), 4u);
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_EQ(s.layers[i].perf.c_exe, s.layers[0].perf.c_exe);
+  }
+}
+
+TEST(Scheduler, HwConfigSearchKeepsTpeBudget) {
+  nn::Network net("tiny");
+  net.add(nn::make_conv("c1", 64, 14, 14, 64, 3, 1, 1));
+  const auto choice = find_best_hw_config(net, paper_config(),
+                                          fpga::ultrascale_vu125(), 1200,
+                                          3'000);
+  EXPECT_EQ(choice.config.tpes(), 1200);
+  EXPECT_LE(choice.config.d2, 5);
+  EXPECT_LE(choice.config.d1 * choice.config.d3, 240);
+  EXPECT_GT(choice.schedule.hardware_efficiency, 0.0);
+}
+
+TEST(Search, RefinementNeverHurtsAndOftenHelps) {
+  const Workload w = Workload::from_layer(example_conv());
+  SearchOptions base;
+  base.max_candidates = 10'000;
+  base.refine = false;
+  const SearchResult plain = search_mappings(w, paper_config(), base);
+
+  SearchOptions refined = base;
+  refined.refine = true;
+  const SearchResult better = search_mappings(w, paper_config(), refined);
+
+  ASSERT_FALSE(plain.top.empty());
+  ASSERT_FALSE(better.top.empty());
+  EXPECT_GE(better.top.front().score, plain.top.front().score);
+  EXPECT_GE(better.refinement_improvements, 0);
+  EXPECT_EQ(plain.refinement_improvements, 0);
+}
+
+TEST(Codegen, WeightReloadChargedWhenEnabled) {
+  // A big FC forces weight groups; with charge_weight_reload the total
+  // cycles grow by the DRAM streaming time of each group's weights.
+  const nn::Layer fc = nn::make_matmul("big", 2048, 4096, 2);
+  OverlayConfig base = paper_config();
+  const LayerProgram free_reload =
+      compile_layer(fc, base, Objective::Performance, 5'000);
+  ASSERT_GT(free_reload.weight_groups, 1);
+  EXPECT_EQ(free_reload.reload_cycles_per_group, 0);
+
+  OverlayConfig charged_cfg = base;
+  charged_cfg.charge_weight_reload = true;
+  const LayerProgram charged =
+      compile_layer(fc, charged_cfg, Objective::Performance, 5'000);
+  EXPECT_GT(charged.reload_cycles_per_group, 0);
+  EXPECT_GT(charged.total_cycles(),
+            charged.perf.c_exe * charged.weight_groups);
+  // Reload time matches the group weight volume at the DRAM bandwidth.
+  const double bytes = 2.0 * double(charged.perf.buffers.wbuf_words_per_tpe) *
+                       charged_cfg.tpes();
+  EXPECT_NEAR(double(charged.reload_cycles_per_group),
+              bytes / charged_cfg.dram_rd_bytes_per_cycle(), 1.0);
+}
+
+}  // namespace
+}  // namespace ftdl::compiler

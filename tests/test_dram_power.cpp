@@ -1,0 +1,148 @@
+// Tests for the DRAM model and the FPGA/system power model.
+#include <gtest/gtest.h>
+
+#include "arch/overlay_config.h"
+#include "common/error.h"
+#include "dram/bank_sim.h"
+#include "dram/dram_power.h"
+#include "fpga/device_zoo.h"
+#include "power/fpga_power.h"
+
+namespace ftdl {
+namespace {
+
+TEST(DramSpec, Ddr4IsValid) {
+  const dram::DramSpec s = dram::DramSpec::ddr4_2400();
+  EXPECT_NO_THROW(s.validate());
+  EXPECT_GT(s.peak_bytes_per_sec, 19e9);
+}
+
+TEST(DramTrace, ByteAccounting) {
+  dram::AccessTrace t;
+  t.add(0, dram::AccessKind::Read, 100);
+  t.add(10, dram::AccessKind::Write, 50);
+  t.add(20, dram::AccessKind::Read, 25);
+  EXPECT_EQ(t.read_bytes(), 125u);
+  EXPECT_EQ(t.write_bytes(), 50u);
+  EXPECT_EQ(t.total_bytes(), 175u);
+}
+
+TEST(DramPower, EnergyScalesWithVolume) {
+  const dram::DramSpec spec = dram::DramSpec::ddr4_2400();
+  const auto small = dram::evaluate_volume(1 << 20, 1 << 20, 0.01, spec);
+  const auto big = dram::evaluate_volume(1 << 24, 1 << 24, 0.01, spec);
+  EXPECT_GT(big.total_joules(), small.total_joules());
+  // Access-proportional components scale 16x; background does not.
+  EXPECT_NEAR(big.io_joules / small.io_joules, 16.0, 1e-6);
+  // Background energy depends only weakly on volume (standby blend).
+  EXPECT_GT(big.background_joules, 0.0);
+  EXPECT_LT(std::abs(big.background_joules - small.background_joules),
+            big.background_joules);
+}
+
+TEST(DramPower, TransferTimeMatchesPeakBandwidth) {
+  const dram::DramSpec spec = dram::DramSpec::ddr4_2400();
+  const std::uint64_t bytes = 1 << 30;
+  const auto r = dram::evaluate_volume(bytes, 0, 1.0, spec, /*channels=*/1);
+  EXPECT_NEAR(r.transfer_seconds, double(bytes) / spec.peak_bytes_per_sec, 1e-9);
+  const auto r2 = dram::evaluate_volume(bytes, 0, 1.0, spec, /*channels=*/2);
+  EXPECT_NEAR(r2.transfer_seconds, r.transfer_seconds / 2.0, 1e-9);
+}
+
+TEST(DramPower, TraceEvaluationUsesClock) {
+  dram::AccessTrace t;
+  t.add(0, dram::AccessKind::Read, 1 << 20);
+  t.total_cycles = 650'000'000;  // one second at 650 MHz
+  const auto r = dram::evaluate_trace(t, dram::DramSpec::ddr4_2400(), 650e6);
+  EXPECT_NEAR(r.span_seconds, 1.0, 1e-9);
+  EXPECT_GT(r.average_watts(), 0.0);
+  EXPECT_THROW(dram::evaluate_trace(t, dram::DramSpec::ddr4_2400(), 0.0),
+               ConfigError);
+}
+
+TEST(DramPower, IdleTraceStillBurnsBackground) {
+  const auto r = dram::evaluate_volume(0, 0, 1.0, dram::DramSpec::ddr4_2400());
+  EXPECT_GT(r.background_joules, 0.0);
+  EXPECT_DOUBLE_EQ(r.io_joules, 0.0);
+  EXPECT_DOUBLE_EQ(r.rw_joules, 0.0);
+}
+
+TEST(FpgaPower, PaperConfigLandsNearReportedPower) {
+  // Table II: ~45.8 W for the 1200-TPE design at 650 MHz, ~81% activity.
+  const auto b = power::estimate_power(fpga::ultrascale_vu125(),
+                                       arch::paper_config(), 0.811,
+                                       /*dram_avg_w=*/3.5);
+  EXPECT_GT(b.total_w(), 38.0);
+  EXPECT_LT(b.total_w(), 54.0);
+  EXPECT_GT(b.dsp_w, b.clock_w);  // the datapath dominates
+}
+
+TEST(FpgaPower, PowerScalesWithActivityAndClock) {
+  const fpga::Device dev = fpga::ultrascale_vu125();
+  arch::OverlayConfig cfg = arch::paper_config();
+  const auto busy = power::estimate_power(dev, cfg, 0.9, 0.0);
+  const auto idle = power::estimate_power(dev, cfg, 0.1, 0.0);
+  EXPECT_GT(busy.total_w(), idle.total_w());
+  EXPECT_DOUBLE_EQ(busy.static_w, idle.static_w);  // leakage is constant
+
+  arch::OverlayConfig slow = cfg;
+  slow.clocks = fpga::ClockPair::from_high(325e6);
+  const auto half = power::estimate_power(dev, slow, 0.9, 0.0);
+  EXPECT_NEAR(half.dsp_w, busy.dsp_w / 2.0, 1e-9);
+}
+
+TEST(FpgaPower, GopsPerWatt) {
+  power::PowerBreakdown b;
+  b.dsp_w = 40.0;
+  b.static_w = 5.8;
+  EXPECT_NEAR(power::power_efficiency_gops_per_w(1264.9, b), 27.6, 0.1);
+}
+
+TEST(BankSim, SequentialStreamsAreMostlyRowHits) {
+  dram::AccessTrace t;
+  for (int i = 0; i < 64; ++i) {
+    t.add(static_cast<std::uint64_t>(i), dram::AccessKind::Read, 16384);
+  }
+  const auto r = dram::replay_trace(t, dram::DramSpec::ddr4_2400());
+  // 16 KB events over 1 KB rows in 64 B bursts: ~15 of every 16 bursts
+  // hit the open row.
+  EXPECT_GT(r.bursts, 0u);
+  EXPECT_GT(r.row_hit_rate(), 0.9);
+  // Achieved bandwidth close to (but below) the pin peak.
+  const double bw = r.achieved_bytes_per_sec(64ull * 16384);
+  EXPECT_LT(bw, dram::DramSpec::ddr4_2400().peak_bytes_per_sec);
+  EXPECT_GT(bw, 0.7 * dram::DramSpec::ddr4_2400().peak_bytes_per_sec);
+}
+
+TEST(BankSim, SmallScatteredEventsPayActivates) {
+  // Alternating tiny read/write events ping-pong between regions: every
+  // burst opens a new row in its bank far more often.
+  dram::AccessTrace t;
+  for (int i = 0; i < 256; ++i) {
+    t.add(static_cast<std::uint64_t>(i),
+          i % 2 ? dram::AccessKind::Write : dram::AccessKind::Read, 64);
+  }
+  const auto scattered = dram::replay_trace(t, dram::DramSpec::ddr4_2400());
+  const double bw = scattered.achieved_bytes_per_sec(256 * 64);
+  // Far below peak: activate/precharge dominate 64-byte transfers.
+  EXPECT_LT(bw, 0.5 * dram::DramSpec::ddr4_2400().peak_bytes_per_sec);
+}
+
+TEST(BankSim, EffectiveBandwidthSupportsThePaperSetting) {
+  // Two DDR4-2400 channels with the overlay's long tile bursts sustain
+  // more than the paper's 26 GB/s assumption.
+  const double one_channel = dram::effective_bandwidth(dram::DramSpec::ddr4_2400());
+  EXPECT_GT(2.0 * one_channel, 26e9);
+  EXPECT_LT(one_channel, dram::DramSpec::ddr4_2400().peak_bytes_per_sec);
+}
+
+TEST(BankSim, InvalidTimingRejected) {
+  dram::BankTiming bad;
+  bad.banks = 0;
+  EXPECT_THROW(dram::replay_trace(dram::AccessTrace{},
+                                  dram::DramSpec::ddr4_2400(), bad),
+               ConfigError);
+}
+
+}  // namespace
+}  // namespace ftdl

@@ -1,0 +1,159 @@
+// Tests for the design-space explorer and the generated testbenches.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.h"
+#include "dse/explorer.h"
+#include "fpga/device_zoo.h"
+#include "nn/model_zoo.h"
+#include "rtlgen/testbench_gen.h"
+
+namespace ftdl {
+namespace {
+
+nn::Network small_net() {
+  nn::Network net("dse-net");
+  net.add(nn::make_conv("c1", 64, 28, 28, 96, 3, 1, 1));
+  net.add(nn::make_conv("c2", 96, 28, 28, 128, 3, 1, 1));
+  net.validate_graph();
+  return net;
+}
+
+dse::DseOptions fast_options() {
+  dse::DseOptions opt;
+  opt.d1_candidates = {8, 12, 16, 24};
+  opt.search_budget_per_layer = 3'000;
+  return opt;
+}
+
+TEST(Dse, ExploresAndRanksByFps) {
+  const auto r = dse::explore(small_net(), fpga::ultrascale_vu125(),
+                              arch::paper_config(), fast_options());
+  ASSERT_GT(r.points.size(), 4u);
+  for (std::size_t i = 1; i < r.points.size(); ++i) {
+    EXPECT_GE(r.points[i - 1].fps, r.points[i].fps);
+  }
+  for (const auto& p : r.points) {
+    EXPECT_GT(p.fps, 0.0);
+    EXPECT_GT(p.power_w, 0.0);
+    EXPECT_GT(p.efficiency, 0.0);
+    EXPECT_LE(p.efficiency, 1.0);
+    EXPECT_GE(double(p.tpes),
+              0.5 * fpga::ultrascale_vu125().total_dsp());  // min util filter
+    // Derived clock is on the 25 MHz grid and physically plausible.
+    EXPECT_NEAR(std::fmod(p.clk_h_hz, 25e6), 0.0, 1.0);
+    EXPECT_GT(p.clk_h_hz, 500e6);
+  }
+}
+
+TEST(Dse, FrontierIsNonDominated) {
+  const auto r = dse::explore(small_net(), fpga::ultrascale_vu125(),
+                              arch::paper_config(), fast_options());
+  const auto front = r.frontier();
+  ASSERT_FALSE(front.empty());
+  for (const auto& a : front) {
+    for (const auto& b : r.points) {
+      EXPECT_FALSE(b.fps > a.fps && b.power_w < a.power_w)
+          << "frontier point dominated";
+    }
+  }
+  // The fastest point is always on the frontier.
+  EXPECT_TRUE(r.points.front().pareto);
+}
+
+TEST(Dse, CsvExport) {
+  const auto r = dse::explore(small_net(), fpga::ultrascale_vu125(),
+                              arch::paper_config(), fast_options());
+  const std::string path = dse::export_csv(r, "dse_test_tmp.csv");
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_NE(header.find("gops_per_w"), std::string::npos);
+  int rows = 0;
+  for (std::string l; std::getline(in, l);) ++rows;
+  EXPECT_EQ(rows, static_cast<int>(r.points.size()));
+  std::filesystem::remove(path);
+}
+
+TEST(Dse, EmptyCandidatesThrow) {
+  dse::DseOptions opt;
+  opt.d1_candidates.clear();
+  EXPECT_THROW(dse::explore(small_net(), fpga::ultrascale_vu125(),
+                            arch::paper_config(), opt),
+               ConfigError);
+}
+
+TEST(TestbenchGen, BundleContainsBenchesAndStimulus) {
+  const arch::OverlayConfig cfg = arch::paper_config();
+  const auto prog = compiler::compile_layer(
+      nn::make_conv("c", 32, 14, 14, 32, 3, 1, 1), cfg,
+      compiler::Objective::Performance, 3'000);
+  const rtlgen::RtlBundle b = rtlgen::generate_testbenches(prog, cfg);
+  EXPECT_TRUE(b.contains("tb_ftdl_controller.v"));
+  EXPECT_TRUE(b.contains("tb_ftdl_tpe.v"));
+  EXPECT_TRUE(b.contains("insts.hex"));
+  EXPECT_TRUE(b.contains("weights.hex"));
+  EXPECT_TRUE(b.contains("acts.hex"));
+  EXPECT_TRUE(b.contains("ftdl_top.v"));  // the DUT RTL rides along
+
+  // The instruction hex matches the program stream word for word.
+  const auto words = prog.encoded_stream();
+  std::istringstream in(b.at("insts.hex"));
+  std::string line;
+  std::size_t i = 0;
+  while (std::getline(in, line)) {
+    ASSERT_LT(i, words.size());
+    EXPECT_EQ(std::stoull(line, nullptr, 16), words[i]);
+    ++i;
+  }
+  EXPECT_EQ(i, words.size());
+}
+
+TEST(TestbenchGen, ControllerBenchChecksXLT) {
+  const arch::OverlayConfig cfg = arch::paper_config();
+  const auto prog = compiler::compile_layer(
+      nn::make_conv("c", 32, 14, 14, 32, 3, 1, 1), cfg,
+      compiler::Objective::Performance, 3'000);
+  const auto b = rtlgen::generate_testbenches(prog, cfg);
+  const long long xlt =
+      static_cast<long long>(prog.perf.x) * prog.perf.l * prog.perf.t;
+  EXPECT_NE(b.at("tb_ftdl_controller.v").find(std::to_string(xlt)),
+            std::string::npos);
+  EXPECT_NE(b.at("tb_ftdl_controller.v").find("$fatal"), std::string::npos);
+}
+
+TEST(TestbenchGen, TpeGoldenMatchesStimulus) {
+  // Recompute the golden dot product from the emitted hex files and check
+  // it appears in the bench's comparison.
+  const arch::OverlayConfig cfg = arch::paper_config();
+  const auto prog = compiler::compile_layer(
+      nn::make_conv("c", 16, 8, 8, 16, 3, 1, 1), cfg,
+      compiler::Objective::Performance, 3'000);
+  const auto b = rtlgen::generate_testbenches(prog, cfg);
+
+  auto parse_hex16 = [](const std::string& text) {
+    std::vector<std::int16_t> out;
+    std::istringstream in(text);
+    for (std::string l; std::getline(in, l);) {
+      out.push_back(static_cast<std::int16_t>(
+          static_cast<std::uint16_t>(std::stoul(l, nullptr, 16))));
+    }
+    return out;
+  };
+  const auto weights = parse_hex16(b.at("weights.hex"));
+  const auto acts = parse_hex16(b.at("acts.hex"));
+  ASSERT_EQ(acts.size(), 2 * weights.size());
+  long long golden = 0;
+  for (std::size_t i = 0; i < acts.size(); ++i) {
+    golden += static_cast<long long>(weights[i / 2]) * acts[i];
+  }
+  EXPECT_NE(b.at("tb_ftdl_tpe.v").find(std::to_string(golden)),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace ftdl

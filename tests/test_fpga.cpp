@@ -1,0 +1,110 @@
+// Unit tests for the FPGA device model and double-pump clocking.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "fpga/clocking.h"
+#include "fpga/device_zoo.h"
+
+namespace ftdl::fpga {
+namespace {
+
+TEST(DeviceZoo, PaperDevicesHavePaperResourceCounts) {
+  const Device v7 = virtex7_vx330t();
+  EXPECT_EQ(v7.total_dsp(), 1120);   // xc7vx330t
+  EXPECT_EQ(v7.total_bram18(), 1500);
+  EXPECT_EQ(v7.family, Family::Virtex7);
+
+  const Device vu = ultrascale_vu125();
+  EXPECT_EQ(vu.total_dsp(), 1200);   // Table II: 1200 DSPs -> 1200 TPEs
+  EXPECT_EQ(vu.family, Family::UltraScale);
+}
+
+TEST(DeviceZoo, AllDevicesValidate) {
+  for (const auto& name : device_names()) {
+    const Device d = device_by_name(name);
+    EXPECT_NO_THROW(d.validate()) << name;
+    EXPECT_GT(d.total_dsp(), 0) << name;
+    EXPECT_LE(d.dsp_per_column, 240) << name;  // paper: 20..240 per column
+    EXPECT_GE(d.dsp_per_column, 20) << name;
+  }
+}
+
+TEST(DeviceZoo, UnknownDeviceThrows) {
+  EXPECT_THROW(device_by_name("xc_nonexistent"), ConfigError);
+}
+
+TEST(Device, GeometryIsOnDie) {
+  const Device d = ultrascale_vu125();
+  for (int c = 0; c < d.dsp_columns; ++c) {
+    const double x = d.dsp_col_x_um(c);
+    EXPECT_GT(x, 0.0);
+    EXPECT_LT(x, d.die_width_um());
+  }
+  const Point p = d.dsp_site(3, 7);
+  EXPECT_GT(p.y_um, 0.0);
+  EXPECT_LT(p.y_um, d.die_height_um());
+}
+
+TEST(Device, DspColumnsMonotoneInX) {
+  const Device d = virtex7_vx330t();
+  for (int c = 1; c < d.dsp_columns; ++c) {
+    EXPECT_LT(d.dsp_col_x_um(c - 1), d.dsp_col_x_um(c));
+  }
+}
+
+TEST(Device, NearestBramColumnIsActuallyNearest) {
+  const Device d = virtex7_vx330t();
+  for (int c = 0; c < d.dsp_columns; ++c) {
+    const int best = d.nearest_bram_column(c);
+    const double x = d.dsp_col_x_um(c);
+    const double best_d = std::abs(d.bram_col_x_um(best) - x);
+    for (int j = 0; j < d.bram18_columns; ++j) {
+      EXPECT_LE(best_d, std::abs(d.bram_col_x_um(j) - x) + 1e-9);
+    }
+  }
+}
+
+TEST(Device, ManhattanDistance) {
+  EXPECT_DOUBLE_EQ(manhattan_um({0, 0}, {3, 4}), 7.0);
+  EXPECT_DOUBLE_EQ(manhattan_um({-1, 2}, {1, -2}), 6.0);
+}
+
+TEST(Device, ValidateRejectsBadConfigs) {
+  Device d = virtex7_vx330t();
+  d.dsp_per_column = 0;
+  EXPECT_THROW(d.validate(), ConfigError);
+
+  d = virtex7_vx330t();
+  d.dsp_per_column = 300;  // taller than any real device
+  EXPECT_THROW(d.validate(), ConfigError);
+
+  d = virtex7_vx330t();
+  d.col_pitch_um = -1.0;
+  EXPECT_THROW(d.validate(), ConfigError);
+}
+
+TEST(Clocking, DatasheetLimits) {
+  const PrimitiveTiming t{740e6, 528e6, 740e6};
+  // CLKh bounded by DSP (740) since 2 x BRAM = 1056 is higher.
+  EXPECT_DOUBLE_EQ(datasheet_clk_h_limit(t), 740e6);
+  // Single-clock design collapses to the BRAM ceiling.
+  EXPECT_DOUBLE_EQ(single_clock_limit(t), 528e6);
+
+  // A slow-BRAM part where the BRAM side binds CLKh.
+  const PrimitiveTiming slow{740e6, 300e6, 740e6};
+  EXPECT_DOUBLE_EQ(datasheet_clk_h_limit(slow), 600e6);
+}
+
+TEST(Clocking, ValidatePair) {
+  const PrimitiveTiming t{740e6, 528e6, 740e6};
+  EXPECT_NO_THROW(validate_clock_pair(ClockPair::from_high(650e6), t));
+  // CLKh above DSP fmax.
+  EXPECT_THROW(validate_clock_pair(ClockPair::from_high(800e6), t), ConfigError);
+  // CLKl above BRAM fmax (CLKh = 1.2 GHz -> CLKl = 600 MHz > 528).
+  EXPECT_THROW(validate_clock_pair(ClockPair::from_high(1.2e9), t), ConfigError);
+  // Non-2x relationship.
+  EXPECT_THROW(validate_clock_pair(ClockPair{300e6, 650e6}, t), ConfigError);
+}
+
+}  // namespace
+}  // namespace ftdl::fpga

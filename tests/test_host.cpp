@@ -1,0 +1,113 @@
+// Tests for the host EWOP kernels (fixed-point nonlinearities, saturating
+// ops, LSTM cell update) and the host pipeline model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arch/overlay_config.h"
+#include "compiler/scheduler.h"
+#include "host/ewop_kernels.h"
+#include "host/host_pipeline.h"
+#include "nn/model_zoo.h"
+
+namespace ftdl::host {
+namespace {
+
+std::int16_t to_q412(double x) {
+  return static_cast<std::int16_t>(std::lround(x * 4096.0));
+}
+double from_q114(std::int16_t v) { return double(v) / 16384.0; }
+
+TEST(EwopKernels, SatAdd) {
+  EXPECT_EQ(sat_add(100, 200), 300);
+  EXPECT_EQ(sat_add(32000, 32000), 32767);
+  EXPECT_EQ(sat_add(-32000, -32000), -32768);
+}
+
+TEST(EwopKernels, SigmoidShape) {
+  // sigmoid(0) = 0.5, saturates toward 0/1, monotone.
+  EXPECT_NEAR(from_q114(sigmoid_q(0)), 0.5, 0.01);
+  EXPECT_NEAR(from_q114(sigmoid_q(to_q412(4.0))), 1.0 / (1 + std::exp(-4.0)),
+              0.01);
+  EXPECT_NEAR(from_q114(sigmoid_q(to_q412(-4.0))), 1.0 / (1 + std::exp(4.0)),
+              0.01);
+  for (int x = -30000; x < 30000; x += 700) {
+    EXPECT_LE(sigmoid_q(static_cast<std::int16_t>(x)),
+              sigmoid_q(static_cast<std::int16_t>(x + 700)));
+  }
+}
+
+TEST(EwopKernels, TanhShape) {
+  EXPECT_NEAR(from_q114(tanh_q(0)), 0.0, 0.01);
+  EXPECT_NEAR(from_q114(tanh_q(to_q412(2.0))), std::tanh(2.0), 0.01);
+  // Odd symmetry within LUT quantization.
+  for (double x : {0.5, 1.0, 3.0}) {
+    EXPECT_NEAR(from_q114(tanh_q(to_q412(x))),
+                -from_q114(tanh_q(to_q412(-x))), 0.02);
+  }
+}
+
+TEST(EwopKernels, ReluAndAdd) {
+  nn::Tensor16 a({4});
+  nn::Tensor16 b({4});
+  a[0] = -5; a[1] = 5; a[2] = 30000; a[3] = 0;
+  b[0] = 2;  b[1] = 2; b[2] = 30000; b[3] = 0;
+  nn::Tensor16 sum = add(a, b);
+  EXPECT_EQ(sum[0], -3);
+  EXPECT_EQ(sum[2], 32767);  // saturated
+  relu_inplace(sum);
+  EXPECT_EQ(sum[0], 0);
+  EXPECT_EQ(sum[1], 7);
+}
+
+TEST(EwopKernels, LstmCellAgainstDoubleReference) {
+  // One cell update compared against double-precision math.
+  const double pi = 0.7, pf = -0.3, pg = 0.5, po = 1.2, c0 = 0.4;
+  LstmCellState st{nn::Tensor16({1}), nn::Tensor16({1})};
+  st.c[0] = to_q412(c0);
+  nn::Tensor16 i({1}), f({1}), g({1}), o({1});
+  i[0] = to_q412(pi); f[0] = to_q412(pf); g[0] = to_q412(pg); o[0] = to_q412(po);
+  lstm_cell_update(i, f, g, o, st);
+
+  auto sig = [](double x) { return 1.0 / (1.0 + std::exp(-x)); };
+  const double c1 = sig(pf) * c0 + sig(pi) * std::tanh(pg);
+  const double h1 = sig(po) * std::tanh(c1);
+  EXPECT_NEAR(double(st.c[0]) / 4096.0, c1, 0.02);
+  EXPECT_NEAR(double(st.h[0]) / 4096.0, h1, 0.02);
+}
+
+TEST(HostPipeline, PaperClaimHoldsOnGoogLeNet) {
+  // "The performance was not bounded by these layers" — check it: at a
+  // modest 20 Gops/s host, EWOP time is far below overlay time.
+  const nn::Network net = nn::googlenet();
+  const auto sched = compiler::schedule_network(net, arch::paper_config(),
+                                                compiler::Objective::Performance,
+                                                10'000);
+  const PipelineReport r = evaluate_pipeline(net, sched, HostModel{});
+  EXPECT_FALSE(r.ewop_bounds_throughput);
+  EXPECT_LT(r.host_over_overlay, 0.25);
+  EXPECT_DOUBLE_EQ(r.frame_seconds, r.overlay_seconds);
+  EXPECT_GT(r.worst_stage_ratio, 0.0);
+}
+
+TEST(HostPipeline, SlowHostBreaksTheClaim) {
+  const nn::Network net = nn::googlenet();
+  const auto sched = compiler::schedule_network(net, arch::paper_config(),
+                                                compiler::Objective::Performance,
+                                                10'000);
+  const double required = required_host_ops_per_sec(net, sched);
+  EXPECT_GT(required, 0.0);
+
+  HostModel slow;
+  slow.ewop_ops_per_sec = required / 2.0;
+  const PipelineReport r = evaluate_pipeline(net, sched, slow);
+  EXPECT_TRUE(r.ewop_bounds_throughput);
+  EXPECT_GT(r.frame_seconds, r.overlay_seconds);
+
+  HostModel fast;
+  fast.ewop_ops_per_sec = required * 2.0;
+  EXPECT_FALSE(evaluate_pipeline(net, sched, fast).ewop_bounds_throughput);
+}
+
+}  // namespace
+}  // namespace ftdl::host

@@ -1,0 +1,101 @@
+// Tests for the multi-FPGA pipeline partitioner.
+#include <gtest/gtest.h>
+
+#include "arch/overlay_config.h"
+#include "common/error.h"
+#include "compiler/scheduler.h"
+#include "multifpga/partition.h"
+#include "nn/model_zoo.h"
+
+namespace ftdl::multifpga {
+namespace {
+
+compiler::NetworkSchedule small_schedule() {
+  nn::Network net("chain");
+  net.add(nn::make_conv("c1", 16, 28, 28, 32, 3, 1, 1));
+  net.add(nn::make_conv("c2", 32, 28, 28, 32, 3, 1, 1));
+  net.add(nn::make_conv("c3", 32, 28, 28, 64, 3, 1, 1));
+  net.add(nn::make_conv("c4", 64, 28, 28, 64, 3, 1, 1));
+  net.validate_graph();
+  return compiler::schedule_network(net, arch::paper_config(),
+                                    compiler::Objective::Performance, 8'000);
+}
+
+TEST(MultiFpga, DeviceCapacityIsTpesTimesWbuf) {
+  EXPECT_EQ(device_weight_capacity(arch::paper_config()), 1200LL * 1024);
+}
+
+TEST(MultiFpga, SingleDeviceIsOneStage) {
+  const auto sched = small_schedule();
+  const MultiFpgaPlan plan = partition_pipeline(sched, 1);
+  ASSERT_EQ(plan.stages.size(), 1u);
+  EXPECT_EQ(plan.stages[0].first_layer, 0u);
+  EXPECT_EQ(plan.stages[0].last_layer, sched.layers.size() - 1);
+  // One stage, no link: FPS equals the schedule's own rate.
+  EXPECT_NEAR(plan.fps, sched.fps(), sched.fps() * 1e-9);
+  EXPECT_NEAR(plan.balance, 1.0, 1e-9);
+}
+
+TEST(MultiFpga, MoreDevicesNeverSlower) {
+  const auto sched = small_schedule();
+  double prev_fps = 0.0;
+  for (int d = 1; d <= 4; ++d) {
+    const MultiFpgaPlan plan = partition_pipeline(sched, d);
+    EXPECT_GE(plan.fps, prev_fps * 0.999) << d << " devices";
+    prev_fps = plan.fps;
+    // Stages are contiguous and cover all layers exactly once.
+    std::size_t expect_first = 0;
+    for (const StagePlan& st : plan.stages) {
+      EXPECT_EQ(st.first_layer, expect_first);
+      expect_first = st.last_layer + 1;
+    }
+    EXPECT_EQ(expect_first, sched.layers.size());
+  }
+}
+
+TEST(MultiFpga, PipeliningImprovesThroughputNotLatency) {
+  const auto sched = small_schedule();
+  const MultiFpgaPlan one = partition_pipeline(sched, 1);
+  const MultiFpgaPlan four = partition_pipeline(sched, 4);
+  EXPECT_GT(four.fps, 1.5 * one.fps);  // 4 near-equal stages
+  // Latency includes every stage plus link hops: never below 1-device.
+  EXPECT_GE(four.latency_seconds, one.latency_seconds * 0.99);
+}
+
+TEST(MultiFpga, GoogLeNetNeedsMultipleDevicesForResidency) {
+  // GoogLeNet has ~7 M unique weight words (plus duplication); one vu125
+  // holds 1.23 M. The paper's multi-FPGA answer should land at a handful
+  // of devices.
+  const auto sched = compiler::schedule_network(
+      nn::googlenet(), arch::paper_config(),
+      compiler::Objective::Balance, 10'000);
+  const MultiFpgaPlan single = partition_pipeline(sched, 1);
+  EXPECT_FALSE(single.weights_resident);
+
+  const int need = min_devices_for_residency(sched);
+  EXPECT_GE(need, 5);
+  EXPECT_LE(need, 24);
+  const MultiFpgaPlan plan = partition_pipeline(sched, need);
+  EXPECT_TRUE(plan.weights_resident);
+  EXPECT_GT(plan.fps, sched.fps());  // pipelining also buys throughput
+}
+
+TEST(MultiFpga, SlowLinkShiftsBottleneck) {
+  const auto sched = small_schedule();
+  LinkModel slow;
+  slow.bytes_per_sec = 1e6;  // pathological 1 MB/s
+  const MultiFpgaPlan fast = partition_pipeline(sched, 4);
+  const MultiFpgaPlan choked = partition_pipeline(sched, 4, slow);
+  EXPECT_LT(choked.fps, fast.fps);
+}
+
+TEST(MultiFpga, InvalidInputsThrow) {
+  const auto sched = small_schedule();
+  EXPECT_THROW(partition_pipeline(sched, 0), ConfigError);
+  compiler::NetworkSchedule empty;
+  empty.config = arch::paper_config();
+  EXPECT_THROW(partition_pipeline(empty, 2), ConfigError);
+}
+
+}  // namespace
+}  // namespace ftdl::multifpga

@@ -1,0 +1,156 @@
+// Tests for structured channel pruning.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "nn/model_zoo.h"
+#include "prune/channel_prune.h"
+#include "runtime/executor.h"
+
+namespace ftdl::prune {
+namespace {
+
+nn::Network chain() {
+  nn::Network net("chain");
+  net.add(nn::make_conv("c1", 8, 16, 16, 32, 3, 1, 1));
+  net.add(nn::make_conv("c2", 32, 16, 16, 64, 3, 1, 1));
+  net.add(nn::make_pool("p", 64, 16, 16, 2, 2));
+  net.add(nn::make_matmul("fc", 64 * 8 * 8, 10, 1));
+  net.validate_graph();
+  return net;
+}
+
+TEST(Prune, HalfKeepPropagatesThroughChain) {
+  PruneSpec spec;
+  spec.conv_keep_ratio = 0.5;
+  PruneReport rep;
+  const nn::Network pruned = prune_channels(chain(), spec, &rep);
+
+  const auto& ls = pruned.layers();
+  EXPECT_EQ(ls[0].out_c, 16);
+  EXPECT_EQ(ls[1].in_c, 16);   // consumer narrowed
+  EXPECT_EQ(ls[1].out_c, 32);
+  EXPECT_EQ(ls[2].in_c, 32);   // pool passes channels through
+  EXPECT_EQ(ls[3].mm_m, 32LL * 8 * 8);  // fc flatten re-derived
+  EXPECT_EQ(rep.layers_pruned, 2);
+  // c1 MACs: out and in both ~halved elsewhere; total ~ 1/4 on c2.
+  EXPECT_LT(rep.macs_after, rep.macs_before / 2);
+  EXPECT_GT(rep.mac_reduction(), 0.5);
+}
+
+TEST(Prune, RoundsToChannelMultiple) {
+  PruneSpec spec;
+  spec.conv_keep_ratio = 0.4;  // 32 * 0.4 = 12.8 -> 13 -> round to 16
+  spec.channel_multiple = 8;
+  const nn::Network pruned = prune_channels(chain(), spec, nullptr);
+  EXPECT_EQ(pruned.layers()[0].out_c, 16);
+  EXPECT_EQ(pruned.layers()[0].out_c % 8, 0);
+}
+
+TEST(Prune, KeepRatioOneIsIdentity) {
+  PruneSpec spec;
+  PruneReport rep;
+  const nn::Network pruned = prune_channels(chain(), spec, &rep);
+  EXPECT_EQ(rep.macs_before, rep.macs_after);
+  EXPECT_EQ(rep.layers_pruned, 0);
+  for (std::size_t i = 0; i < pruned.layers().size(); ++i) {
+    EXPECT_EQ(pruned.layers()[i].macs(), chain().layers()[i].macs());
+  }
+}
+
+TEST(Prune, OverridesApplyPerLayer) {
+  PruneSpec spec;
+  spec.overrides["c1"] = 0.25;
+  spec.channel_multiple = 1;
+  const nn::Network pruned = prune_channels(chain(), spec, nullptr);
+  EXPECT_EQ(pruned.layers()[0].out_c, 8);
+  EXPECT_EQ(pruned.layers()[1].out_c, 64);  // default ratio 1.0
+}
+
+TEST(Prune, ResidualProducersAreProtected) {
+  nn::Network net("res");
+  net.add(nn::make_conv("stem", 3, 8, 8, 16, 3, 1, 1));
+  net.add(nn::with_inputs(nn::make_conv("c1", 16, 8, 8, 16, 3, 1, 1), {"stem"}));
+  net.add(nn::make_conv("c2", 16, 8, 8, 16, 3, 1, 1, false));
+  net.add(nn::make_add_relu("add", 16 * 8 * 8, {"c2", "stem"}));
+  net.validate_graph();
+
+  PruneSpec spec;
+  spec.conv_keep_ratio = 0.5;
+  PruneReport rep;
+  const nn::Network pruned = prune_channels(net, spec, &rep);
+  // stem and c2 feed the residual add: both keep 16 channels.
+  EXPECT_EQ(pruned.layers()[0].out_c, 16);
+  EXPECT_EQ(pruned.layers()[2].out_c, 16);
+  // c1 (inside the block) is prunable.
+  EXPECT_EQ(pruned.layers()[1].out_c, 8);
+  EXPECT_GE(rep.layers_protected, 2);
+  EXPECT_NO_THROW(pruned.validate_graph());
+}
+
+TEST(Prune, InceptionConcatWidthsRecomputed) {
+  PruneSpec spec;
+  spec.conv_keep_ratio = 0.5;
+  const nn::Network pruned = prune_channels(nn::googlenet(), spec, nullptr);
+  EXPECT_NO_THROW(pruned.validate_graph());
+  // The classifier input shrank along with inception_5b's concat width.
+  const nn::Layer& fc = pruned.layers().back();
+  EXPECT_LT(fc.mm_m, 1024);
+  // Overall MACs roughly quartered (both in and out channels halved).
+  EXPECT_LT(double(pruned.stats().total_ops()),
+            0.45 * double(nn::googlenet().stats().total_ops()));
+}
+
+TEST(Prune, PrunedNetworkExecutesFunctionally) {
+  PruneSpec spec;
+  spec.conv_keep_ratio = 0.5;
+  const nn::Network pruned = prune_channels(chain(), spec, nullptr);
+  const auto ws = runtime::WeightStore::random_for(pruned, 3);
+  Rng rng(1);
+  nn::Tensor16 input({8, 16, 16});
+  input.fill_random(rng);
+  const auto r = runtime::run_network(pruned, input, ws, runtime::ExecOptions{});
+  EXPECT_EQ(r.output.dims(), (std::vector<int>{10, 1}));
+}
+
+TEST(Prune, DepthwiseFollowsItsProducer) {
+  nn::Network net("sep");
+  net.add(nn::make_conv("pw0", 8, 16, 16, 32, 1, 1, 0));
+  net.add(nn::make_depthwise("dw", 32, 16, 16, 3, 1, 1));
+  net.add(nn::make_conv("pw1", 32, 16, 16, 64, 1, 1, 0));
+  net.validate_graph();
+
+  PruneSpec spec;
+  spec.conv_keep_ratio = 0.5;
+  const nn::Network pruned = prune_channels(net, spec, nullptr);
+  EXPECT_EQ(pruned.layers()[0].out_c, 16);
+  // The depthwise layer inherits the pruned width on both sides.
+  EXPECT_EQ(pruned.layers()[1].in_c, 16);
+  EXPECT_EQ(pruned.layers()[1].out_c, 16);
+  EXPECT_EQ(pruned.layers()[2].in_c, 16);
+  EXPECT_NO_THROW(pruned.validate_graph());
+}
+
+TEST(Prune, MobileNetPrunesEndToEnd) {
+  PruneSpec spec;
+  spec.conv_keep_ratio = 0.5;
+  PruneReport rep;
+  const nn::Network pruned =
+      prune_channels(nn::mobilenet_v1(), spec, &rep);
+  EXPECT_NO_THROW(pruned.validate_graph());
+  EXPECT_GT(rep.mac_reduction(), 0.4);
+}
+
+TEST(Prune, InvalidSpecsThrow) {
+  PruneSpec bad;
+  bad.conv_keep_ratio = 0.0;
+  EXPECT_THROW(prune_channels(chain(), bad, nullptr), ConfigError);
+  bad.conv_keep_ratio = 1.5;
+  EXPECT_THROW(prune_channels(chain(), bad, nullptr), ConfigError);
+  PruneSpec unknown;
+  unknown.overrides["ghost"] = 0.5;
+  EXPECT_THROW(prune_channels(chain(), unknown, nullptr), ConfigError);
+}
+
+}  // namespace
+}  // namespace ftdl::prune

@@ -1,0 +1,92 @@
+// Tests for the quantization study module.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "quant/quantize.h"
+
+namespace ftdl::quant {
+namespace {
+
+TEST(Quant, CalibrationMapsMaxAbsToTopCode) {
+  TensorF t({4});
+  t[0] = 0.5f; t[1] = -2.0f; t[2] = 1.0f; t[3] = 0.0f;
+  const QuantParams p = calibrate(t, 8);
+  EXPECT_EQ(p.bits, 8);
+  EXPECT_NEAR(p.scale, 2.0f / 127.0f, 1e-7);
+  const nn::Tensor16 q = quantize(t, p);
+  EXPECT_EQ(q[1], -127);  // max magnitude hits (almost) the top code
+  EXPECT_EQ(q[3], 0);
+}
+
+TEST(Quant, QuantizeSaturatesAtRange) {
+  TensorF t({2});
+  t[0] = 1.0f; t[1] = -1.0f;
+  QuantParams p;
+  p.bits = 4;           // codes -8..7
+  p.scale = 0.01f;      // deliberately too small: 1.0/0.01 = 100 >> 7
+  const nn::Tensor16 q = quantize(t, p);
+  EXPECT_EQ(q[0], 7);
+  EXPECT_EQ(q[1], -8);
+}
+
+TEST(Quant, RoundTripErrorBoundedByHalfLsb) {
+  TensorF t({64});
+  fill_random_float(t, 11);
+  const QuantParams p = calibrate(t, 12);
+  const TensorF back = dequantize(quantize(t, p), p);
+  for (std::int64_t i = 0; i < t.size(); ++i) {
+    EXPECT_LE(std::abs(back[i] - t[i]), 0.5f * p.scale + 1e-7f);
+  }
+}
+
+TEST(Quant, SqnrBehaviour) {
+  TensorF a({3});
+  a[0] = 1.0f; a[1] = 2.0f; a[2] = -1.0f;
+  EXPECT_DOUBLE_EQ(sqnr_db(a, a), 200.0);  // exact match
+  TensorF b = a;
+  b[0] += 0.1f;
+  const double s = sqnr_db(a, b);
+  EXPECT_GT(s, 20.0);
+  EXPECT_LT(s, 40.0);
+  TensorF wrong({2});
+  EXPECT_THROW(sqnr_db(a, wrong), ConfigError);
+  EXPECT_THROW(calibrate(a, 1), ConfigError);
+  EXPECT_THROW(calibrate(a, 17), ConfigError);
+}
+
+TEST(Quant, SqnrImprovesSixDbPerBit) {
+  // The classic quantization law: ~6 dB per extra bit.
+  const nn::Layer layer = nn::make_conv("c", 8, 10, 10, 8, 3, 1, 1);
+  double prev = 0.0;
+  for (int bits : {6, 8, 10, 12}) {
+    const LayerQuantStudy s = study_layer(layer, bits, 5);
+    if (prev > 0.0) {
+      EXPECT_GT(s.output_sqnr_db, prev + 8.0);   // 2 bits => ~12 dB
+      EXPECT_LT(s.output_sqnr_db, prev + 16.0);
+    }
+    prev = s.output_sqnr_db;
+  }
+}
+
+TEST(Quant, SixteenBitIsEffectivelyLossless) {
+  // The paper's operating point: >= 70 dB output SQNR on CONV and MM —
+  // far beyond any accuracy-relevant threshold (8-bit sits near 40 dB).
+  const LayerQuantStudy conv =
+      study_layer(nn::make_conv("c", 16, 14, 14, 16, 3, 1, 1), 16, 7);
+  EXPECT_GT(conv.output_sqnr_db, 70.0);
+  EXPECT_GT(conv.weight_sqnr_db, 80.0);
+  const LayerQuantStudy mm =
+      study_layer(nn::make_matmul("fc", 128, 64, 4), 16, 9);
+  EXPECT_GT(mm.output_sqnr_db, 70.0);
+
+  const LayerQuantStudy conv8 =
+      study_layer(nn::make_conv("c", 16, 14, 14, 16, 3, 1, 1), 8, 7);
+  EXPECT_LT(conv8.output_sqnr_db, conv.output_sqnr_db - 30.0);
+}
+
+TEST(Quant, StudyRejectsHostLayers) {
+  EXPECT_THROW(study_layer(nn::make_ewop("e", 5), 8, 1), ConfigError);
+}
+
+}  // namespace
+}  // namespace ftdl::quant

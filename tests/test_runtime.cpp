@@ -1,0 +1,204 @@
+// Tests for the functional end-to-end runtime: graph execution, reference
+// vs cycle-sim equivalence (including weight-group stitching), host EWOP
+// kernels and quantization calibration.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/model_zoo.h"
+#include "runtime/executor.h"
+
+namespace ftdl::runtime {
+namespace {
+
+arch::OverlayConfig small_config() {
+  arch::OverlayConfig c;
+  c.d1 = 4;
+  c.d2 = 2;
+  c.d3 = 3;
+  return c;
+}
+
+/// A tiny branching network: conv -> {1x1 branch, 3x3 branch} -> concat ->
+/// pool -> fc. Exercises graph resolution, concat, pooling and MM flatten.
+nn::Network tiny_inception() {
+  nn::Network net("tiny-inception");
+  net.add(nn::make_conv("stem", 3, 12, 12, 8, 3, 1, 1));
+  net.add(nn::with_inputs(nn::make_conv("b1", 8, 12, 12, 4, 1, 1, 0), {"stem"}));
+  net.add(nn::with_inputs(nn::make_conv("b3", 8, 12, 12, 6, 3, 1, 1), {"stem"}));
+  net.add(nn::make_concat("cat", {"b1", "b3"}));
+  net.add(nn::make_pool("pool", 10, 12, 12, 2, 2));
+  net.add(nn::make_matmul("fc", 10 * 6 * 6, 5, 1));
+  net.validate_graph();
+  return net;
+}
+
+/// A tiny residual network exercising AddRelu and projection shortcuts.
+nn::Network tiny_resnet() {
+  nn::Network net("tiny-resnet");
+  net.add(nn::make_conv("stem", 3, 8, 8, 8, 3, 1, 1));
+  net.add(nn::with_inputs(nn::make_conv("c1", 8, 8, 8, 8, 3, 1, 1), {"stem"}));
+  net.add(nn::make_conv("c2", 8, 8, 8, 8, 3, 1, 1, /*relu=*/false));
+  net.add(nn::make_add_relu("add", 8 * 8 * 8, {"c2", "stem"}));
+  net.add(nn::make_matmul("fc", 8 * 8 * 8, 4, 1));
+  net.validate_graph();
+  return net;
+}
+
+TEST(WeightStore, RandomForCoversAllWeightedLayers) {
+  const nn::Network net = tiny_inception();
+  const WeightStore ws = WeightStore::random_for(net, 1);
+  EXPECT_EQ(ws.size(), 4u);  // stem, b1, b3, fc
+  EXPECT_TRUE(ws.contains("stem"));
+  EXPECT_FALSE(ws.contains("cat"));
+  EXPECT_GT(ws.total_words(), 0);
+}
+
+TEST(WeightStore, ShapeMismatchThrows) {
+  WeightStore ws;
+  ws.set("c", nn::Tensor16({2, 2}));
+  const nn::Layer conv = nn::make_conv("c", 3, 8, 8, 4, 3, 1, 1);
+  EXPECT_THROW(ws.get(conv), ConfigError);
+  const nn::Layer missing = nn::make_conv("other", 3, 8, 8, 4, 3, 1, 1);
+  EXPECT_THROW(ws.get(missing), ConfigError);
+}
+
+TEST(Executor, BranchingNetworkRunsOnReferencePath) {
+  const nn::Network net = tiny_inception();
+  const WeightStore ws = WeightStore::random_for(net, 7);
+  Rng rng(3);
+  nn::Tensor16 input({3, 12, 12});
+  input.fill_random(rng);
+
+  ExecOptions opt;
+  const ExecResult r = run_network(net, input, ws, opt);
+  EXPECT_EQ(r.output.dims(), (std::vector<int>{5, 1}));
+  EXPECT_EQ(r.runs.size(), net.layers().size());
+  // Concat output is 4 + 6 = 10 channels (checked implicitly by fc shape).
+}
+
+TEST(Executor, ResidualNetworkRunsAndAppliesRelu) {
+  const nn::Network net = tiny_resnet();
+  const WeightStore ws = WeightStore::random_for(net, 11);
+  Rng rng(5);
+  nn::Tensor16 input({3, 8, 8});
+  input.fill_random(rng);
+
+  const ExecResult r = run_network(net, input, ws, ExecOptions{});
+  EXPECT_EQ(r.output.dims(), (std::vector<int>{4, 1}));
+  // The add_relu stage output (intermediate) is non-negative by definition;
+  // check via re-running with the same seed and inspecting the fc input is
+  // not exposed, so assert on run records instead.
+  EXPECT_EQ(r.runs[3].kind, nn::LayerKind::Ewop);
+}
+
+TEST(Executor, CycleSimPathMatchesReferencePath) {
+  const nn::Network net = tiny_inception();
+  const WeightStore ws = WeightStore::random_for(net, 21);
+  Rng rng(9);
+  nn::Tensor16 input({3, 12, 12});
+  input.fill_random(rng);
+
+  ExecOptions ref_opt;
+  const ExecResult ref = run_network(net, input, ws, ref_opt);
+
+  ExecOptions sim_opt;
+  sim_opt.path = OverlayPath::CycleSim;
+  sim_opt.config = small_config();
+  const ExecResult simd = run_network(net, input, ws, sim_opt);
+
+  EXPECT_EQ(ref.output, simd.output);  // bit-exact end to end
+  EXPECT_GT(simd.total_sim_cycles, 0);
+  for (std::size_t i = 0; i < ref.runs.size(); ++i) {
+    EXPECT_EQ(ref.runs[i].requant_shift, simd.runs[i].requant_shift);
+  }
+}
+
+TEST(Executor, WeightGroupStitchingIsExact) {
+  // A layer whose weights exceed one WBUF per TPE on a tiny overlay, so the
+  // compiler must split into groups; outputs must still be bit-exact.
+  arch::OverlayConfig cfg = small_config();
+  cfg.wbuf_words = 256;  // force splitting
+  nn::Network net("wide");
+  net.add(nn::make_conv("wide_conv", 16, 6, 6, 48, 3, 1, 1));
+  net.validate_graph();
+  const WeightStore ws = WeightStore::random_for(net, 33);
+  Rng rng(13);
+  nn::Tensor16 input({16, 6, 6});
+  input.fill_random(rng);
+
+  ExecOptions sim_opt;
+  sim_opt.path = OverlayPath::CycleSim;
+  sim_opt.config = cfg;
+  const ExecResult simd = run_network(net, input, ws, sim_opt);
+  const ExecResult ref = run_network(net, input, ws, ExecOptions{});
+  EXPECT_EQ(ref.output, simd.output);
+  EXPECT_GT(simd.runs[0].weight_groups, 1);
+}
+
+TEST(Executor, CalibrationKeepsOutputsInRange) {
+  const nn::Network net = tiny_resnet();
+  const WeightStore ws = WeightStore::random_for(net, 17, /*magnitude=*/31);
+  Rng rng(19);
+  nn::Tensor16 input({3, 8, 8});
+  input.fill_random(rng, 31);
+
+  ExecOptions opt;
+  opt.target_magnitude_bits = 7;
+  const ExecResult r = run_network(net, input, ws, opt);
+  for (std::int64_t i = 0; i < r.output.size(); ++i) {
+    EXPECT_LE(std::abs(r.output[i]), 255);  // 2^(7+1) headroom bound
+  }
+  // Conv layers with large accumulators must have received nonzero shifts.
+  bool any_shift = false;
+  for (const LayerRun& run : r.runs) any_shift |= run.requant_shift > 0;
+  EXPECT_TRUE(any_shift);
+}
+
+TEST(Executor, RejectsRecurrentNetworks) {
+  const nn::Network lstm = nn::sentimental_seqlstm();
+  const WeightStore ws = WeightStore::random_for(lstm, 1);
+  nn::Tensor16 input({2048, 1});
+  EXPECT_THROW(run_network(lstm, input, ws, ExecOptions{}), ConfigError);
+}
+
+TEST(Executor, RejectsShapeMismatch) {
+  const nn::Network net = tiny_inception();
+  const WeightStore ws = WeightStore::random_for(net, 1);
+  nn::Tensor16 wrong({3, 10, 10});
+  EXPECT_THROW(run_network(net, wrong, ws, ExecOptions{}), ConfigError);
+}
+
+TEST(Executor, GoogLeNetGraphExecutesEndToEnd) {
+  // Full GoogLeNet on the reference path: exercises every inception module,
+  // avg pooling and the classifier flatten (~1.6 G MACs, a few seconds).
+  const nn::Network net = nn::googlenet();
+  const WeightStore ws = WeightStore::random_for(net, 5, /*magnitude=*/3);
+  Rng rng(23);
+  nn::Tensor16 input({3, 224, 224});
+  input.fill_random(rng, 3);
+
+  const ExecResult r = run_network(net, input, ws, ExecOptions{});
+  EXPECT_EQ(r.output.dims(), (std::vector<int>{1000, 1}));
+  EXPECT_EQ(r.runs.size(), net.layers().size());
+}
+
+TEST(Graph, ValidateCatchesBadReferences) {
+  nn::Network net("bad");
+  net.add(nn::make_conv("a", 3, 8, 8, 4, 3, 1, 1));
+  net.add(nn::with_inputs(nn::make_conv("b", 4, 8, 8, 4, 3, 1, 1), {"nope"}));
+  EXPECT_THROW(net.validate_graph(), ConfigError);
+
+  nn::Network dup("dup");
+  dup.add(nn::make_conv("a", 3, 8, 8, 4, 3, 1, 1));
+  dup.add(nn::make_conv("a", 4, 8, 8, 4, 3, 1, 1));
+  EXPECT_THROW(dup.validate_graph(), ConfigError);
+}
+
+TEST(Graph, AllZooModelsValidate) {
+  for (const nn::Network& net : nn::mlperf_models()) {
+    EXPECT_NO_THROW(net.validate_graph()) << net.name();
+  }
+}
+
+}  // namespace
+}  // namespace ftdl::runtime

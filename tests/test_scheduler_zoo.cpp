@@ -1,0 +1,136 @@
+// Network-level scheduling sweeps across the whole model zoo, plus
+// objective-comparison and timing-report checks that exercise the
+// framework the way the benches do (at small budgets).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "arch/overlay_config.h"
+#include "common/error.h"
+#include "compiler/scheduler.h"
+#include "fpga/device_zoo.h"
+#include "nn/model_zoo.h"
+#include "timing/timing_report.h"
+
+namespace ftdl {
+namespace {
+
+using arch::paper_config;
+using compiler::Objective;
+using compiler::schedule_network;
+
+class ZooScheduling : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ZooScheduling, EveryModelSchedulesWithSaneNumbers) {
+  const nn::Network net = nn::model_by_name(GetParam());
+  const auto sched = schedule_network(net, paper_config(),
+                                      Objective::Performance, 6'000);
+  EXPECT_EQ(sched.layers.size(), net.overlay_layers().size());
+  EXPECT_GT(sched.total_cycles, 0);
+  EXPECT_GT(sched.hardware_efficiency, 0.01) << GetParam();
+  EXPECT_LE(sched.hardware_efficiency, 1.0) << GetParam();
+  EXPECT_GT(sched.mean_e_wbuf, 0.0);
+  EXPECT_LE(sched.mean_e_wbuf, 1.0 + 1e-9);
+  EXPECT_GT(sched.fps(), 0.0);
+  // Per-layer invariants.
+  std::int64_t macs = 0;
+  for (const auto& lp : sched.layers) {
+    EXPECT_TRUE(lp.perf.feasible) << lp.layer.name;
+    EXPECT_GE(lp.weight_groups, 1);
+    macs += lp.layer.macs() * lp.layer.repeat;
+  }
+  EXPECT_EQ(macs, sched.overlay_macs);
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, ZooScheduling,
+                         ::testing::Values("GoogLeNet", "ResNet50",
+                                           "AlphaGoZero", "Sentimental-seqCNN",
+                                           "Sentimental-seqLSTM",
+                                           "MobileNetV1"));
+
+TEST(SchedulerZoo, BalanceObjectiveImprovesEwbufOnGoogLeNet) {
+  const nn::Network net = nn::googlenet();
+  const auto perf = schedule_network(net, paper_config(),
+                                     Objective::Performance, 8'000);
+  const auto bal = schedule_network(net, paper_config(),
+                                    Objective::Balance, 8'000);
+  EXPECT_GT(bal.mean_e_wbuf, perf.mean_e_wbuf);
+  // Eqn. 13 weighs E_WBUF equally with normalized speed, so layers whose
+  // duplication-free mappings are slow (conv1: N=3) may trade a LOT of
+  // speed for residency — the trade is real but must stay finite.
+  EXPECT_GT(bal.fps(), 0.03 * perf.fps());
+}
+
+TEST(SchedulerZoo, MobileNetEfficiencyFarBelowGoogLeNet) {
+  // The depthwise architecture-limit, at network level.
+  const auto mb = schedule_network(nn::mobilenet_v1(), paper_config(),
+                                   Objective::Performance, 6'000);
+  const auto gn = schedule_network(nn::googlenet(), paper_config(),
+                                   Objective::Performance, 6'000);
+  EXPECT_LT(mb.hardware_efficiency, 0.6 * gn.hardware_efficiency);
+}
+
+TEST(SchedulerZoo, SeqLstmPaysTheBatchOnePenalty) {
+  const auto sched = schedule_network(nn::sentimental_seqlstm(),
+                                      paper_config(),
+                                      Objective::Performance, 6'000);
+  // Gate matrices at P=1 cannot reach 2-way weight reuse: <= ~50%.
+  EXPECT_LT(sched.hardware_efficiency, 0.55);
+  for (const auto& lp : sched.layers) {
+    if (lp.layer.mm_p == 1) {
+      EXPECT_FALSE(lp.perf.weight_reuse_ok);
+    }
+  }
+}
+
+TEST(SchedulerZoo, TimingReportRendersForPaperConfig) {
+  timing::OverlayGeometry g;
+  g.d1 = 12;
+  g.d2 = 5;
+  g.d3 = 20;
+  const std::string report = timing::render_timing_report(
+      fpga::ultrascale_vu125(), g, fpga::ClockPair::from_high(650e6));
+  EXPECT_NE(report.find("Timing MET"), std::string::npos);
+  EXPECT_NE(report.find("dsp-internal"), std::string::npos);
+  EXPECT_NE(report.find("CLKl"), std::string::npos);
+  EXPECT_EQ(report.find("VIOLATED"), std::string::npos);
+
+  // An overclocked target must be flagged, not hidden.
+  const std::string bad = timing::render_timing_report(
+      fpga::ultrascale_vu125(), g, fpga::ClockPair::from_high(760e6));
+  EXPECT_NE(bad.find("VIOLATED"), std::string::npos);
+  EXPECT_NE(bad.find("NOT MET"), std::string::npos);
+}
+
+TEST(SchedulerZoo, ChargedReloadLowersFpsOnResNet) {
+  arch::OverlayConfig charged = paper_config();
+  charged.charge_weight_reload = true;
+  const auto free_sched = schedule_network(nn::resnet50(), paper_config(),
+                                           Objective::Performance, 6'000);
+  const auto paid = schedule_network(nn::resnet50(), charged,
+                                     Objective::Performance, 6'000);
+  EXPECT_LT(paid.fps(), free_sched.fps());
+}
+
+TEST(SchedulerZoo, ScheduleCsvExport) {
+  nn::Network net("csvnet");
+  net.add(nn::make_conv("c1", 16, 14, 14, 16, 3, 1, 1));
+  net.add(nn::make_matmul("fc", 16 * 14 * 14, 10, 1));
+  const auto sched = schedule_network(net, paper_config(),
+                                      Objective::Performance, 4'000);
+  const std::string path =
+      compiler::schedule_to_csv(sched, "schedule_test_tmp.csv");
+  std::ifstream in(path);
+  std::string header, l1, l2;
+  std::getline(in, header);
+  std::getline(in, l1);
+  std::getline(in, l2);
+  EXPECT_NE(header.find("e_wbuf"), std::string::npos);
+  EXPECT_NE(l1.find("c1"), std::string::npos);
+  EXPECT_NE(l2.find("fc"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace ftdl

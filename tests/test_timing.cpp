@@ -1,0 +1,243 @@
+// Tests for placement, the delay model, static timing analysis and the
+// Fig. 6 scale-up study. These encode the paper's hardware claims as
+// executable checks.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "fpga/device_zoo.h"
+#include "timing/delay_model.h"
+#include "timing/placement.h"
+#include "timing/scaling_study.h"
+#include "timing/timing_analyzer.h"
+
+namespace ftdl::timing {
+namespace {
+
+using fpga::Device;
+using fpga::ultrascale_vu125;
+using fpga::virtex7_vx330t;
+
+OverlayGeometry paper_geometry() {
+  // Table II example configuration: D1=12, D2=5, D3=20 on vu125.
+  OverlayGeometry g;
+  g.d1 = 12;
+  g.d2 = 5;
+  g.d3 = 20;
+  return g;
+}
+
+TEST(Placement, FtdlPaperConfigFitsVu125) {
+  const Device d = ultrascale_vu125();
+  const PlacementResult r = place_ftdl(d, paper_geometry());
+  EXPECT_EQ(r.dsp_columns_used, 5);
+  EXPECT_NEAR(r.dsp_utilization, 1200.0 / 1200.0, 1e-9);
+  EXPECT_GT(r.bram_utilization, 0.0);
+  EXPECT_LE(r.bram_utilization, 1.0);
+  EXPECT_FALSE(r.nets.empty());
+}
+
+TEST(Placement, RejectsOversizedShapes) {
+  const Device d = ultrascale_vu125();
+  OverlayGeometry g = paper_geometry();
+  g.d2 = d.dsp_columns + 1;
+  EXPECT_THROW(place_ftdl(d, g), ConfigError);
+
+  g = paper_geometry();
+  g.d1 = 100;  // 100*20 > 120 per column
+  EXPECT_THROW(place_ftdl(d, g), ConfigError);
+
+  EXPECT_THROW(place_systolic(d, d.dsp_per_column + 1, 1), ConfigError);
+  EXPECT_THROW(place_systolic(d, 1, d.dsp_columns + 1), ConfigError);
+}
+
+TEST(Placement, FtdlNetLengthsAreScaleInvariant) {
+  // The layout-aware claim: intra-TPE net lengths do not grow with D2/D3.
+  const Device d = ultrascale_vu125();
+  OverlayGeometry small{.d1 = 12, .d2 = 1, .d3 = 2};
+  OverlayGeometry large{.d1 = 12, .d2 = 5, .d3 = 20};
+  auto weight_len = [&](const OverlayGeometry& g) {
+    for (const Net& n : place_ftdl(d, g).nets) {
+      if (n.kind == NetKind::WeightFetch) return n.length_um;
+    }
+    ADD_FAILURE() << "no weight-fetch net";
+    return 0.0;
+  };
+  // Larger overlays may touch a slightly worse column but within 2x.
+  EXPECT_LE(weight_len(large), 2.0 * weight_len(small) + 1.0);
+}
+
+TEST(Placement, SystolicMemFeedGrowsWithScale) {
+  const Device d = ultrascale_vu125();
+  auto feed_len = [&](int rows, int cols) {
+    for (const Net& n : place_systolic(d, rows, cols).nets) {
+      if (n.kind == NetKind::SystolicMemFeed) return n.length_um;
+    }
+    ADD_FAILURE() << "no mem-feed net";
+    return 0.0;
+  };
+  EXPECT_GT(feed_len(240, 5), 1.5 * feed_len(48, 1));
+}
+
+TEST(Placement, AutoPipelineStagesClamped) {
+  EXPECT_EQ(auto_pipeline_stages(100.0), 1);
+  EXPECT_EQ(auto_pipeline_stages(1400.0), 2);
+  EXPECT_EQ(auto_pipeline_stages(1e6), 4);
+}
+
+TEST(DelayModel, CascadeIgnoresCongestionAndDistance) {
+  const DelayParams p = DelayParams::for_family(fpga::Family::UltraScale);
+  const Net cascade{NetKind::DspCascade, ClockDomain::High, 5000.0, 1, 0};
+  EXPECT_DOUBLE_EQ(net_delay_ps(cascade, p, 0.0), p.dsp_cascade_ps);
+  EXPECT_DOUBLE_EQ(net_delay_ps(cascade, p, 1.0), p.dsp_cascade_ps);
+}
+
+TEST(DelayModel, DelayMonotoneInLengthAndUtilization) {
+  const DelayParams p = DelayParams::for_family(fpga::Family::Virtex7);
+  const Net short_net{NetKind::ControlHop, ClockDomain::High, 200.0, 1, 1};
+  const Net long_net{NetKind::ControlHop, ClockDomain::High, 2000.0, 1, 1};
+  EXPECT_LT(net_delay_ps(short_net, p, 0.5), net_delay_ps(long_net, p, 0.5));
+  EXPECT_LT(net_delay_ps(long_net, p, 0.1), net_delay_ps(long_net, p, 0.9));
+}
+
+TEST(DelayModel, PipeliningReducesBindingDelay) {
+  const DelayParams p = DelayParams::for_family(fpga::Family::Virtex7);
+  const Net unpiped{NetKind::ActBusHop, ClockDomain::High, 2800.0, 1, 0};
+  const Net piped{NetKind::ActBusHop, ClockDomain::High, 2800.0, 4, 0};
+  EXPECT_GT(net_delay_ps(unpiped, p, 0.5), net_delay_ps(piped, p, 0.5));
+}
+
+TEST(Timing, PaperConfigReaches650OnVu125) {
+  // Fig. 6(b): CLKh stabilizes above 650 MHz on the UltraScale device.
+  const Device d = ultrascale_vu125();
+  const TimingReport t = analyze_double_pump(d, place_ftdl(d, paper_geometry()));
+  EXPECT_GE(t.clk_h_fmax_hz, 650e6);
+  EXPECT_LE(t.clk_h_fmax_hz, d.timing.dsp_fmax_hz);
+  EXPECT_DOUBLE_EQ(t.clk_l_fmax_hz, t.clk_h_fmax_hz / 2.0);
+}
+
+TEST(Timing, Fig6aVirtexStabilizesAbove620) {
+  const auto pts = run_scaling_study(virtex7_vx330t());
+  ASSERT_EQ(pts.size(), 7u);
+  for (const auto& pt : pts) {
+    EXPECT_GE(pt.ftdl.clk_h_fmax_hz, 620e6)
+        << "config " << pt.geometry.d2 << " cols";
+  }
+  // Final point uses 100% of DSPs.
+  EXPECT_NEAR(pts.back().dsp_utilization, 1.0, 1e-9);
+}
+
+TEST(Timing, Fig6bUltraScaleStabilizesAbove650) {
+  const auto pts = run_scaling_study(ultrascale_vu125());
+  ASSERT_EQ(pts.size(), 7u);
+  for (const auto& pt : pts) {
+    EXPECT_GE(pt.ftdl.clk_h_fmax_hz, 650e6);
+  }
+  EXPECT_NEAR(pts.back().dsp_utilization, 1.0, 1e-9);
+}
+
+TEST(Timing, FmaxIsFlatAcrossScaleUp) {
+  // The scalability claim: <8% fmax spread between the smallest and the
+  // full-device configuration (visually flat in Fig. 6).
+  for (const Device& d : {virtex7_vx330t(), ultrascale_vu125()}) {
+    const auto pts = run_scaling_study(d);
+    double lo = pts[0].ftdl.clk_h_fmax_hz, hi = lo;
+    for (const auto& pt : pts) {
+      lo = std::min(lo, pt.ftdl.clk_h_fmax_hz);
+      hi = std::max(hi, pt.ftdl.clk_h_fmax_hz);
+    }
+    EXPECT_LT((hi - lo) / hi, 0.08) << d.name;
+  }
+}
+
+TEST(Timing, FtdlExceeds88PercentOfDspFmaxOnUltraScale) {
+  // Abstract claim: post-P&R frequency exceeds 88% of the theoretical
+  // maximum; on the UltraScale part the ratio is ~650/740.
+  const Device d = ultrascale_vu125();
+  for (const auto& pt : run_scaling_study(d)) {
+    EXPECT_GE(pt.ftdl.clk_h_fmax_hz / 740e6, 0.88);
+  }
+}
+
+TEST(Timing, SystolicBaselineDegradesWithScale) {
+  // The architecture-layout mismatch: baseline fmax falls with scale while
+  // FTDL stays flat; at full scale the baseline is far below FTDL.
+  for (const Device& d : {virtex7_vx330t(), ultrascale_vu125()}) {
+    const auto pts = run_scaling_study(d);
+    EXPECT_LT(pts.back().systolic.clk_h_fmax_hz,
+              0.6 * pts.front().systolic.clk_h_fmax_hz)
+        << d.name;
+    EXPECT_LT(pts.back().systolic.clk_h_fmax_hz,
+              0.5 * pts.back().ftdl.clk_h_fmax_hz)
+        << d.name;
+    // Prior-art regime: below ~300 MHz at scale (Table II: 100-240 MHz).
+    EXPECT_LT(pts.back().systolic.clk_h_fmax_hz, 300e6) << d.name;
+  }
+}
+
+TEST(Timing, SingleClockIsBramBound) {
+  // Without double pump, even a perfectly placed design cannot beat the
+  // BRAM ceiling (ablation A's hardware side).
+  const Device d = ultrascale_vu125();
+  PlacementResult r = place_ftdl(d, paper_geometry());
+  // Re-tag the BRAM access into the single clock domain by analyzing as
+  // single clock: BRAM intrinsic is injected by the analyzer via nets.
+  r.nets.push_back(Net{NetKind::BramInternal, ClockDomain::High, 0.0, 1, 0});
+  const TimingReport t = analyze_single_clock(d, r);
+  EXPECT_LE(t.clk_h_fmax_hz, d.timing.bram_fmax_hz + 1.0);
+}
+
+TEST(Timing, CriticalNetIsReported) {
+  const Device d = ultrascale_vu125();
+  const TimingReport t = analyze_double_pump(d, place_ftdl(d, paper_geometry()));
+  EXPECT_GT(t.critical_path_ps, 0.0);
+  // With a healthy overlay the binding path is DSP-side, not a bus hop.
+  EXPECT_TRUE(t.critical_net == NetKind::DspInternal ||
+              t.critical_net == NetKind::WeightFetch ||
+              t.critical_net == NetKind::ActFetch)
+      << to_string(t.critical_net);
+}
+
+TEST(ScalingStudy, GeometriesGrowAndRespectDevice) {
+  for (const Device& d : {virtex7_vx330t(), ultrascale_vu125()}) {
+    const auto gs = scaling_geometries(d);
+    ASSERT_EQ(gs.size(), 7u);
+    for (std::size_t i = 1; i < gs.size(); ++i) {
+      EXPECT_GE(gs[i].d2, gs[i - 1].d2);
+    }
+    for (const auto& g : gs) {
+      EXPECT_LE(g.d2, d.dsp_columns);
+      EXPECT_LE(g.d1 * g.d3, d.dsp_per_column);
+    }
+    EXPECT_EQ(gs.back().d2, d.dsp_columns);
+    EXPECT_EQ(gs.back().d1 * gs.back().d3, d.dsp_per_column);
+  }
+}
+
+class AllDevicesScaling : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AllDevicesScaling, EveryZooDeviceScalesSanely) {
+  const Device d = fpga::device_by_name(GetParam());
+  const auto pts = run_scaling_study(d);
+  ASSERT_EQ(pts.size(), 7u);
+  for (const auto& pt : pts) {
+    // FTDL stays within the physically meaningful band on every device.
+    EXPECT_GT(pt.ftdl.clk_h_fmax_hz, 500e6) << d.name;
+    EXPECT_LE(pt.ftdl.clk_h_fmax_hz, d.timing.dsp_fmax_hz) << d.name;
+    EXPECT_GT(pt.ftdl.clk_h_fmax_hz, pt.systolic.clk_h_fmax_hz) << d.name;
+    EXPECT_GT(pt.dsp_utilization, 0.0);
+    EXPECT_LE(pt.dsp_utilization, 1.0);
+  }
+  // The final point is the largest buildable overlay: 100% of the DSPs when
+  // the device has a BRAM18 per DSP, else the BRAM-limited maximum (large
+  // UltraScale parts have DSP:BRAM > 1).
+  double max_util = 0.0;
+  for (const auto& pt : pts) max_util = std::max(max_util, pt.dsp_utilization);
+  EXPECT_NEAR(pts.back().dsp_utilization, max_util, 1e-9) << d.name;
+  EXPECT_GE(pts.back().dsp_utilization, 0.5) << d.name;  // vu9p: BRAM-poor
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, AllDevicesScaling,
+                         ::testing::ValuesIn(fpga::device_names()));
+
+}  // namespace
+}  // namespace ftdl::timing

@@ -1,0 +1,90 @@
+// Tests for the Winograd F(2x2, 3x3) extension.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "nn/reference.h"
+#include "winograd/winograd.h"
+
+namespace ftdl::winograd {
+namespace {
+
+nn::AccTensor direct(const nn::Layer& l, const nn::Tensor16& in,
+                     const nn::Tensor16& w) {
+  return nn::conv2d_reference(l, in, w);
+}
+
+TEST(Winograd, Eligibility) {
+  EXPECT_TRUE(is_winograd_eligible(nn::make_conv("c", 8, 8, 8, 8, 3, 1, 1)));
+  EXPECT_FALSE(is_winograd_eligible(nn::make_conv("c", 8, 8, 8, 8, 3, 2, 1)));
+  EXPECT_FALSE(is_winograd_eligible(nn::make_conv("c", 8, 8, 8, 8, 5, 1, 2)));
+  EXPECT_FALSE(is_winograd_eligible(nn::make_conv("c", 8, 8, 8, 8, 1, 1, 0)));
+  EXPECT_FALSE(is_winograd_eligible(nn::make_matmul("m", 8, 8, 8)));
+  EXPECT_THROW(plan_winograd(nn::make_conv("c", 8, 8, 8, 8, 5, 1, 2)),
+               ConfigError);
+}
+
+TEST(Winograd, BitExactAgainstDirectConv) {
+  // Even and odd output extents, with and without padding.
+  for (auto layer : {nn::make_conv("a", 4, 8, 8, 6, 3, 1, 1),    // even out
+                     nn::make_conv("b", 3, 9, 9, 5, 3, 1, 1),    // odd out
+                     nn::make_conv("c", 5, 10, 10, 4, 3, 1, 0),  // no pad
+                     nn::make_conv("d", 2, 7, 11, 3, 3, 1, 1)}) {
+    Rng rng(layer.in_c * 97 + layer.out_c);
+    nn::Tensor16 in({layer.in_c, layer.in_h, layer.in_w});
+    nn::Tensor16 w({layer.out_c, layer.in_c, 3, 3});
+    in.fill_random(rng, 63);
+    w.fill_random(rng, 63);
+    EXPECT_EQ(winograd_conv(layer, in, w), direct(layer, in, w)) << layer.name;
+  }
+}
+
+TEST(Winograd, ExactWithFullRangeValues) {
+  // Extreme int16 values stress the scaled-transform arithmetic.
+  const nn::Layer layer = nn::make_conv("x", 2, 6, 6, 2, 3, 1, 1);
+  nn::Tensor16 in({2, 6, 6});
+  nn::Tensor16 w({2, 2, 3, 3});
+  Rng rng(1);
+  for (std::int64_t i = 0; i < in.size(); ++i) {
+    in[i] = static_cast<std::int16_t>(rng.uniform(-32768, 32767));
+  }
+  for (std::int64_t i = 0; i < w.size(); ++i) {
+    w[i] = static_cast<std::int16_t>(rng.uniform(-32768, 32767));
+  }
+  EXPECT_EQ(winograd_conv(layer, in, w), direct(layer, in, w));
+}
+
+TEST(Winograd, PlanAccounting) {
+  // 56x56 output: 28x28 tiles of 2x2.
+  const nn::Layer layer = nn::make_conv("conv2", 64, 56, 56, 192, 3, 1, 1);
+  const WinogradPlan plan = plan_winograd(layer);
+  EXPECT_EQ(plan.num_mms, 16);
+  EXPECT_EQ(plan.mm.mm_m, 64);
+  EXPECT_EQ(plan.mm.mm_n, 192);
+  EXPECT_EQ(plan.mm.mm_p, 28 * 28);
+  EXPECT_EQ(plan.direct_macs, layer.macs());
+  EXPECT_EQ(plan.winograd_macs, 16LL * 64 * 192 * 28 * 28);
+  // 36C -> 16C multiplies per tile: exactly 2.25x for even extents.
+  EXPECT_NEAR(plan.mac_reduction(), 2.25, 1e-9);
+  EXPECT_GT(plan.transform_ewop_ops, 0);
+}
+
+TEST(Winograd, ScheduleComparisonOnOverlay) {
+  const nn::Layer layer = nn::make_conv("conv", 64, 28, 28, 96, 3, 1, 1);
+  const auto cmp = compare_schedules(layer, arch::paper_config(), 10'000);
+  EXPECT_GT(cmp.direct_cycles, 0);
+  EXPECT_GT(cmp.winograd_cycles, 0);
+  // The transformed domain must realize a good share of the 2.25x MAC cut.
+  EXPECT_GT(cmp.speedup(), 1.2);
+  EXPECT_LT(cmp.speedup(), 2.5);
+}
+
+TEST(Winograd, InputLayoutChecked) {
+  const nn::Layer layer = nn::make_conv("c", 4, 8, 8, 4, 3, 1, 1);
+  nn::Tensor16 bad_in({3, 8, 8});
+  nn::Tensor16 w({4, 4, 3, 3});
+  EXPECT_THROW(winograd_conv(layer, bad_in, w), ConfigError);
+}
+
+}  // namespace
+}  // namespace ftdl::winograd

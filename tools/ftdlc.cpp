@@ -1,0 +1,168 @@
+// ftdlc — the FTDL command-line compiler.
+//
+// Compiles a network spec (see src/frontend/spec_parser.h for the grammar)
+// onto a parameterized overlay, printing the per-layer schedule and the
+// network roll-up; optionally emits the controllers' encoded instruction
+// streams.
+//
+//   ftdlc NETWORK.ftdl [options]
+//     --device NAME        target device          (default xcvu125)
+//     --d1 N --d2 N --d3 N overlay shape          (default 12 5 20)
+//     --clock MHZ          CLKh in MHz            (default 650)
+//     --objective obj1|obj2  scheduling objective (default obj1)
+//     --budget N           search budget/layer    (default 60000)
+//     --emit FILE          write instruction words (hex) to FILE
+//     --timing             print the post-P&R style timing report
+//     --rtl DIR            generate the overlay's Verilog RTL into DIR
+//     --quiet              suppress the per-layer table
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "common/str_util.h"
+#include "common/table.h"
+#include "frontend/spec_parser.h"
+#include "ftdl/ftdl.h"
+#include "rtlgen/verilog_gen.h"
+#include "timing/timing_report.h"
+
+namespace {
+
+using namespace ftdl;
+
+struct Args {
+  std::string spec_path;
+  FrameworkOptions fw;
+  std::string emit_path;
+  bool quiet = false;
+  bool timing = false;
+  std::string rtl_dir;
+};
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg) std::fprintf(stderr, "ftdlc: %s\n", msg);
+  std::fprintf(stderr,
+               "usage: ftdlc NETWORK.ftdl [--device NAME] [--d1 N --d2 N "
+               "--d3 N]\n             [--clock MHZ] [--objective obj1|obj2] "
+               "[--budget N]\n             [--emit FILE] [--quiet]\n");
+  std::exit(2);
+}
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  auto next = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage("missing option value");
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--device") == 0) args.fw.device_name = next(i);
+    else if (std::strcmp(a, "--d1") == 0) args.fw.config.d1 = std::atoi(next(i));
+    else if (std::strcmp(a, "--d2") == 0) args.fw.config.d2 = std::atoi(next(i));
+    else if (std::strcmp(a, "--d3") == 0) args.fw.config.d3 = std::atoi(next(i));
+    else if (std::strcmp(a, "--clock") == 0) {
+      args.fw.config.clocks =
+          fpga::ClockPair::from_high(std::atof(next(i)) * 1e6);
+    } else if (std::strcmp(a, "--objective") == 0) {
+      const std::string v = next(i);
+      if (v == "obj1") args.fw.objective = compiler::Objective::Performance;
+      else if (v == "obj2") args.fw.objective = compiler::Objective::Balance;
+      else usage("objective must be obj1 or obj2");
+    } else if (std::strcmp(a, "--budget") == 0) {
+      args.fw.search_budget_per_layer = std::atoll(next(i));
+    } else if (std::strcmp(a, "--emit") == 0) {
+      args.emit_path = next(i);
+    } else if (std::strcmp(a, "--quiet") == 0) {
+      args.quiet = true;
+    } else if (std::strcmp(a, "--timing") == 0) {
+      args.timing = true;
+    } else if (std::strcmp(a, "--rtl") == 0) {
+      args.rtl_dir = next(i);
+    } else if (a[0] == '-') {
+      usage((std::string("unknown option ") + a).c_str());
+    } else if (args.spec_path.empty()) {
+      args.spec_path = a;
+    } else {
+      usage("multiple spec files given");
+    }
+  }
+  if (args.spec_path.empty()) usage("no spec file given");
+  return args;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  try {
+    const nn::Network net = frontend::parse_network_file(args.spec_path);
+    Framework fw{args.fw};
+
+    std::printf("ftdlc: %s -> %s on %s (fmax %s)\n", args.spec_path.c_str(),
+                fw.config().to_string().c_str(), fw.device().name.c_str(),
+                format_hz(fw.timing().clk_h_fmax_hz).c_str());
+
+    if (args.timing) {
+      timing::OverlayGeometry g;
+      g.d1 = fw.config().d1;
+      g.d2 = fw.config().d2;
+      g.d3 = fw.config().d3;
+      std::fputs(timing::render_timing_report(fw.device(), g,
+                                              fw.config().clocks)
+                     .c_str(),
+                 stdout);
+      std::printf("\n");
+    }
+
+    const NetworkReport report = fw.evaluate(net);
+
+    if (!args.quiet) {
+      AsciiTable table({"Layer", "Kind", "MACs", "Groups", "Cycles", "Eff.",
+                        "E_WBUF"});
+      for (const compiler::LayerProgram& lp : report.schedule.layers) {
+        table.row({lp.layer.name, to_string(lp.layer.kind),
+                   format_count(double(lp.layer.macs())),
+                   std::to_string(lp.weight_groups),
+                   std::to_string(lp.total_cycles()),
+                   format_percent(lp.perf.hardware_efficiency),
+                   strformat("%.2f", lp.perf.e_wbuf)});
+      }
+      table.print();
+    }
+
+    std::printf(
+        "network %s: %zu overlay layers, %s MACs/frame\n"
+        "  %.1f inferences/s | efficiency %s | %.1f W | %.1f GOPS/W\n",
+        net.name().c_str(), report.schedule.layers.size(),
+        format_count(double(report.schedule.overlay_macs)).c_str(),
+        report.fps(),
+        format_percent(report.schedule.hardware_efficiency).c_str(),
+        report.power.total_w(), report.gops_per_w());
+
+    if (!args.rtl_dir.empty()) {
+      const int n = rtlgen::write_rtl_bundle(
+          rtlgen::generate_overlay_rtl(fw.config()), args.rtl_dir);
+      std::printf("%d RTL files written to %s\n", n, args.rtl_dir.c_str());
+    }
+
+    if (!args.emit_path.empty()) {
+      std::ofstream out(args.emit_path);
+      if (!out) throw Error("cannot open " + args.emit_path);
+      for (const compiler::LayerProgram& lp : report.schedule.layers) {
+        out << "# " << lp.layer.name << " (x" << lp.weight_groups
+            << " weight groups)\n";
+        for (std::uint64_t word : lp.encoded_stream()) {
+          out << strformat("%016llx\n", static_cast<unsigned long long>(word));
+        }
+      }
+      std::printf("instruction streams written to %s\n",
+                  args.emit_path.c_str());
+    }
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "ftdlc: error: %s\n", e.what());
+    return 1;
+  }
+}
