@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_depthwise.dir/bench_ablation_depthwise.cpp.o"
+  "CMakeFiles/bench_ablation_depthwise.dir/bench_ablation_depthwise.cpp.o.d"
+  "bench_ablation_depthwise"
+  "bench_ablation_depthwise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_depthwise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_doublepump.dir/bench_ablation_doublepump.cpp.o"
+  "CMakeFiles/bench_ablation_doublepump.dir/bench_ablation_doublepump.cpp.o.d"
+  "bench_ablation_doublepump"
+  "bench_ablation_doublepump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_doublepump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

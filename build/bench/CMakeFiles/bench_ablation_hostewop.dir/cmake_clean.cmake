@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_hostewop.dir/bench_ablation_hostewop.cpp.o"
+  "CMakeFiles/bench_ablation_hostewop.dir/bench_ablation_hostewop.cpp.o.d"
+  "bench_ablation_hostewop"
+  "bench_ablation_hostewop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hostewop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

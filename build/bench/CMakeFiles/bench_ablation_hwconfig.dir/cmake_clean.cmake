@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_hwconfig.dir/bench_ablation_hwconfig.cpp.o"
+  "CMakeFiles/bench_ablation_hwconfig.dir/bench_ablation_hwconfig.cpp.o.d"
+  "bench_ablation_hwconfig"
+  "bench_ablation_hwconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hwconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

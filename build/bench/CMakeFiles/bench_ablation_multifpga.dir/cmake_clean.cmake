@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_multifpga.dir/bench_ablation_multifpga.cpp.o"
+  "CMakeFiles/bench_ablation_multifpga.dir/bench_ablation_multifpga.cpp.o.d"
+  "bench_ablation_multifpga"
+  "bench_ablation_multifpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_multifpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

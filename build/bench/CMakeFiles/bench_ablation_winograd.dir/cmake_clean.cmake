@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_winograd.dir/bench_ablation_winograd.cpp.o"
+  "CMakeFiles/bench_ablation_winograd.dir/bench_ablation_winograd.cpp.o.d"
+  "bench_ablation_winograd"
+  "bench_ablation_winograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_winograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

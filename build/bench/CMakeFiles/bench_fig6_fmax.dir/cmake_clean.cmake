@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_fmax.dir/bench_fig6_fmax.cpp.o"
+  "CMakeFiles/bench_fig6_fmax.dir/bench_fig6_fmax.cpp.o.d"
+  "bench_fig6_fmax"
+  "bench_fig6_fmax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_fmax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro.cpp" "bench/CMakeFiles/bench_micro.dir/bench_micro.cpp.o" "gcc" "bench/CMakeFiles/bench_micro.dir/bench_micro.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ftdl/CMakeFiles/ftdl_framework.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/ftdl_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ftdl_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/ftdl_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/multifpga/CMakeFiles/ftdl_multifpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/prune/CMakeFiles/ftdl_prune.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtlgen/CMakeFiles/ftdl_rtlgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/dse/CMakeFiles/ftdl_dse.dir/DependInfo.cmake"
+  "/root/repo/build/src/winograd/CMakeFiles/ftdl_winograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/ftdl_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/ftdl_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/ftdl_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/ftdl_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/roofline/CMakeFiles/ftdl_roofline.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ftdl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/ftdl_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/ftdl_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/ftdl_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/ftdl_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ftdl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ftdl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/googlenet_e2e.dir/googlenet_e2e.cpp.o"
+  "CMakeFiles/googlenet_e2e.dir/googlenet_e2e.cpp.o.d"
+  "googlenet_e2e"
+  "googlenet_e2e.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/googlenet_e2e.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_fpga_pipeline.dir/multi_fpga_pipeline.cpp.o"
+  "CMakeFiles/multi_fpga_pipeline.dir/multi_fpga_pipeline.cpp.o.d"
+  "multi_fpga_pipeline"
+  "multi_fpga_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_fpga_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

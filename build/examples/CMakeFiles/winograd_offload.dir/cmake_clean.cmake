@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/winograd_offload.dir/winograd_offload.cpp.o"
+  "CMakeFiles/winograd_offload.dir/winograd_offload.cpp.o.d"
+  "winograd_offload"
+  "winograd_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/winograd_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("fpga")
+subdirs("timing")
+subdirs("nn")
+subdirs("arch")
+subdirs("compiler")
+subdirs("dram")
+subdirs("sim")
+subdirs("runtime")
+subdirs("host")
+subdirs("multifpga")
+subdirs("frontend")
+subdirs("prune")
+subdirs("rtlgen")
+subdirs("dse")
+subdirs("winograd")
+subdirs("quant")
+subdirs("power")
+subdirs("baseline")
+subdirs("roofline")
+subdirs("ftdl")
+subdirs("capi")

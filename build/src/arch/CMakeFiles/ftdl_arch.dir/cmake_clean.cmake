@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftdl_arch.dir/isa.cpp.o"
+  "CMakeFiles/ftdl_arch.dir/isa.cpp.o.d"
+  "CMakeFiles/ftdl_arch.dir/overlay_config.cpp.o"
+  "CMakeFiles/ftdl_arch.dir/overlay_config.cpp.o.d"
+  "libftdl_arch.a"
+  "libftdl_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftdl_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftdl_baseline.dir/prior_work.cpp.o"
+  "CMakeFiles/ftdl_baseline.dir/prior_work.cpp.o.d"
+  "libftdl_baseline.a"
+  "libftdl_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftdl_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

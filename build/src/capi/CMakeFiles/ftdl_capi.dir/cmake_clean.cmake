@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftdl_capi.dir/ftdl_c.cpp.o"
+  "CMakeFiles/ftdl_capi.dir/ftdl_c.cpp.o.d"
+  "libftdl_capi.a"
+  "libftdl_capi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftdl_capi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

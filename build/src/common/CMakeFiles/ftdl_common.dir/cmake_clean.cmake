@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftdl_common.dir/csv.cpp.o"
+  "CMakeFiles/ftdl_common.dir/csv.cpp.o.d"
+  "CMakeFiles/ftdl_common.dir/logging.cpp.o"
+  "CMakeFiles/ftdl_common.dir/logging.cpp.o.d"
+  "CMakeFiles/ftdl_common.dir/math_util.cpp.o"
+  "CMakeFiles/ftdl_common.dir/math_util.cpp.o.d"
+  "CMakeFiles/ftdl_common.dir/str_util.cpp.o"
+  "CMakeFiles/ftdl_common.dir/str_util.cpp.o.d"
+  "CMakeFiles/ftdl_common.dir/table.cpp.o"
+  "CMakeFiles/ftdl_common.dir/table.cpp.o.d"
+  "libftdl_common.a"
+  "libftdl_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftdl_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/adjacency.cpp" "src/compiler/CMakeFiles/ftdl_compiler.dir/adjacency.cpp.o" "gcc" "src/compiler/CMakeFiles/ftdl_compiler.dir/adjacency.cpp.o.d"
+  "/root/repo/src/compiler/analytical_model.cpp" "src/compiler/CMakeFiles/ftdl_compiler.dir/analytical_model.cpp.o" "gcc" "src/compiler/CMakeFiles/ftdl_compiler.dir/analytical_model.cpp.o.d"
+  "/root/repo/src/compiler/codegen.cpp" "src/compiler/CMakeFiles/ftdl_compiler.dir/codegen.cpp.o" "gcc" "src/compiler/CMakeFiles/ftdl_compiler.dir/codegen.cpp.o.d"
+  "/root/repo/src/compiler/mapping.cpp" "src/compiler/CMakeFiles/ftdl_compiler.dir/mapping.cpp.o" "gcc" "src/compiler/CMakeFiles/ftdl_compiler.dir/mapping.cpp.o.d"
+  "/root/repo/src/compiler/program_io.cpp" "src/compiler/CMakeFiles/ftdl_compiler.dir/program_io.cpp.o" "gcc" "src/compiler/CMakeFiles/ftdl_compiler.dir/program_io.cpp.o.d"
+  "/root/repo/src/compiler/scheduler.cpp" "src/compiler/CMakeFiles/ftdl_compiler.dir/scheduler.cpp.o" "gcc" "src/compiler/CMakeFiles/ftdl_compiler.dir/scheduler.cpp.o.d"
+  "/root/repo/src/compiler/search.cpp" "src/compiler/CMakeFiles/ftdl_compiler.dir/search.cpp.o" "gcc" "src/compiler/CMakeFiles/ftdl_compiler.dir/search.cpp.o.d"
+  "/root/repo/src/compiler/workload.cpp" "src/compiler/CMakeFiles/ftdl_compiler.dir/workload.cpp.o" "gcc" "src/compiler/CMakeFiles/ftdl_compiler.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/ftdl_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ftdl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ftdl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/ftdl_fpga.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftdl_compiler.dir/adjacency.cpp.o"
+  "CMakeFiles/ftdl_compiler.dir/adjacency.cpp.o.d"
+  "CMakeFiles/ftdl_compiler.dir/analytical_model.cpp.o"
+  "CMakeFiles/ftdl_compiler.dir/analytical_model.cpp.o.d"
+  "CMakeFiles/ftdl_compiler.dir/codegen.cpp.o"
+  "CMakeFiles/ftdl_compiler.dir/codegen.cpp.o.d"
+  "CMakeFiles/ftdl_compiler.dir/mapping.cpp.o"
+  "CMakeFiles/ftdl_compiler.dir/mapping.cpp.o.d"
+  "CMakeFiles/ftdl_compiler.dir/program_io.cpp.o"
+  "CMakeFiles/ftdl_compiler.dir/program_io.cpp.o.d"
+  "CMakeFiles/ftdl_compiler.dir/scheduler.cpp.o"
+  "CMakeFiles/ftdl_compiler.dir/scheduler.cpp.o.d"
+  "CMakeFiles/ftdl_compiler.dir/search.cpp.o"
+  "CMakeFiles/ftdl_compiler.dir/search.cpp.o.d"
+  "CMakeFiles/ftdl_compiler.dir/workload.cpp.o"
+  "CMakeFiles/ftdl_compiler.dir/workload.cpp.o.d"
+  "libftdl_compiler.a"
+  "libftdl_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftdl_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

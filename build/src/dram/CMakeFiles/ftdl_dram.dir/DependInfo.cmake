@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dram/bank_sim.cpp" "src/dram/CMakeFiles/ftdl_dram.dir/bank_sim.cpp.o" "gcc" "src/dram/CMakeFiles/ftdl_dram.dir/bank_sim.cpp.o.d"
+  "/root/repo/src/dram/dram_power.cpp" "src/dram/CMakeFiles/ftdl_dram.dir/dram_power.cpp.o" "gcc" "src/dram/CMakeFiles/ftdl_dram.dir/dram_power.cpp.o.d"
+  "/root/repo/src/dram/dram_spec.cpp" "src/dram/CMakeFiles/ftdl_dram.dir/dram_spec.cpp.o" "gcc" "src/dram/CMakeFiles/ftdl_dram.dir/dram_spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ftdl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

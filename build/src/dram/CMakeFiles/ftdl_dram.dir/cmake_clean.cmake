@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftdl_dram.dir/bank_sim.cpp.o"
+  "CMakeFiles/ftdl_dram.dir/bank_sim.cpp.o.d"
+  "CMakeFiles/ftdl_dram.dir/dram_power.cpp.o"
+  "CMakeFiles/ftdl_dram.dir/dram_power.cpp.o.d"
+  "CMakeFiles/ftdl_dram.dir/dram_spec.cpp.o"
+  "CMakeFiles/ftdl_dram.dir/dram_spec.cpp.o.d"
+  "libftdl_dram.a"
+  "libftdl_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftdl_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

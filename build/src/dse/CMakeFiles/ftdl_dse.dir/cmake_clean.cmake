@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftdl_dse.dir/explorer.cpp.o"
+  "CMakeFiles/ftdl_dse.dir/explorer.cpp.o.d"
+  "libftdl_dse.a"
+  "libftdl_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftdl_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

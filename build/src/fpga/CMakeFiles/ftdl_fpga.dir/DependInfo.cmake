@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fpga/clocking.cpp" "src/fpga/CMakeFiles/ftdl_fpga.dir/clocking.cpp.o" "gcc" "src/fpga/CMakeFiles/ftdl_fpga.dir/clocking.cpp.o.d"
+  "/root/repo/src/fpga/device.cpp" "src/fpga/CMakeFiles/ftdl_fpga.dir/device.cpp.o" "gcc" "src/fpga/CMakeFiles/ftdl_fpga.dir/device.cpp.o.d"
+  "/root/repo/src/fpga/device_zoo.cpp" "src/fpga/CMakeFiles/ftdl_fpga.dir/device_zoo.cpp.o" "gcc" "src/fpga/CMakeFiles/ftdl_fpga.dir/device_zoo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ftdl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

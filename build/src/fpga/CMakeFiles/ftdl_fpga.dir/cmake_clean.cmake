@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftdl_fpga.dir/clocking.cpp.o"
+  "CMakeFiles/ftdl_fpga.dir/clocking.cpp.o.d"
+  "CMakeFiles/ftdl_fpga.dir/device.cpp.o"
+  "CMakeFiles/ftdl_fpga.dir/device.cpp.o.d"
+  "CMakeFiles/ftdl_fpga.dir/device_zoo.cpp.o"
+  "CMakeFiles/ftdl_fpga.dir/device_zoo.cpp.o.d"
+  "libftdl_fpga.a"
+  "libftdl_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftdl_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

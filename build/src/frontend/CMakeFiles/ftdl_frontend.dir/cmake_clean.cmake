@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftdl_frontend.dir/spec_parser.cpp.o"
+  "CMakeFiles/ftdl_frontend.dir/spec_parser.cpp.o.d"
+  "libftdl_frontend.a"
+  "libftdl_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftdl_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftdl_framework.dir/framework.cpp.o"
+  "CMakeFiles/ftdl_framework.dir/framework.cpp.o.d"
+  "libftdl_framework.a"
+  "libftdl_framework.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftdl_framework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

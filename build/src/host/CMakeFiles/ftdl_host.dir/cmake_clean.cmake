@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftdl_host.dir/ewop_kernels.cpp.o"
+  "CMakeFiles/ftdl_host.dir/ewop_kernels.cpp.o.d"
+  "CMakeFiles/ftdl_host.dir/host_pipeline.cpp.o"
+  "CMakeFiles/ftdl_host.dir/host_pipeline.cpp.o.d"
+  "CMakeFiles/ftdl_host.dir/lstm_runner.cpp.o"
+  "CMakeFiles/ftdl_host.dir/lstm_runner.cpp.o.d"
+  "libftdl_host.a"
+  "libftdl_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftdl_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

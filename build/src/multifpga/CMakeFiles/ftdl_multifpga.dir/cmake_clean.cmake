@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftdl_multifpga.dir/partition.cpp.o"
+  "CMakeFiles/ftdl_multifpga.dir/partition.cpp.o.d"
+  "libftdl_multifpga.a"
+  "libftdl_multifpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftdl_multifpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/layer.cpp" "src/nn/CMakeFiles/ftdl_nn.dir/layer.cpp.o" "gcc" "src/nn/CMakeFiles/ftdl_nn.dir/layer.cpp.o.d"
+  "/root/repo/src/nn/model_googlenet.cpp" "src/nn/CMakeFiles/ftdl_nn.dir/model_googlenet.cpp.o" "gcc" "src/nn/CMakeFiles/ftdl_nn.dir/model_googlenet.cpp.o.d"
+  "/root/repo/src/nn/model_misc.cpp" "src/nn/CMakeFiles/ftdl_nn.dir/model_misc.cpp.o" "gcc" "src/nn/CMakeFiles/ftdl_nn.dir/model_misc.cpp.o.d"
+  "/root/repo/src/nn/model_resnet50.cpp" "src/nn/CMakeFiles/ftdl_nn.dir/model_resnet50.cpp.o" "gcc" "src/nn/CMakeFiles/ftdl_nn.dir/model_resnet50.cpp.o.d"
+  "/root/repo/src/nn/network.cpp" "src/nn/CMakeFiles/ftdl_nn.dir/network.cpp.o" "gcc" "src/nn/CMakeFiles/ftdl_nn.dir/network.cpp.o.d"
+  "/root/repo/src/nn/reference.cpp" "src/nn/CMakeFiles/ftdl_nn.dir/reference.cpp.o" "gcc" "src/nn/CMakeFiles/ftdl_nn.dir/reference.cpp.o.d"
+  "/root/repo/src/nn/tensor.cpp" "src/nn/CMakeFiles/ftdl_nn.dir/tensor.cpp.o" "gcc" "src/nn/CMakeFiles/ftdl_nn.dir/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ftdl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

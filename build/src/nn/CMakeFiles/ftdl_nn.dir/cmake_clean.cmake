@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftdl_nn.dir/layer.cpp.o"
+  "CMakeFiles/ftdl_nn.dir/layer.cpp.o.d"
+  "CMakeFiles/ftdl_nn.dir/model_googlenet.cpp.o"
+  "CMakeFiles/ftdl_nn.dir/model_googlenet.cpp.o.d"
+  "CMakeFiles/ftdl_nn.dir/model_misc.cpp.o"
+  "CMakeFiles/ftdl_nn.dir/model_misc.cpp.o.d"
+  "CMakeFiles/ftdl_nn.dir/model_resnet50.cpp.o"
+  "CMakeFiles/ftdl_nn.dir/model_resnet50.cpp.o.d"
+  "CMakeFiles/ftdl_nn.dir/network.cpp.o"
+  "CMakeFiles/ftdl_nn.dir/network.cpp.o.d"
+  "CMakeFiles/ftdl_nn.dir/reference.cpp.o"
+  "CMakeFiles/ftdl_nn.dir/reference.cpp.o.d"
+  "CMakeFiles/ftdl_nn.dir/tensor.cpp.o"
+  "CMakeFiles/ftdl_nn.dir/tensor.cpp.o.d"
+  "libftdl_nn.a"
+  "libftdl_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftdl_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftdl_power.dir/fpga_power.cpp.o"
+  "CMakeFiles/ftdl_power.dir/fpga_power.cpp.o.d"
+  "libftdl_power.a"
+  "libftdl_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftdl_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftdl_prune.dir/channel_prune.cpp.o"
+  "CMakeFiles/ftdl_prune.dir/channel_prune.cpp.o.d"
+  "libftdl_prune.a"
+  "libftdl_prune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftdl_prune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

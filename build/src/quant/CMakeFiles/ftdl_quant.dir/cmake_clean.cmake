@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftdl_quant.dir/quantize.cpp.o"
+  "CMakeFiles/ftdl_quant.dir/quantize.cpp.o.d"
+  "libftdl_quant.a"
+  "libftdl_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftdl_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

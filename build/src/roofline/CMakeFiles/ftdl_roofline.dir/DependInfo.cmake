@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/roofline/roofline.cpp" "src/roofline/CMakeFiles/ftdl_roofline.dir/roofline.cpp.o" "gcc" "src/roofline/CMakeFiles/ftdl_roofline.dir/roofline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compiler/CMakeFiles/ftdl_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ftdl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/ftdl_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/ftdl_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ftdl_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

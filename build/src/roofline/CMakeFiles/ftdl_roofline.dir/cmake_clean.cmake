@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftdl_roofline.dir/roofline.cpp.o"
+  "CMakeFiles/ftdl_roofline.dir/roofline.cpp.o.d"
+  "libftdl_roofline.a"
+  "libftdl_roofline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftdl_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

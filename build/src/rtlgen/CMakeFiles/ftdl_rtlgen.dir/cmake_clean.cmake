@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftdl_rtlgen.dir/testbench_gen.cpp.o"
+  "CMakeFiles/ftdl_rtlgen.dir/testbench_gen.cpp.o.d"
+  "CMakeFiles/ftdl_rtlgen.dir/verilog_gen.cpp.o"
+  "CMakeFiles/ftdl_rtlgen.dir/verilog_gen.cpp.o.d"
+  "libftdl_rtlgen.a"
+  "libftdl_rtlgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftdl_rtlgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libftdl_rtlgen.a"
+)

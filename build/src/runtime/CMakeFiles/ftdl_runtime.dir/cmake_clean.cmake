@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftdl_runtime.dir/executor.cpp.o"
+  "CMakeFiles/ftdl_runtime.dir/executor.cpp.o.d"
+  "CMakeFiles/ftdl_runtime.dir/weight_store.cpp.o"
+  "CMakeFiles/ftdl_runtime.dir/weight_store.cpp.o.d"
+  "libftdl_runtime.a"
+  "libftdl_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftdl_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

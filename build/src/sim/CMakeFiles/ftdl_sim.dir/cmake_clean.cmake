@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftdl_sim.dir/ftdl_sim.cpp.o"
+  "CMakeFiles/ftdl_sim.dir/ftdl_sim.cpp.o.d"
+  "libftdl_sim.a"
+  "libftdl_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftdl_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/timing/delay_model.cpp" "src/timing/CMakeFiles/ftdl_timing.dir/delay_model.cpp.o" "gcc" "src/timing/CMakeFiles/ftdl_timing.dir/delay_model.cpp.o.d"
+  "/root/repo/src/timing/placement.cpp" "src/timing/CMakeFiles/ftdl_timing.dir/placement.cpp.o" "gcc" "src/timing/CMakeFiles/ftdl_timing.dir/placement.cpp.o.d"
+  "/root/repo/src/timing/scaling_study.cpp" "src/timing/CMakeFiles/ftdl_timing.dir/scaling_study.cpp.o" "gcc" "src/timing/CMakeFiles/ftdl_timing.dir/scaling_study.cpp.o.d"
+  "/root/repo/src/timing/timing_analyzer.cpp" "src/timing/CMakeFiles/ftdl_timing.dir/timing_analyzer.cpp.o" "gcc" "src/timing/CMakeFiles/ftdl_timing.dir/timing_analyzer.cpp.o.d"
+  "/root/repo/src/timing/timing_report.cpp" "src/timing/CMakeFiles/ftdl_timing.dir/timing_report.cpp.o" "gcc" "src/timing/CMakeFiles/ftdl_timing.dir/timing_report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fpga/CMakeFiles/ftdl_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ftdl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftdl_timing.dir/delay_model.cpp.o"
+  "CMakeFiles/ftdl_timing.dir/delay_model.cpp.o.d"
+  "CMakeFiles/ftdl_timing.dir/placement.cpp.o"
+  "CMakeFiles/ftdl_timing.dir/placement.cpp.o.d"
+  "CMakeFiles/ftdl_timing.dir/scaling_study.cpp.o"
+  "CMakeFiles/ftdl_timing.dir/scaling_study.cpp.o.d"
+  "CMakeFiles/ftdl_timing.dir/timing_analyzer.cpp.o"
+  "CMakeFiles/ftdl_timing.dir/timing_analyzer.cpp.o.d"
+  "CMakeFiles/ftdl_timing.dir/timing_report.cpp.o"
+  "CMakeFiles/ftdl_timing.dir/timing_report.cpp.o.d"
+  "libftdl_timing.a"
+  "libftdl_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftdl_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

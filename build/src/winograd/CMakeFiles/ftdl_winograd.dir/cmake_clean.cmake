@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftdl_winograd.dir/winograd.cpp.o"
+  "CMakeFiles/ftdl_winograd.dir/winograd.cpp.o.d"
+  "libftdl_winograd.a"
+  "libftdl_winograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftdl_winograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

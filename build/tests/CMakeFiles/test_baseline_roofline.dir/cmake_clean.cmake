@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baseline_roofline.dir/test_baseline_roofline.cpp.o"
+  "CMakeFiles/test_baseline_roofline.dir/test_baseline_roofline.cpp.o.d"
+  "test_baseline_roofline"
+  "test_baseline_roofline.pdb"
+  "test_baseline_roofline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baseline_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_depthwise.dir/test_depthwise.cpp.o"
+  "CMakeFiles/test_depthwise.dir/test_depthwise.cpp.o.d"
+  "test_depthwise"
+  "test_depthwise.pdb"
+  "test_depthwise[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_depthwise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

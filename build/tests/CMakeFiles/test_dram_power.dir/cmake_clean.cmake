@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dram_power.dir/test_dram_power.cpp.o"
+  "CMakeFiles/test_dram_power.dir/test_dram_power.cpp.o.d"
+  "test_dram_power"
+  "test_dram_power.pdb"
+  "test_dram_power[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dram_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multifpga.dir/test_multifpga.cpp.o"
+  "CMakeFiles/test_multifpga.dir/test_multifpga.cpp.o.d"
+  "test_multifpga"
+  "test_multifpga.pdb"
+  "test_multifpga[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multifpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_program_io.dir/test_program_io.cpp.o"
+  "CMakeFiles/test_program_io.dir/test_program_io.cpp.o.d"
+  "test_program_io"
+  "test_program_io.pdb"
+  "test_program_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_program_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rtlgen.dir/test_rtlgen.cpp.o"
+  "CMakeFiles/test_rtlgen.dir/test_rtlgen.cpp.o.d"
+  "test_rtlgen"
+  "test_rtlgen.pdb"
+  "test_rtlgen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rtlgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

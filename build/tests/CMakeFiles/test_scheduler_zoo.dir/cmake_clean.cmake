@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scheduler_zoo.dir/test_scheduler_zoo.cpp.o"
+  "CMakeFiles/test_scheduler_zoo.dir/test_scheduler_zoo.cpp.o.d"
+  "test_scheduler_zoo"
+  "test_scheduler_zoo.pdb"
+  "test_scheduler_zoo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scheduler_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_fpga[1]_include.cmake")
+include("/root/repo/build/tests/test_timing[1]_include.cmake")
+include("/root/repo/build/tests/test_nn[1]_include.cmake")
+include("/root/repo/build/tests/test_arch[1]_include.cmake")
+include("/root/repo/build/tests/test_compiler[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_dram_power[1]_include.cmake")
+include("/root/repo/build/tests/test_baseline_roofline[1]_include.cmake")
+include("/root/repo/build/tests/test_framework[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_host[1]_include.cmake")
+include("/root/repo/build/tests/test_multifpga[1]_include.cmake")
+include("/root/repo/build/tests/test_frontend[1]_include.cmake")
+include("/root/repo/build/tests/test_prune[1]_include.cmake")
+include("/root/repo/build/tests/test_rtlgen[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_dse[1]_include.cmake")
+include("/root/repo/build/tests/test_program_io[1]_include.cmake")
+include("/root/repo/build/tests/test_winograd[1]_include.cmake")
+include("/root/repo/build/tests/test_depthwise[1]_include.cmake")
+include("/root/repo/build/tests/test_quant[1]_include.cmake")
+include("/root/repo/build/tests/test_scheduler_zoo[1]_include.cmake")
+include("/root/repo/build/tests/test_capi[1]_include.cmake")

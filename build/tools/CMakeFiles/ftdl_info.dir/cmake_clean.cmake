@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftdl_info.dir/ftdl_info.cpp.o"
+  "CMakeFiles/ftdl_info.dir/ftdl_info.cpp.o.d"
+  "ftdl_info"
+  "ftdl_info.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftdl_info.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftdlc.dir/ftdlc.cpp.o"
+  "CMakeFiles/ftdlc.dir/ftdlc.cpp.o.d"
+  "ftdlc"
+  "ftdlc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftdlc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ftdlc.
+# This may be replaced when dependencies are built.
