@@ -28,9 +28,22 @@ std::string Instruction::to_string() const {
                    static_cast<unsigned long long>(imm));
 }
 
+bool field_is_valid(Opcode op, std::uint8_t field) {
+  switch (op) {
+    case Opcode::SetLoop:
+      return field <= static_cast<std::uint8_t>(TemporalLevel::T);
+    case Opcode::SetPsumMode:
+      return field <= 1;
+    default:
+      return field == 0;
+  }
+}
+
 std::uint64_t encode(const Instruction& inst) {
   if (inst.imm > kImmMask)
     throw Error("instruction immediate exceeds 48 bits: " + inst.to_string());
+  if (!field_is_valid(inst.op, inst.field))
+    throw Error("field value out of range for opcode: " + inst.to_string());
   return (std::uint64_t{static_cast<std::uint8_t>(inst.op)} << 56) |
          (std::uint64_t{inst.field} << 48) | inst.imm;
 }

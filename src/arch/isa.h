@@ -41,12 +41,20 @@ struct Instruction {
   std::string to_string() const;
 };
 
-/// Packs an instruction into its 64-bit InstBUS word.
+/// True when `field` is a defined value for `op`: SetLoop takes a
+/// TemporalLevel (0-2), SetPsumMode a flag (0/1), every other opcode
+/// requires field = 0.
+bool field_is_valid(Opcode op, std::uint8_t field);
+
+/// Packs an instruction into its 64-bit InstBUS word; throws ftdl::Error on
+/// an immediate exceeding 48 bits or a field value undefined for the
+/// opcode (see field_is_valid).
 std::uint64_t encode(const Instruction& inst);
 
-/// Decodes an InstBUS word; throws ftdl::Error on an unknown opcode or an
-/// immediate exceeding 48 bits was impossible by construction (checked in
-/// encode instead).
+/// Decodes an InstBUS word; throws ftdl::Error on an unknown opcode. An
+/// oversize immediate is impossible by construction here — the word only
+/// carries 48 immediate bits — so that check lives in encode() instead.
+/// Undefined field values decode verbatim; ftdl::verify flags them.
 Instruction decode(std::uint64_t word);
 
 /// Convenience builders.

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/math_util.h"
+#include "compiler/program_verify.h"
 
 namespace ftdl::compiler {
 
@@ -105,6 +106,7 @@ LayerProgram compile_layer(const nn::Layer& layer,
         prog.reload_cycles_per_group = static_cast<std::int64_t>(
             std::ceil(group_bytes / config.dram_rd_bytes_per_cycle()));
       }
+      assert_program_verified(prog, config);
       return prog;
     } catch (const InfeasibleError&) {
       continue;  // halve the weight tile and retry

@@ -6,6 +6,7 @@
 
 #include "common/error.h"
 #include "common/str_util.h"
+#include "compiler/program_verify.h"
 
 namespace ftdl::compiler {
 
@@ -56,6 +57,25 @@ std::vector<std::int64_t> parse_ints(const std::string& s) {
   std::istringstream in(s);
   std::int64_t v;
   while (in >> v) out.push_back(v);
+  return out;
+}
+
+std::vector<std::uint64_t> parse_hex_words(const std::string& s) {
+  std::vector<std::uint64_t> out;
+  std::istringstream in(s);
+  std::string tok;
+  while (in >> tok) {
+    std::size_t pos = 0;
+    std::uint64_t word = 0;
+    try {
+      word = std::stoull(tok, &pos, 16);
+    } catch (const std::exception&) {
+      throw Error("malformed InstBUS word in program: " + tok);
+    }
+    if (pos != tok.size())
+      throw Error("malformed InstBUS word in program: " + tok);
+    out.push_back(word);
+  }
   return out;
 }
 
@@ -171,14 +191,21 @@ LayerProgram deserialize_program(const std::string& text,
         static_cast<long long>(stored_cexe),
         static_cast<long long>(prog.perf.c_exe)));
 
-  prog.row_stream = generate_row_stream(prog.workload, prog.mapping, prog.perf);
-  std::string regenerated;
-  for (std::uint64_t w : prog.encoded_stream()) {
-    if (!regenerated.empty()) regenerated += ' ';
-    regenerated += strformat("%016llx", static_cast<unsigned long long>(w));
+  // The stored stream is the artifact that ships to hardware: decode it and
+  // hand it to the static verifier, so a tampered or stale artifact fails
+  // with exactly the diagnostic compile_layer would produce for that stream.
+  try {
+    prog.row_stream = arch::decode_stream(parse_hex_words(require(kv, "stream")));
+  } catch (const ConfigError&) {
+    throw;
+  } catch (const Error& e) {
+    throw ConfigError(std::string("stored instruction stream does not decode: ") +
+                      e.what());
   }
-  if (regenerated != require(kv, "stream"))
-    throw ConfigError("stored instruction stream disagrees with the mapping");
+  const verify::VerifyResult vr = verify_program(prog, config);
+  if (const verify::Diagnostic* d = vr.first_error())
+    throw ConfigError("stored instruction stream disagrees with the mapping: " +
+                      d->to_string());
 
   return prog;
 }

@@ -3,9 +3,10 @@
 // A deployed FTDL system compiles once and ships the controller instruction
 // streams plus the mapping metadata. The text format is line-based
 // (key=value), human-diffable, and versioned. Loading re-runs the
-// analytical model and re-generates the instruction stream from the stored
-// mapping, then cross-checks both against the stored values — a corrupted
-// or hand-edited artifact cannot silently disagree with itself.
+// analytical model on the stored mapping, then statically verifies the
+// stored stream against it (compiler/program_verify.h) — a corrupted or
+// hand-edited artifact cannot silently disagree with itself, and it fails
+// with the same diagnostics compile_layer would emit.
 #pragma once
 
 #include <string>

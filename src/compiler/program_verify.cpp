@@ -1,0 +1,42 @@
+#include "compiler/program_verify.h"
+
+#include "common/error.h"
+
+namespace ftdl::compiler {
+
+verify::StreamExpectation stream_expectation(const Workload& w,
+                                             const Mapping& m,
+                                             const Performance& perf,
+                                             int weight_groups) {
+  verify::StreamExpectation e;
+  e.x_trip = static_cast<std::uint64_t>(perf.x);
+  e.l_trip = static_cast<std::uint64_t>(perf.l);
+  e.t_trip = static_cast<std::uint64_t>(perf.t);
+  e.act_tile_words =
+      static_cast<std::uint64_t>(perf.buffers.actbuf_words_per_tpe);
+  e.psum_tile_words =
+      static_cast<std::uint64_t>(perf.buffers.psum_words_per_superblock);
+  e.psum_accumulate = psum_passes(w, m) > 1;
+  e.weight_footprint_words =
+      static_cast<std::uint64_t>(perf.buffers.wbuf_words_per_tpe);
+  e.weight_groups = weight_groups;
+  return e;
+}
+
+verify::VerifyResult verify_program(const LayerProgram& program,
+                                    const arch::OverlayConfig& config) {
+  const verify::StreamExpectation expected = stream_expectation(
+      program.workload, program.mapping, program.perf, program.weight_groups);
+  return verify::verify_stream(program.row_stream, config, &expected);
+}
+
+void assert_program_verified(const LayerProgram& program,
+                             const arch::OverlayConfig& config) {
+  const verify::VerifyResult result = verify_program(program, config);
+  if (const verify::Diagnostic* d = result.first_error()) {
+    throw InternalError("compile_layer emitted an unverifiable stream for " +
+                        program.layer.name + ": " + d->to_string());
+  }
+}
+
+}  // namespace ftdl::compiler

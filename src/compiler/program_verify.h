@@ -1,0 +1,35 @@
+// Mapping-aware static verification of compiled layer programs.
+//
+// The core analyzer (verify/verifier.h) only knows the ISA and the overlay
+// contract; this bridge derives the mapping-side truth — trip counts, tile
+// sizes, accumulate mode, weight footprint — from the solved (Workload,
+// Mapping, Performance) triple and hands both to the analyzer. It is the
+// single diagnostic path shared by compile_layer's post-condition, the
+// program_io load path, and the ftdlc --verify / ftdl-lint tools, so a
+// stream rejected at load time fails with exactly the diagnostic the
+// compiler would have produced.
+#pragma once
+
+#include "compiler/codegen.h"
+#include "verify/verifier.h"
+
+namespace ftdl::compiler {
+
+/// The stream-visible facts generate_row_stream must encode for this
+/// solved mapping (what the verifier's semantic checks compare against).
+verify::StreamExpectation stream_expectation(const Workload& w,
+                                             const Mapping& m,
+                                             const Performance& perf,
+                                             int weight_groups = 1);
+
+/// Statically verifies `program.row_stream` against the overlay contract
+/// and the program's own mapping (structural + resource + semantic).
+verify::VerifyResult verify_program(const LayerProgram& program,
+                                    const arch::OverlayConfig& config);
+
+/// compile_layer's post-condition: throws ftdl::InternalError carrying the
+/// first diagnostic when verify_program reports errors.
+void assert_program_verified(const LayerProgram& program,
+                             const arch::OverlayConfig& config);
+
+}  // namespace ftdl::compiler

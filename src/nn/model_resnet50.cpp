@@ -11,7 +11,9 @@ namespace {
 /// Appends one bottleneck block reading from `in_name` (1x1 reduce, 3x3,
 /// 1x1 expand + projection shortcut on the first block of a stage).
 /// The block's output layer is named `tag`/add_relu.
-int bottleneck(Network& net, const std::string& tag, const std::string& in_name,
+/// `in_name` is taken by value: callers pass a reference into net's layer
+/// vector, which the first add() below may reallocate.
+int bottleneck(Network& net, const std::string& tag, std::string in_name,
                int in_c, int hw_in, int mid_c, int out_c, int stride,
                bool project) {
   const int hw_out = hw_in / stride;

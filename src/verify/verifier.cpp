@@ -1,0 +1,470 @@
+#include "verify/verifier.h"
+
+#include <algorithm>
+#include <climits>
+
+#include "common/str_util.h"
+
+namespace ftdl::verify {
+
+namespace {
+
+constexpr std::uint64_t kImmMask = (std::uint64_t{1} << 48) - 1;
+
+/// Configuration registers the Launch instruction reads.
+enum Reg { kRegX = 0, kRegL, kRegT, kRegAct, kRegPsum, kRegMode, kRegBase, kNumRegs };
+
+const char* reg_name(int reg) {
+  switch (reg) {
+    case kRegX: return "LoopX trip";
+    case kRegL: return "LoopL trip";
+    case kRegT: return "LoopT trip";
+    case kRegAct: return "ActBUF tile";
+    case kRegPsum: return "PSumBUF tile";
+    case kRegMode: return "psum mode";
+    case kRegBase: return "weight base";
+  }
+  return "?";
+}
+
+bool is_config_op(arch::Opcode op) {
+  switch (op) {
+    case arch::Opcode::SetLoop:
+    case arch::Opcode::SetActTile:
+    case arch::Opcode::SetPsumTile:
+    case arch::Opcode::SetPsumMode:
+    case arch::Opcode::SetWeightBase:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Register a config instruction writes, or -1 (unknown SetLoop level).
+int config_reg(const arch::Instruction& inst) {
+  switch (inst.op) {
+    case arch::Opcode::SetLoop:
+      switch (static_cast<arch::TemporalLevel>(inst.field)) {
+        case arch::TemporalLevel::X: return kRegX;
+        case arch::TemporalLevel::L: return kRegL;
+        case arch::TemporalLevel::T: return kRegT;
+        default: return -1;
+      }
+    case arch::Opcode::SetActTile: return kRegAct;
+    case arch::Opcode::SetPsumTile: return kRegPsum;
+    case arch::Opcode::SetPsumMode: return kRegMode;
+    case arch::Opcode::SetWeightBase: return kRegBase;
+    default: return -1;
+  }
+}
+
+class StreamChecker {
+ public:
+  StreamChecker(const arch::InstStream& stream, const arch::OverlayConfig& config,
+                const StreamExpectation* expected)
+      : stream_(stream), config_(config), expected_(expected) {
+    std::fill(write_index_, write_index_ + kNumRegs, -1);
+  }
+
+  VerifyResult run() {
+    for (int i = 0; i < static_cast<int>(stream_.size()); ++i) {
+      step(i, stream_[static_cast<std::size_t>(i)]);
+    }
+    finish();
+    result_.state = state_;
+    return std::move(result_);
+  }
+
+ private:
+  void diag(Severity sev, Check check, int index, std::string message) {
+    result_.diagnostics.push_back(
+        Diagnostic{sev, check, index, std::move(message)});
+  }
+  void error(Check check, int index, std::string message) {
+    diag(Severity::Error, check, index, std::move(message));
+  }
+  void warn(Check check, int index, std::string message) {
+    diag(Severity::Warning, check, index, std::move(message));
+  }
+
+  void step(int i, const arch::Instruction& inst) {
+    if (static_cast<std::uint8_t>(inst.op) >
+        static_cast<std::uint8_t>(arch::Opcode::Barrier)) {
+      error(Check::UnknownOpcode, i,
+            strformat("unknown opcode %u",
+                      static_cast<unsigned>(static_cast<std::uint8_t>(inst.op))));
+      return;
+    }
+    if (inst.imm > kImmMask) {
+      error(Check::ImmOverflow, i,
+            strformat("immediate %llu exceeds the 48-bit encoding",
+                      static_cast<unsigned long long>(inst.imm)));
+    }
+    if (!arch::field_is_valid(inst.op, inst.field)) {
+      error(Check::UnknownField, i,
+            strformat("field %u is undefined for %s",
+                      static_cast<unsigned>(inst.field),
+                      arch::to_string(inst.op)));
+    }
+    if (saw_barrier_) {
+      error(Check::CodeAfterBarrier, i,
+            "instruction after the terminal Barrier");
+    }
+
+    if (is_config_op(inst.op)) {
+      if (state_.launched && !saw_barrier_) {
+        error(Check::ConfigAfterLaunch, i,
+              strformat("%s after Launch has no effect on the running layer",
+                        arch::to_string(inst.op)));
+      }
+      apply_config(i, inst);
+      return;
+    }
+
+    switch (inst.op) {
+      case arch::Opcode::Nop:
+        break;
+      case arch::Opcode::Launch:
+        on_launch(i);
+        break;
+      case arch::Opcode::Barrier:
+        on_barrier(i);
+        break;
+      default:
+        break;
+    }
+  }
+
+  void apply_config(int i, const arch::Instruction& inst) {
+    const int reg = config_reg(inst);
+    if (reg < 0) return;  // undefined SetLoop level, already diagnosed
+
+    if (!state_.launched && write_index_[reg] >= 0) {
+      warn(Check::DeadConfig, write_index_[reg],
+           strformat("%s write is dead: overwritten at @%d before Launch",
+                     reg_name(reg), i));
+    }
+    write_index_[reg] = i;
+
+    switch (inst.op) {
+      case arch::Opcode::SetLoop:
+        if (inst.imm == 0) {
+          error(Check::ZeroTrip, i,
+                strformat("zero %s: the loop would never issue", reg_name(reg)));
+          return;  // keep the architectural default of 1
+        }
+        if (reg == kRegX) state_.x_trip = inst.imm;
+        if (reg == kRegL) state_.l_trip = inst.imm;
+        if (reg == kRegT) state_.t_trip = inst.imm;
+        break;
+      case arch::Opcode::SetActTile:
+        state_.act_tile_words = inst.imm;
+        if (inst.imm == 0) {
+          warn(Check::DegenerateTile, i, "zero-word ActBUF tile configured");
+        } else if (inst.imm >
+                   static_cast<std::uint64_t>(config_.actbuf_usable())) {
+          error(Check::ActBufOverflow, i,
+                strformat("act tile of %llu words exceeds the usable ActBUF "
+                          "capacity of %lld (double-buffered %lld)",
+                          static_cast<unsigned long long>(inst.imm),
+                          static_cast<long long>(config_.actbuf_usable()),
+                          static_cast<long long>(config_.actbuf_words)));
+        }
+        break;
+      case arch::Opcode::SetPsumTile:
+        state_.psum_tile_words = inst.imm;
+        if (inst.imm == 0) {
+          warn(Check::DegenerateTile, i, "zero-word PSumBUF tile configured");
+        } else if (inst.imm >
+                   static_cast<std::uint64_t>(config_.psumbuf_usable())) {
+          error(Check::PsumBufOverflow, i,
+                strformat("psum tile of %llu words exceeds the usable PSumBUF "
+                          "capacity of %lld (double-buffered %lld)",
+                          static_cast<unsigned long long>(inst.imm),
+                          static_cast<long long>(config_.psumbuf_usable()),
+                          static_cast<long long>(config_.psumbuf_words)));
+        }
+        break;
+      case arch::Opcode::SetPsumMode:
+        state_.psum_accumulate = inst.field != 0;
+        break;
+      case arch::Opcode::SetWeightBase: {
+        state_.weight_base = inst.imm;
+        const std::uint64_t footprint =
+            expected_ ? expected_->weight_footprint_words : 0;
+        if (inst.imm + footprint >
+            static_cast<std::uint64_t>(config_.wbuf_words)) {
+          error(Check::WbufOverflow, i,
+                strformat("weight base %llu + footprint %llu words exceeds "
+                          "the WBUF capacity of %lld",
+                          static_cast<unsigned long long>(inst.imm),
+                          static_cast<unsigned long long>(footprint),
+                          static_cast<long long>(config_.wbuf_words)));
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  void on_launch(int i) {
+    if (state_.launched) {
+      error(Check::DoubleLaunch, i, "second Launch in one stream");
+      return;
+    }
+    state_.launched = true;
+    launch_index_ = i;
+    launch_state_ = state_;
+    std::copy(write_index_, write_index_ + kNumRegs, write_at_launch_);
+
+    std::string missing;
+    for (int reg : {kRegX, kRegL, kRegT, kRegAct, kRegPsum}) {
+      if (write_index_[reg] < 0) {
+        if (!missing.empty()) missing += ", ";
+        missing += reg_name(reg);
+      }
+    }
+    if (!missing.empty()) {
+      error(Check::IncompleteConfig, i,
+            "Launch before configuration is complete: " + missing + " never set");
+    }
+  }
+
+  void on_barrier(int i) {
+    if (saw_barrier_) {
+      error(Check::CodeAfterBarrier, i, "second Barrier in one stream");
+      return;
+    }
+    if (!state_.launched) {
+      error(Check::MissingLaunch, i, "Barrier before Launch: nothing to drain");
+      reported_missing_launch_ = true;
+    }
+    saw_barrier_ = true;
+  }
+
+  void finish() {
+    if (!state_.launched && !reported_missing_launch_) {
+      error(Check::MissingLaunch, -1, "stream never launches");
+    }
+    if (state_.launched && !saw_barrier_) {
+      error(Check::MissingBarrier, -1,
+            "stream missing the terminal Barrier: the row never drains");
+    }
+    if (expected_ && state_.launched) check_expectation();
+  }
+
+  /// Index to blame for a semantic mismatch on `reg`: the write Launch
+  /// consumed, or the Launch itself when the register kept its default.
+  int blame(int reg) const {
+    return write_at_launch_[reg] >= 0 ? write_at_launch_[reg] : launch_index_;
+  }
+
+  void check_expectation() {
+    const StreamExpectation& e = *expected_;
+    const arch::ControllerState& st = launch_state_;
+
+    const struct { int reg; std::uint64_t got, want; const char* axis; } trips[] = {
+        {kRegX, st.x_trip, e.x_trip, "X"},
+        {kRegL, st.l_trip, e.l_trip, "L"},
+        {kRegT, st.t_trip, e.t_trip, "T"},
+    };
+    for (const auto& t : trips) {
+      if (write_at_launch_[t.reg] < 0) continue;  // IncompleteConfig already
+      if (t.got != t.want) {
+        error(Check::TripMismatch, blame(t.reg),
+              strformat("stream sets %s trip %llu but the mapping solved %llu",
+                        t.axis, static_cast<unsigned long long>(t.got),
+                        static_cast<unsigned long long>(t.want)));
+      }
+    }
+    if (write_at_launch_[kRegAct] >= 0 && st.act_tile_words != e.act_tile_words) {
+      error(Check::TileMismatch, blame(kRegAct),
+            strformat("stream sets an ActBUF tile of %llu words but the "
+                      "buffer sizing requires %llu",
+                      static_cast<unsigned long long>(st.act_tile_words),
+                      static_cast<unsigned long long>(e.act_tile_words)));
+    }
+    if (write_at_launch_[kRegPsum] >= 0 &&
+        st.psum_tile_words != e.psum_tile_words) {
+      error(Check::TileMismatch, blame(kRegPsum),
+            strformat("stream sets a PSumBUF tile of %llu words but the "
+                      "buffer sizing requires %llu",
+                      static_cast<unsigned long long>(st.psum_tile_words),
+                      static_cast<unsigned long long>(e.psum_tile_words)));
+    }
+    if (st.psum_accumulate != e.psum_accumulate) {
+      std::string msg =
+          st.psum_accumulate
+              ? "accumulate mode set but the mapping has a single psum pass"
+              : "overwrite mode set but the mapping's reduction split needs "
+                "accumulation";
+      if (st.psum_accumulate && e.weight_groups > 1) {
+        msg += strformat(" (each of the %d weight-group passes would "
+                         "accumulate into stale psums)",
+                         e.weight_groups);
+      }
+      error(Check::PsumModeMismatch, blame(kRegMode), std::move(msg));
+    }
+    // A default weight base of 0 still has to leave room for the tile.
+    if (write_at_launch_[kRegBase] < 0 &&
+        e.weight_footprint_words >
+            static_cast<std::uint64_t>(config_.wbuf_words)) {
+      error(Check::WbufOverflow, launch_index_,
+            strformat("weight footprint of %llu words exceeds the WBUF "
+                      "capacity of %lld",
+                      static_cast<unsigned long long>(e.weight_footprint_words),
+                      static_cast<long long>(config_.wbuf_words)));
+    }
+  }
+
+  const arch::InstStream& stream_;
+  const arch::OverlayConfig& config_;
+  const StreamExpectation* expected_;
+
+  VerifyResult result_;
+  arch::ControllerState state_;
+  arch::ControllerState launch_state_;
+  int write_index_[kNumRegs];
+  int write_at_launch_[kNumRegs] = {-1, -1, -1, -1, -1, -1, -1};
+  int launch_index_ = -1;
+  bool saw_barrier_ = false;
+  bool reported_missing_launch_ = false;
+};
+
+}  // namespace
+
+const char* to_string(Severity s) {
+  return s == Severity::Error ? "error" : "warning";
+}
+
+const char* to_string(Check c) {
+  switch (c) {
+    case Check::UnknownOpcode: return "unknown-opcode";
+    case Check::UnknownField: return "unknown-field";
+    case Check::MissingLaunch: return "missing-launch";
+    case Check::DoubleLaunch: return "double-launch";
+    case Check::ConfigAfterLaunch: return "config-after-launch";
+    case Check::MissingBarrier: return "missing-barrier";
+    case Check::CodeAfterBarrier: return "code-after-barrier";
+    case Check::IncompleteConfig: return "incomplete-config";
+    case Check::ImmOverflow: return "imm-overflow";
+    case Check::ZeroTrip: return "zero-trip";
+    case Check::DegenerateTile: return "degenerate-tile";
+    case Check::ActBufOverflow: return "actbuf-overflow";
+    case Check::PsumBufOverflow: return "psumbuf-overflow";
+    case Check::WbufOverflow: return "wbuf-overflow";
+    case Check::TripMismatch: return "trip-mismatch";
+    case Check::TileMismatch: return "tile-mismatch";
+    case Check::PsumModeMismatch: return "psum-mode-mismatch";
+    case Check::DeadConfig: return "dead-config";
+  }
+  return "?";
+}
+
+std::string Diagnostic::to_string() const {
+  if (index < 0) {
+    return strformat("%s[%s]: %s", verify::to_string(severity),
+                     verify::to_string(check), message.c_str());
+  }
+  return strformat("%s[%s] @%d: %s", verify::to_string(severity),
+                   verify::to_string(check), index, message.c_str());
+}
+
+int VerifyResult::errors() const {
+  return static_cast<int>(
+      std::count_if(diagnostics.begin(), diagnostics.end(),
+                    [](const Diagnostic& d) { return d.severity == Severity::Error; }));
+}
+
+int VerifyResult::warnings() const {
+  return static_cast<int>(diagnostics.size()) - errors();
+}
+
+const Diagnostic* VerifyResult::first_error() const {
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == Severity::Error) return &d;
+  }
+  return nullptr;
+}
+
+std::string VerifyResult::to_string() const {
+  std::string out;
+  for (const Diagnostic& d : diagnostics) {
+    out += d.to_string();
+    out += '\n';
+  }
+  return out;
+}
+
+VerifyResult verify_stream(const arch::InstStream& stream,
+                           const arch::OverlayConfig& config,
+                           const StreamExpectation* expected) {
+  return StreamChecker(stream, config, expected).run();
+}
+
+arch::InstStream decode_lenient(const std::vector<std::uint64_t>& words) {
+  arch::InstStream stream;
+  stream.reserve(words.size());
+  for (const std::uint64_t w : words) {
+    const auto opcode = static_cast<std::uint8_t>(w >> 56);
+    if (opcode > static_cast<std::uint8_t>(arch::Opcode::Barrier)) {
+      stream.push_back(arch::Instruction{});  // hold the index with a Nop
+    } else {
+      stream.push_back(arch::decode(w));
+    }
+  }
+  return stream;
+}
+
+VerifyResult verify_words(const std::vector<std::uint64_t>& words,
+                          const arch::OverlayConfig& config,
+                          const StreamExpectation* expected) {
+  // Decode by hand so an undecodable word becomes a diagnostic (and a Nop
+  // placeholder) instead of the exception arch::decode would throw.
+  std::vector<Diagnostic> decode_diags;
+  for (int i = 0; i < static_cast<int>(words.size()); ++i) {
+    const std::uint64_t w = words[static_cast<std::size_t>(i)];
+    const auto opcode = static_cast<std::uint8_t>(w >> 56);
+    if (opcode > static_cast<std::uint8_t>(arch::Opcode::Barrier)) {
+      decode_diags.push_back(Diagnostic{
+          Severity::Error, Check::UnknownOpcode, i,
+          strformat("word %016llx does not decode: unknown opcode %u",
+                    static_cast<unsigned long long>(w),
+                    static_cast<unsigned>(opcode))});
+    }
+  }
+  VerifyResult result = verify_stream(decode_lenient(words), config, expected);
+  result.diagnostics.insert(result.diagnostics.begin(), decode_diags.begin(),
+                            decode_diags.end());
+  std::stable_sort(result.diagnostics.begin(), result.diagnostics.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     const int ai = a.index < 0 ? INT_MAX : a.index;
+                     const int bi = b.index < 0 ? INT_MAX : b.index;
+                     return ai < bi;
+                   });
+  return result;
+}
+
+std::string annotate(const arch::InstStream& stream,
+                     const VerifyResult& result) {
+  std::string out;
+  for (int i = 0; i < static_cast<int>(stream.size()); ++i) {
+    out += strformat("%4d: %s\n", i,
+                     stream[static_cast<std::size_t>(i)].to_string().c_str());
+    for (const Diagnostic& d : result.diagnostics) {
+      if (d.index == i) {
+        out += strformat("      !! %s[%s]: %s\n", to_string(d.severity),
+                         to_string(d.check), d.message.c_str());
+      }
+    }
+  }
+  for (const Diagnostic& d : result.diagnostics) {
+    if (d.index < 0 || d.index >= static_cast<int>(stream.size())) {
+      out += strformat("      !! %s\n", d.to_string().c_str());
+    }
+  }
+  return out;
+}
+
+}  // namespace ftdl::verify

@@ -81,6 +81,29 @@ TEST(Isa, DecodeRejectsUnknownOpcode) {
   EXPECT_THROW(decode(std::uint64_t{0xFF} << 56), Error);
 }
 
+TEST(Isa, EncodeRejectsOutOfRangeFields) {
+  // SetLoop only defines temporal levels 0-2.
+  EXPECT_THROW(encode(Instruction{Opcode::SetLoop, 3, 1}), Error);
+  // SetPsumMode is a flag.
+  EXPECT_THROW(encode(Instruction{Opcode::SetPsumMode, 2, 0}), Error);
+  // Every other opcode requires field = 0.
+  EXPECT_THROW(encode(Instruction{Opcode::SetActTile, 1, 8}), Error);
+  EXPECT_THROW(encode(Instruction{Opcode::Launch, 9, 0}), Error);
+  // The defined values still encode.
+  EXPECT_NO_THROW(encode(Instruction{Opcode::SetLoop, 2, 1}));
+  EXPECT_NO_THROW(encode(Instruction{Opcode::SetPsumMode, 1, 0}));
+}
+
+TEST(Isa, FieldValidityTable) {
+  EXPECT_TRUE(field_is_valid(Opcode::SetLoop, 0));
+  EXPECT_TRUE(field_is_valid(Opcode::SetLoop, 2));
+  EXPECT_FALSE(field_is_valid(Opcode::SetLoop, 3));
+  EXPECT_TRUE(field_is_valid(Opcode::SetPsumMode, 1));
+  EXPECT_FALSE(field_is_valid(Opcode::SetPsumMode, 2));
+  EXPECT_TRUE(field_is_valid(Opcode::Barrier, 0));
+  EXPECT_FALSE(field_is_valid(Opcode::Barrier, 1));
+}
+
 TEST(Isa, FieldsSurviveEncoding) {
   const Instruction inst = set_loop(TemporalLevel::T, 123456789ULL);
   const Instruction back = decode(encode(inst));

@@ -1,0 +1,327 @@
+// Tests for ftdl::verify — golden streams from compile_layer must pass,
+// and every check class must fire on a targeted mutation of one.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "compiler/program_verify.h"
+#include "nn/model_zoo.h"
+#include "verify/verifier.h"
+
+namespace ftdl {
+namespace {
+
+using arch::Instruction;
+using arch::InstStream;
+using arch::Opcode;
+using arch::TemporalLevel;
+using compiler::LayerProgram;
+using verify::Check;
+using verify::Severity;
+using verify::StreamExpectation;
+using verify::VerifyResult;
+
+arch::OverlayConfig cfg() { return arch::paper_config(); }
+
+LayerProgram compile(const nn::Layer& layer) {
+  return compiler::compile_layer(layer, cfg(),
+                                 compiler::Objective::Performance, 5'000);
+}
+
+bool fires(const VerifyResult& r, Check check) {
+  return std::any_of(r.diagnostics.begin(), r.diagnostics.end(),
+                     [&](const verify::Diagnostic& d) { return d.check == check; });
+}
+
+int index_of(const InstStream& s, Opcode op, std::uint8_t field = 0) {
+  for (int i = 0; i < static_cast<int>(s.size()); ++i) {
+    const Instruction& inst = s[static_cast<std::size_t>(i)];
+    if (inst.op == op && (op != Opcode::SetLoop || inst.field == field)) {
+      return i;
+    }
+  }
+  ADD_FAILURE() << "stream lacks opcode " << arch::to_string(op);
+  return -1;
+}
+
+/// The golden program most mutation tests start from.
+LayerProgram golden() {
+  return compile(nn::make_conv("v_conv", 64, 14, 14, 96, 3, 1, 1));
+}
+
+// ---- golden streams ---------------------------------------------------------
+
+TEST(Verify, GoldenConvStreamIsClean) {
+  const LayerProgram p = golden();
+  const VerifyResult r = compiler::verify_program(p, cfg());
+  EXPECT_TRUE(r.ok()) << r.to_string();
+  EXPECT_EQ(r.errors(), 0);
+  EXPECT_EQ(r.warnings(), 0) << r.to_string();
+  EXPECT_TRUE(r.state.launched);
+}
+
+TEST(Verify, GoldenMatMulStreamIsClean) {
+  const LayerProgram p = compile(nn::make_matmul("v_fc", 512, 1000, 1));
+  const VerifyResult r = compiler::verify_program(p, cfg());
+  EXPECT_TRUE(r.ok()) << r.to_string();
+}
+
+TEST(Verify, GoldenDepthwiseStreamIsClean) {
+  const LayerProgram p = compile(nn::make_depthwise("v_dw", 64, 14, 14, 3, 1, 1));
+  const VerifyResult r = compiler::verify_program(p, cfg());
+  EXPECT_TRUE(r.ok()) << r.to_string();
+}
+
+TEST(Verify, GoldenWeightGroupedStreamIsClean) {
+  const LayerProgram p = compile(nn::make_matmul("v_big_fc", 2048, 4096, 2));
+  ASSERT_GT(p.weight_groups, 1);
+  const VerifyResult r = compiler::verify_program(p, cfg());
+  EXPECT_TRUE(r.ok()) << r.to_string();
+}
+
+TEST(Verify, ModelZooStreamsAreClean) {
+  // Every overlay layer of a Table-I network compiles to a verifiable
+  // stream (the acceptance bar for ftdlc --verify / ftdl-lint).
+  const nn::Network net = nn::alphago_zero();
+  int verified = 0;
+  for (const nn::Layer& layer : net.overlay_layers()) {
+    const LayerProgram p =
+        compiler::compile_layer(layer, cfg(),
+                                compiler::Objective::Performance, 2'000);
+    const VerifyResult r = compiler::verify_program(p, cfg());
+    EXPECT_TRUE(r.ok()) << layer.name << ":\n" << r.to_string();
+    ++verified;
+  }
+  EXPECT_GT(verified, 0);
+}
+
+TEST(Verify, EncodedRoundTripStaysClean) {
+  const LayerProgram p = golden();
+  const StreamExpectation e = compiler::stream_expectation(
+      p.workload, p.mapping, p.perf, p.weight_groups);
+  const VerifyResult r = verify::verify_words(p.encoded_stream(), cfg(), &e);
+  EXPECT_TRUE(r.ok()) << r.to_string();
+}
+
+// ---- structural mutations ---------------------------------------------------
+
+TEST(Verify, DroppedLaunchFires) {
+  LayerProgram p = golden();
+  p.row_stream.erase(p.row_stream.begin() + index_of(p.row_stream, Opcode::Launch));
+  const VerifyResult r = compiler::verify_program(p, cfg());
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(fires(r, Check::MissingLaunch)) << r.to_string();
+}
+
+TEST(Verify, DroppedBarrierFires) {
+  LayerProgram p = golden();
+  p.row_stream.erase(p.row_stream.begin() +
+                     index_of(p.row_stream, Opcode::Barrier));
+  const VerifyResult r = compiler::verify_program(p, cfg());
+  EXPECT_TRUE(fires(r, Check::MissingBarrier)) << r.to_string();
+}
+
+TEST(Verify, ConfigReorderedAfterLaunchFires) {
+  LayerProgram p = golden();
+  const int launch = index_of(p.row_stream, Opcode::Launch);
+  const int act = index_of(p.row_stream, Opcode::SetActTile);
+  std::rotate(p.row_stream.begin() + act, p.row_stream.begin() + act + 1,
+              p.row_stream.begin() + launch + 1);  // move SetActTile past Launch
+  const VerifyResult r = compiler::verify_program(p, cfg());
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(fires(r, Check::ConfigAfterLaunch)) << r.to_string();
+  // The register was unset when Launch read it.
+  EXPECT_TRUE(fires(r, Check::IncompleteConfig)) << r.to_string();
+}
+
+TEST(Verify, DoubleLaunchFires) {
+  LayerProgram p = golden();
+  const int launch = index_of(p.row_stream, Opcode::Launch);
+  p.row_stream.insert(p.row_stream.begin() + launch, arch::launch());
+  const VerifyResult r = compiler::verify_program(p, cfg());
+  EXPECT_TRUE(fires(r, Check::DoubleLaunch)) << r.to_string();
+}
+
+TEST(Verify, CodeAfterBarrierFires) {
+  LayerProgram p = golden();
+  p.row_stream.push_back(arch::launch());
+  const VerifyResult r = compiler::verify_program(p, cfg());
+  EXPECT_TRUE(fires(r, Check::CodeAfterBarrier)) << r.to_string();
+}
+
+TEST(Verify, IncompleteConfigFires) {
+  // A hand-written stream that launches without tile configuration.
+  const InstStream s = {arch::set_loop(TemporalLevel::X, 4), arch::launch(),
+                        arch::barrier()};
+  const VerifyResult r = verify::verify_stream(s, cfg());
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(fires(r, Check::IncompleteConfig)) << r.to_string();
+}
+
+TEST(Verify, UnknownFieldFires) {
+  LayerProgram p = golden();
+  p.row_stream[static_cast<std::size_t>(
+                   index_of(p.row_stream, Opcode::SetLoop,
+                            static_cast<std::uint8_t>(TemporalLevel::X)))]
+      .field = 7;
+  const VerifyResult r = compiler::verify_program(p, cfg());
+  EXPECT_TRUE(fires(r, Check::UnknownField)) << r.to_string();
+}
+
+TEST(Verify, UnknownOpcodeFires) {
+  const std::vector<std::uint64_t> words = {std::uint64_t{0xFF} << 56};
+  const VerifyResult r = verify::verify_words(words, cfg());
+  EXPECT_TRUE(fires(r, Check::UnknownOpcode)) << r.to_string();
+}
+
+// ---- resource mutations -----------------------------------------------------
+
+TEST(Verify, InflatedActTileFires) {
+  LayerProgram p = golden();
+  const int i = index_of(p.row_stream, Opcode::SetActTile);
+  p.row_stream[static_cast<std::size_t>(i)].imm =
+      static_cast<std::uint64_t>(cfg().actbuf_usable()) + 1;
+  const VerifyResult r = compiler::verify_program(p, cfg());
+  EXPECT_TRUE(fires(r, Check::ActBufOverflow)) << r.to_string();
+}
+
+TEST(Verify, InflatedPsumTileFires) {
+  LayerProgram p = golden();
+  const int i = index_of(p.row_stream, Opcode::SetPsumTile);
+  p.row_stream[static_cast<std::size_t>(i)].imm =
+      static_cast<std::uint64_t>(cfg().psumbuf_usable()) + 1;
+  const VerifyResult r = compiler::verify_program(p, cfg());
+  EXPECT_TRUE(fires(r, Check::PsumBufOverflow)) << r.to_string();
+}
+
+TEST(Verify, WeightBasePastWbufFires) {
+  LayerProgram p = golden();
+  const int i = index_of(p.row_stream, Opcode::SetWeightBase);
+  p.row_stream[static_cast<std::size_t>(i)].imm =
+      static_cast<std::uint64_t>(cfg().wbuf_words);
+  const VerifyResult r = compiler::verify_program(p, cfg());
+  EXPECT_TRUE(fires(r, Check::WbufOverflow)) << r.to_string();
+}
+
+TEST(Verify, ZeroTripFires) {
+  LayerProgram p = golden();
+  const int i = index_of(p.row_stream, Opcode::SetLoop,
+                         static_cast<std::uint8_t>(TemporalLevel::T));
+  p.row_stream[static_cast<std::size_t>(i)].imm = 0;
+  const VerifyResult r = compiler::verify_program(p, cfg());
+  EXPECT_TRUE(fires(r, Check::ZeroTrip)) << r.to_string();
+}
+
+TEST(Verify, ImmOverflowFires) {
+  LayerProgram p = golden();
+  const int i = index_of(p.row_stream, Opcode::SetActTile);
+  p.row_stream[static_cast<std::size_t>(i)].imm = std::uint64_t{1} << 50;
+  const VerifyResult r = compiler::verify_program(p, cfg());
+  EXPECT_TRUE(fires(r, Check::ImmOverflow)) << r.to_string();
+}
+
+// ---- semantic mutations -----------------------------------------------------
+
+TEST(Verify, InflatedTripCountFires) {
+  LayerProgram p = golden();
+  const int i = index_of(p.row_stream, Opcode::SetLoop,
+                         static_cast<std::uint8_t>(TemporalLevel::L));
+  p.row_stream[static_cast<std::size_t>(i)].imm += 1;
+  const VerifyResult r = compiler::verify_program(p, cfg());
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(fires(r, Check::TripMismatch)) << r.to_string();
+}
+
+TEST(Verify, TamperedPsumTileFires) {
+  LayerProgram p = golden();
+  const int i = index_of(p.row_stream, Opcode::SetPsumTile);
+  p.row_stream[static_cast<std::size_t>(i)].imm += 1;
+  const VerifyResult r = compiler::verify_program(p, cfg());
+  EXPECT_TRUE(fires(r, Check::TileMismatch)) << r.to_string();
+}
+
+TEST(Verify, FlippedPsumModeFires) {
+  LayerProgram p = golden();
+  const int i = index_of(p.row_stream, Opcode::SetPsumMode);
+  auto& field = p.row_stream[static_cast<std::size_t>(i)].field;
+  field = field ? 0 : 1;
+  const VerifyResult r = compiler::verify_program(p, cfg());
+  EXPECT_TRUE(fires(r, Check::PsumModeMismatch)) << r.to_string();
+}
+
+TEST(Verify, AccumulateAcrossWeightGroupsFires) {
+  // Multi-group program with a single psum pass: forcing accumulate mode
+  // would fold group g's psums into group g-1's stale tile.
+  LayerProgram p = compile(nn::make_matmul("v_big_fc", 2048, 4096, 2));
+  ASSERT_GT(p.weight_groups, 1);
+  const verify::StreamExpectation e = compiler::stream_expectation(
+      p.workload, p.mapping, p.perf, p.weight_groups);
+  if (e.psum_accumulate) GTEST_SKIP() << "mapping legitimately accumulates";
+  const int i = index_of(p.row_stream, Opcode::SetPsumMode);
+  p.row_stream[static_cast<std::size_t>(i)].field = 1;
+  const VerifyResult r = compiler::verify_program(p, cfg());
+  ASSERT_TRUE(fires(r, Check::PsumModeMismatch)) << r.to_string();
+  EXPECT_NE(r.to_string().find("weight-group"), std::string::npos)
+      << r.to_string();
+}
+
+TEST(Verify, DeadConfigWarns) {
+  LayerProgram p = golden();
+  const int i = index_of(p.row_stream, Opcode::SetActTile);
+  const Instruction dup = p.row_stream[static_cast<std::size_t>(i)];
+  p.row_stream.insert(p.row_stream.begin() + i, dup);
+  const VerifyResult r = compiler::verify_program(p, cfg());
+  EXPECT_TRUE(r.ok()) << r.to_string();  // warning, not error
+  EXPECT_TRUE(fires(r, Check::DeadConfig)) << r.to_string();
+  EXPECT_EQ(r.warnings(), 1);
+}
+
+// ---- diagnostics & helpers --------------------------------------------------
+
+TEST(Verify, DiagnosticFormatting) {
+  LayerProgram p = golden();
+  p.row_stream.erase(p.row_stream.begin() +
+                     index_of(p.row_stream, Opcode::Barrier));
+  const VerifyResult r = compiler::verify_program(p, cfg());
+  ASSERT_NE(r.first_error(), nullptr);
+  const std::string text = r.first_error()->to_string();
+  EXPECT_NE(text.find("error[missing-barrier]"), std::string::npos) << text;
+}
+
+TEST(Verify, AnnotateInterleavesDiagnostics) {
+  LayerProgram p = golden();
+  const int i = index_of(p.row_stream, Opcode::SetActTile);
+  p.row_stream[static_cast<std::size_t>(i)].imm =
+      static_cast<std::uint64_t>(cfg().actbuf_usable()) + 1;
+  const VerifyResult r = compiler::verify_program(p, cfg());
+  const std::string text = verify::annotate(p.row_stream, r);
+  EXPECT_NE(text.find("set_act_tile"), std::string::npos) << text;
+  EXPECT_NE(text.find("!! error[actbuf-overflow]"), std::string::npos) << text;
+}
+
+TEST(Verify, AssertProgramVerifiedThrowsWithDiagnostic) {
+  LayerProgram p = golden();
+  p.row_stream.erase(p.row_stream.begin() +
+                     index_of(p.row_stream, Opcode::Launch));
+  try {
+    compiler::assert_program_verified(p, cfg());
+    FAIL() << "expected InternalError";
+  } catch (const InternalError& e) {
+    EXPECT_NE(std::string(e.what()).find("missing-launch"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Verify, VerifierNeverThrowsOnGarbage) {
+  // Arbitrary word soup must come back as diagnostics, not exceptions.
+  const std::vector<std::uint64_t> words = {
+      0xFFFFFFFFFFFFFFFFull, 0x0000000000000000ull, 0x0700000000000000ull,
+      0x0600000000000000ull, 0x01FF000000000000ull};
+  const VerifyResult r = verify::verify_words(words, cfg());
+  EXPECT_FALSE(r.ok());
+  EXPECT_GT(r.errors(), 1);
+}
+
+}  // namespace
+}  // namespace ftdl

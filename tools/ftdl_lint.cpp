@@ -1,0 +1,173 @@
+// ftdl-lint — static verifier for compiled instruction artifacts.
+//
+// Disassembles a stream, runs the ftdl::verify analyzer against the
+// configured overlay, and annotates every diagnostic on its offending
+// instruction line. Accepts either artifact the compiler ships:
+//
+//   * a .ftdlprog program file (save_program / ftdl-program v1): the full
+//     semantic verification — the stored stream must agree with the stored
+//     mapping re-evaluated on the given overlay;
+//   * an InstBUS hex word dump as written by `ftdlc --emit FILE`: one
+//     16-hex-digit word per line, `#` comment lines delimit per-layer
+//     streams; structural + resource checks only (no mapping available).
+//
+//   ftdl-lint FILE [--d1 N --d2 N --d3 N] [--clock MHZ] [--quiet]
+//
+// Exit status: 0 = clean, 1 = diagnostics with error severity, 2 = usage.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "arch/isa.h"
+#include "arch/overlay_config.h"
+#include "common/error.h"
+#include "compiler/program_io.h"
+#include "compiler/program_verify.h"
+#include "verify/verifier.h"
+
+namespace {
+
+using namespace ftdl;
+
+struct Args {
+  std::string path;
+  arch::OverlayConfig config = arch::paper_config();
+  bool quiet = false;
+};
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg) std::fprintf(stderr, "ftdl-lint: %s\n", msg);
+  std::fprintf(stderr,
+               "usage: ftdl-lint FILE [--d1 N --d2 N --d3 N] [--clock MHZ] "
+               "[--quiet]\n"
+               "  FILE: .ftdlprog artifact or `ftdlc --emit` hex word dump\n");
+  std::exit(2);
+}
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  auto next = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage("missing option value");
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--d1") == 0) args.config.d1 = std::atoi(next(i));
+    else if (std::strcmp(a, "--d2") == 0) args.config.d2 = std::atoi(next(i));
+    else if (std::strcmp(a, "--d3") == 0) args.config.d3 = std::atoi(next(i));
+    else if (std::strcmp(a, "--clock") == 0) {
+      args.config.clocks = fpga::ClockPair::from_high(std::atof(next(i)) * 1e6);
+    } else if (std::strcmp(a, "--quiet") == 0) {
+      args.quiet = true;
+    } else if (a[0] == '-') {
+      usage((std::string("unknown option ") + a).c_str());
+    } else if (args.path.empty()) {
+      args.path = a;
+    } else {
+      usage("multiple input files given");
+    }
+  }
+  if (args.path.empty()) usage("no input file given");
+  return args;
+}
+
+/// One `#`-delimited stream section of an --emit dump.
+struct HexSection {
+  std::string label;  ///< text of the introducing comment (may be empty)
+  std::vector<std::uint64_t> words;
+};
+
+std::vector<HexSection> parse_hex_dump(const std::string& text) {
+  std::vector<HexSection> sections;
+  std::istringstream in(text);
+  std::string line;
+  auto current = [&]() -> HexSection& {
+    if (sections.empty()) sections.push_back(HexSection{});
+    return sections.back();
+  };
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // A comment starts a new per-layer stream (ftdlc --emit format).
+      if (!sections.empty() && sections.back().words.empty() &&
+          sections.back().label.empty()) {
+        sections.back().label = line;
+      } else {
+        sections.push_back(HexSection{line, {}});
+      }
+      continue;
+    }
+    std::size_t pos = 0;
+    std::uint64_t word = 0;
+    try {
+      word = std::stoull(line, &pos, 16);
+    } catch (const std::exception&) {
+      throw Error("not a hex InstBUS word: " + line);
+    }
+    if (pos != line.size()) throw Error("not a hex InstBUS word: " + line);
+    current().words.push_back(word);
+  }
+  return sections;
+}
+
+int lint_hex_dump(const std::string& text, const Args& args) {
+  int errors = 0;
+  for (const HexSection& sec : parse_hex_dump(text)) {
+    if (sec.words.empty()) continue;
+    const verify::VerifyResult vr = verify::verify_words(sec.words, args.config);
+    errors += vr.errors();
+    if (!sec.label.empty()) std::printf("%s\n", sec.label.c_str());
+    if (!args.quiet || !vr.ok()) {
+      std::fputs(verify::annotate(verify::decode_lenient(sec.words), vr).c_str(),
+                 stdout);
+    }
+    std::printf("  -> %d error(s), %d warning(s)\n", vr.errors(), vr.warnings());
+  }
+  return errors;
+}
+
+int lint_program(const std::string& text, const Args& args) {
+  compiler::LayerProgram prog;
+  try {
+    prog = compiler::deserialize_program(text, args.config);
+  } catch (const Error& e) {
+    // Deserialization already verifies; surface its first diagnostic.
+    std::printf("FAIL: %s\n", e.what());
+    return 1;
+  }
+  const verify::VerifyResult vr = compiler::verify_program(prog, args.config);
+  std::printf("# %s (x%d weight groups)\n", prog.layer.name.c_str(),
+              prog.weight_groups);
+  if (!args.quiet || !vr.ok()) {
+    std::fputs(verify::annotate(prog.row_stream, vr).c_str(), stdout);
+  }
+  std::printf("  -> %d error(s), %d warning(s)\n", vr.errors(), vr.warnings());
+  return vr.errors();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  std::ifstream in(args.path);
+  if (!in) {
+    std::fprintf(stderr, "ftdl-lint: cannot open %s\n", args.path.c_str());
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  try {
+    const bool is_program = text.rfind("ftdl-program", 0) == 0;
+    const int errors =
+        is_program ? lint_program(text, args) : lint_hex_dump(text, args);
+    return errors ? 1 : 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "ftdl-lint: error: %s\n", e.what());
+    return 2;
+  }
+}

@@ -12,6 +12,7 @@
 //     --objective obj1|obj2  scheduling objective (default obj1)
 //     --budget N           search budget/layer    (default 60000)
 //     --emit FILE          write instruction words (hex) to FILE
+//     --verify             statically verify every emitted stream
 //     --timing             print the post-P&R style timing report
 //     --rtl DIR            generate the overlay's Verilog RTL into DIR
 //     --quiet              suppress the per-layer table
@@ -23,10 +24,12 @@
 
 #include "common/str_util.h"
 #include "common/table.h"
+#include "compiler/program_verify.h"
 #include "frontend/spec_parser.h"
 #include "ftdl/ftdl.h"
 #include "rtlgen/verilog_gen.h"
 #include "timing/timing_report.h"
+#include "verify/verifier.h"
 
 namespace {
 
@@ -38,6 +41,7 @@ struct Args {
   std::string emit_path;
   bool quiet = false;
   bool timing = false;
+  bool verify = false;
   std::string rtl_dir;
 };
 
@@ -46,7 +50,8 @@ struct Args {
   std::fprintf(stderr,
                "usage: ftdlc NETWORK.ftdl [--device NAME] [--d1 N --d2 N "
                "--d3 N]\n             [--clock MHZ] [--objective obj1|obj2] "
-               "[--budget N]\n             [--emit FILE] [--quiet]\n");
+               "[--budget N]\n             [--emit FILE] [--verify] "
+               "[--quiet]\n");
   std::exit(2);
 }
 
@@ -76,6 +81,8 @@ Args parse_args(int argc, char** argv) {
       args.emit_path = next(i);
     } else if (std::strcmp(a, "--quiet") == 0) {
       args.quiet = true;
+    } else if (std::strcmp(a, "--verify") == 0) {
+      args.verify = true;
     } else if (std::strcmp(a, "--timing") == 0) {
       args.timing = true;
     } else if (std::strcmp(a, "--rtl") == 0) {
@@ -140,6 +147,24 @@ int main(int argc, char** argv) {
         report.fps(),
         format_percent(report.schedule.hardware_efficiency).c_str(),
         report.power.total_w(), report.gops_per_w());
+
+    if (args.verify) {
+      int verify_errors = 0, verify_warnings = 0;
+      for (const compiler::LayerProgram& lp : report.schedule.layers) {
+        const verify::VerifyResult vr =
+            compiler::verify_program(lp, fw.config());
+        verify_errors += vr.errors();
+        verify_warnings += vr.warnings();
+        if (!vr.diagnostics.empty()) {
+          std::printf("verify %s:\n", lp.layer.name.c_str());
+          std::fputs(verify::annotate(lp.row_stream, vr).c_str(), stdout);
+        }
+      }
+      std::printf("verify: %zu streams, %d error(s), %d warning(s)\n",
+                  report.schedule.layers.size(), verify_errors,
+                  verify_warnings);
+      if (verify_errors) return 1;
+    }
 
     if (!args.rtl_dir.empty()) {
       const int n = rtlgen::write_rtl_bundle(
