@@ -1,7 +1,16 @@
 // Microbenchmarks of the framework's own hot paths (google-benchmark):
 // analytical-model evaluation rate, mapping-search throughput, instruction
 // encode/decode, cycle-level simulation MACC rate, and timing analysis.
+//
+// Unless the caller passes --benchmark_out themselves, results are also
+// written to BENCH_micro.json (google-benchmark's JSON reporter) so every
+// perf PR has a machine-readable baseline to diff against; CI uploads the
+// file as a build artifact.
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "arch/isa.h"
 #include "arch/overlay_config.h"
@@ -151,4 +160,22 @@ BENCHMARK(BM_RtlGenerate);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+  }
+  std::string out_flag = "--benchmark_out=BENCH_micro.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int argc2 = static_cast<int>(args.size());
+  benchmark::Initialize(&argc2, args.data());
+  if (benchmark::ReportUnrecognizedArguments(argc2, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -5,6 +5,7 @@
 
 #include "common/math_util.h"
 #include "compiler/program_verify.h"
+#include "obs/obs.h"
 
 namespace ftdl::compiler {
 
@@ -88,27 +89,45 @@ int weight_only_extent(const nn::Layer& layer) {
 LayerProgram compile_layer(const nn::Layer& layer,
                            const arch::OverlayConfig& config,
                            Objective objective, std::int64_t max_candidates) {
+  obs::ScopedSpan span("compiler", "compile_layer",
+                       {{"layer", layer.name}});
   const int max_groups = weight_only_extent(layer);
   for (int groups = 1; groups <= max_groups; groups *= 2) {
     const nn::Layer part = weight_group_slice(layer, groups);
     const Workload w = Workload::from_layer(part);
     try {
-      const Solution s = best_mapping(w, config, objective, max_candidates);
-      LayerProgram prog = lower_solution(part, w, s);
-      prog.layer = layer;  // programs carry the original layer identity
-      prog.weight_groups = groups;
-      if (config.charge_weight_reload) {
-        // One group's weights stream in from DRAM (2 bytes/word) over the
-        // read channel, duplication included.
-        const double group_bytes =
-            2.0 * double(prog.perf.buffers.wbuf_words_per_tpe) *
-            double(config.tpes());
-        prog.reload_cycles_per_group = static_cast<std::int64_t>(
-            std::ceil(group_bytes / config.dram_rd_bytes_per_cycle()));
+      Solution s;
+      {
+        obs::ScopedSpan search_span("compiler", "search",
+                                    {{"groups", std::to_string(groups)}});
+        s = best_mapping(w, config, objective, max_candidates);
       }
-      assert_program_verified(prog, config);
+      LayerProgram prog;
+      {
+        obs::ScopedSpan lower_span("compiler", "codegen");
+        prog = lower_solution(part, w, s);
+        prog.layer = layer;  // programs carry the original layer identity
+        prog.weight_groups = groups;
+        if (config.charge_weight_reload) {
+          // One group's weights stream in from DRAM (2 bytes/word) over the
+          // read channel, duplication included.
+          const double group_bytes =
+              2.0 * double(prog.perf.buffers.wbuf_words_per_tpe) *
+              double(config.tpes());
+          prog.reload_cycles_per_group = static_cast<std::int64_t>(
+              std::ceil(group_bytes / config.dram_rd_bytes_per_cycle()));
+        }
+      }
+      {
+        obs::ScopedSpan verify_span("compiler", "verify");
+        assert_program_verified(prog, config);
+      }
+      obs::count("compiler/layers_compiled");
+      obs::count("compiler/programs_verified");
+      if (groups > 1) obs::count("compiler/group_split_layers");
       return prog;
     } catch (const InfeasibleError&) {
+      obs::count("compiler/infeasible_retries");
       continue;  // halve the weight tile and retry
     }
   }

@@ -8,6 +8,7 @@
 #include "common/csv.h"
 #include "common/logging.h"
 #include "common/str_util.h"
+#include "obs/obs.h"
 
 namespace ftdl::compiler {
 
@@ -34,6 +35,8 @@ NetworkSchedule schedule_network(const nn::Network& net,
                                  Objective objective,
                                  std::int64_t max_candidates_per_layer) {
   config.validate();
+
+  obs::ScopedSpan span("compiler", "schedule_network", {{"network", net.name()}});
 
   NetworkSchedule sched;
   sched.network_name = net.name();
@@ -63,6 +66,8 @@ NetworkSchedule schedule_network(const nn::Network& net,
                           100.0 * prog.perf.hardware_efficiency,
                           prog.perf.e_wbuf));
       it = cache.emplace(sig, std::move(prog)).first;
+    } else {
+      obs::count("compiler/schedule_cache_hits");
     }
 
     LayerProgram prog = it->second;
@@ -81,6 +86,11 @@ NetworkSchedule schedule_network(const nn::Network& net,
       double(sched.overlay_macs) /
       (double(sched.total_cycles) * double(config.tpes()));
   sched.mean_e_wbuf = weight_words > 0 ? e_wbuf_weighted / double(weight_words) : 0.0;
+  if (obs::enabled()) {
+    obs::count("compiler/networks_scheduled");
+    obs::gauge("compiler/last_schedule_efficiency", sched.hardware_efficiency);
+    obs::gauge("compiler/last_schedule_fps", sched.fps());
+  }
   return sched;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "obs/obs.h"
 
 namespace ftdl::host {
 
@@ -57,6 +58,17 @@ PipelineReport evaluate_pipeline(const nn::Network& net,
   }
   close_stage();
   r.worst_stage_ratio = worst;
+
+  if (obs::enabled()) {
+    obs::count("host/pipeline_evals");
+    obs::gauge("host/overlay_seconds", r.overlay_seconds);
+    obs::gauge("host/host_seconds", r.host_seconds);
+    obs::gauge("host/frame_seconds", r.frame_seconds);
+    // Steady-state occupancy of the overlay->host hand-off queue: the
+    // fraction of a frame slot the host stage is busy (1.0 = host-bound).
+    obs::gauge("host/queue_occupancy", r.host_seconds / r.frame_seconds);
+    obs::gauge("host/worst_stage_ratio", r.worst_stage_ratio);
+  }
   return r;
 }
 

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/error.h"
+#include "obs/obs.h"
 
 namespace ftdl::multifpga {
 
@@ -46,6 +47,10 @@ MultiFpgaPlan partition_pipeline(const compiler::NetworkSchedule& schedule,
                                  int num_devices, const LinkModel& link) {
   if (num_devices < 1) throw ConfigError("need at least one device");
   if (schedule.layers.empty()) throw ConfigError("empty schedule");
+
+  obs::ScopedSpan span("multifpga", "partition_pipeline",
+                       {{"network", schedule.network_name},
+                        {"devices", std::to_string(num_devices)}});
 
   const auto costs = layer_costs(schedule);
   const std::size_t n = costs.size();
@@ -140,6 +145,15 @@ MultiFpgaPlan partition_pipeline(const compiler::NetworkSchedule& schedule,
   }
   plan.fps = 1.0 / plan.bottleneck_seconds;
   plan.balance = sum_stage / (double(plan.stages.size()) * plan.bottleneck_seconds);
+  if (obs::enabled()) {
+    obs::count("multifpga/plans");
+    obs::gauge("multifpga/last_plan_stages", double(plan.stages.size()));
+    obs::gauge("multifpga/last_plan_fps", plan.fps);
+    obs::gauge("multifpga/last_plan_bottleneck_seconds", plan.bottleneck_seconds);
+    obs::gauge("multifpga/last_plan_balance", plan.balance);
+    obs::gauge("multifpga/last_plan_weights_resident",
+               plan.weights_resident ? 1.0 : 0.0);
+  }
   return plan;
 }
 

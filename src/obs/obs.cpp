@@ -1,0 +1,389 @@
+#include "obs/obs.h"
+
+#include <cctype>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#include "common/error.h"
+
+namespace ftdl::obs {
+
+namespace detail {
+bool g_enabled = false;
+}  // namespace detail
+
+void set_enabled(bool on) { detail::g_enabled = on; }
+
+namespace {
+
+/// Escapes a string for inclusion inside JSON double quotes.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Shortest representation of a double that round-trips through strtod.
+std::string json_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Prefer a shorter form when it round-trips exactly.
+  for (int prec = 6; prec < 17; ++prec) {
+    char cand[32];
+    std::snprintf(cand, sizeof(cand), "%.*g", prec, v);
+    if (std::strtod(cand, nullptr) == v) return cand;
+  }
+  return buf;
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw Error("cannot open " + path + " for writing");
+  out << content;
+  if (!out.flush()) throw Error("write to " + path + " failed");
+}
+
+}  // namespace
+
+Registry& Registry::global() {
+  static Registry r;
+  return r;
+}
+
+void Registry::add(const std::string& name, std::int64_t delta) {
+  counters_[name] += delta;
+}
+
+void Registry::set_gauge(const std::string& name, double value) {
+  gauges_[name] = value;
+}
+
+std::int64_t Registry::counter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double Registry::gauge(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+std::uint32_t Registry::track(const std::string& process,
+                              const std::string& thread) {
+  std::uint32_t pid = 0;
+  bool pid_found = false;
+  std::uint32_t max_tid = 0;
+  for (std::size_t i = 0; i < tracks_.size(); ++i) {
+    const TrackInfo& t = tracks_[i];
+    if (t.process != process) continue;
+    if (t.thread == thread) return static_cast<std::uint32_t>(i);
+    pid = t.pid;
+    pid_found = true;
+    max_tid = std::max(max_tid, t.tid);
+  }
+  TrackInfo t;
+  t.process = process;
+  t.thread = thread;
+  if (pid_found) {
+    t.pid = pid;
+    t.tid = max_tid + 1;
+  } else {
+    std::uint32_t max_pid = 0;
+    for (const TrackInfo& e : tracks_) max_pid = std::max(max_pid, e.pid);
+    t.pid = tracks_.empty() ? 1 : max_pid + 1;
+    t.tid = 1;
+  }
+  tracks_.push_back(std::move(t));
+  return static_cast<std::uint32_t>(tracks_.size() - 1);
+}
+
+void Registry::begin(std::uint32_t track, std::string name, double ts,
+                     const char* cat, SpanArgs args) {
+  FTDL_ASSERT(track < tracks_.size());
+  TrackInfo& t = tracks_[track];
+  // +1 leaves room for the matching end() so exports stay balanced.
+  if (events_.size() + 1 >= capacity_) {
+    add("obs/dropped_events", 2);
+    t.open.push_back(0);
+    return;
+  }
+  TraceEvent e;
+  e.name = std::move(name);
+  e.cat = cat;
+  e.ph = 'B';
+  e.ts = ts;
+  e.pid = t.pid;
+  e.tid = t.tid;
+  e.args = std::move(args);
+  events_.push_back(std::move(e));
+  t.open.push_back(1);
+}
+
+void Registry::end(std::uint32_t track, double ts) {
+  FTDL_ASSERT(track < tracks_.size());
+  TrackInfo& t = tracks_[track];
+  if (t.open.empty()) {
+    add("obs/unbalanced_ends");
+    return;
+  }
+  const bool kept = t.open.back() != 0;
+  t.open.pop_back();
+  if (!kept) return;
+  TraceEvent e;
+  e.ph = 'E';
+  e.ts = ts;
+  e.pid = t.pid;
+  e.tid = t.tid;
+  events_.push_back(std::move(e));
+}
+
+double Registry::now_us() {
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  const std::int64_t ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now).count();
+  if (!epoch_set_) {
+    epoch_ns_ = ns;
+    epoch_set_ = true;
+  }
+  return double(ns - epoch_ns_) * 1e-3;
+}
+
+void Registry::set_capacity(std::size_t max_events) { capacity_ = max_events; }
+
+Metrics Registry::metrics() const { return Metrics{counters_, gauges_}; }
+
+std::string Registry::chrome_trace_json() const {
+  std::string out;
+  out.reserve(events_.size() * 96 + 1024);
+  out += "{\n\"otherData\": {\"schema\": \"ftdl-trace-v1\"},\n";
+  out += "\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out += ",\n";
+    first = false;
+  };
+  // Metadata: process / thread names, deduplicated per pid.
+  std::map<std::uint32_t, bool> named_pid;
+  for (const TrackInfo& t : tracks_) {
+    if (!named_pid[t.pid]) {
+      named_pid[t.pid] = true;
+      sep();
+      out += "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" +
+             std::to_string(t.pid) + ",\"tid\":0,\"args\":{\"name\":\"" +
+             json_escape(t.process) + "\"}}";
+    }
+    sep();
+    out += "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" +
+           std::to_string(t.pid) + ",\"tid\":" + std::to_string(t.tid) +
+           ",\"args\":{\"name\":\"" + json_escape(t.thread) + "\"}}";
+  }
+  for (const TraceEvent& e : events_) {
+    sep();
+    out += "{\"ph\":\"";
+    out += e.ph;
+    out += "\"";
+    if (e.ph == 'B') {
+      out += ",\"name\":\"" + json_escape(e.name) + "\",\"cat\":\"" +
+             json_escape(e.cat) + "\"";
+    }
+    out += ",\"ts\":" + json_double(e.ts) + ",\"pid\":" +
+           std::to_string(e.pid) + ",\"tid\":" + std::to_string(e.tid);
+    if (!e.args.empty()) {
+      out += ",\"args\":{";
+      bool afirst = true;
+      for (const auto& [k, v] : e.args) {
+        if (!afirst) out += ",";
+        afirst = false;
+        out += "\"" + json_escape(k) + "\":\"" + json_escape(v) + "\"";
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "\n]\n}\n";
+  return out;
+}
+
+std::string Registry::metrics_json() const {
+  std::string out = "{\n\"schema\": \"ftdl-metrics-v1\",\n\"counters\": {\n";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "  \"" + json_escape(name) + "\": " + std::to_string(value);
+  }
+  out += "\n},\n\"gauges\": {\n";
+  first = true;
+  for (const auto& [name, value] : gauges_) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "  \"" + json_escape(name) + "\": " + json_double(value);
+  }
+  out += "\n}\n}\n";
+  return out;
+}
+
+void Registry::write_chrome_trace(const std::string& path) const {
+  write_file(path, chrome_trace_json());
+}
+
+void Registry::write_metrics(const std::string& path) const {
+  write_file(path, metrics_json());
+}
+
+void Registry::reset() {
+  events_.clear();
+  tracks_.clear();
+  counters_.clear();
+  gauges_.clear();
+  epoch_set_ = false;
+}
+
+ScopedSpan::ScopedSpan(const char* cat, std::string name, SpanArgs args,
+                       const char* thread) {
+  if (!enabled()) return;
+  Registry& r = Registry::global();
+  track_ = r.track("host", thread);
+  r.begin(track_, std::move(name), r.now_us(), cat, std::move(args));
+  active_ = true;
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  Registry& r = Registry::global();
+  r.end(track_, r.now_us());
+}
+
+namespace {
+
+/// Minimal parser for the exact documents metrics_json() emits.
+class MetricsParser {
+ public:
+  explicit MetricsParser(const std::string& s) : s_(s) {}
+
+  Metrics parse() {
+    Metrics m;
+    expect('{');
+    bool first = true;
+    while (!peek_is('}')) {
+      if (!first) expect(',');
+      first = false;
+      const std::string key = parse_string();
+      expect(':');
+      if (key == "schema") {
+        if (parse_string() != "ftdl-metrics-v1")
+          throw Error("metrics JSON: unknown schema");
+      } else if (key == "counters") {
+        parse_object([&](const std::string& k, const std::string& v) {
+          m.counters[k] = std::strtoll(v.c_str(), nullptr, 10);
+        });
+      } else if (key == "gauges") {
+        parse_object([&](const std::string& k, const std::string& v) {
+          m.gauges[k] = std::strtod(v.c_str(), nullptr);
+        });
+      } else {
+        throw Error("metrics JSON: unexpected key " + key);
+      }
+    }
+    expect('}');
+    return m;
+  }
+
+ private:
+  void skip_ws() {
+    while (i_ < s_.size() && (s_[i_] == ' ' || s_[i_] == '\n' ||
+                              s_[i_] == '\t' || s_[i_] == '\r'))
+      ++i_;
+  }
+
+  bool peek_is(char c) {
+    skip_ws();
+    return i_ < s_.size() && s_[i_] == c;
+  }
+
+  void expect(char c) {
+    skip_ws();
+    if (i_ >= s_.size() || s_[i_] != c)
+      throw Error(std::string("metrics JSON: expected '") + c + "'");
+    ++i_;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (i_ < s_.size() && s_[i_] != '"') {
+      if (s_[i_] == '\\' && i_ + 1 < s_.size()) {
+        ++i_;
+        switch (s_[i_]) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          default: out += s_[i_];
+        }
+      } else {
+        out += s_[i_];
+      }
+      ++i_;
+    }
+    expect('"');
+    return out;
+  }
+
+  std::string parse_number_token() {
+    skip_ws();
+    std::size_t start = i_;
+    while (i_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[i_])) || s_[i_] == '-' ||
+            s_[i_] == '+' || s_[i_] == '.' || s_[i_] == 'e' || s_[i_] == 'E' ||
+            s_[i_] == 'i' || s_[i_] == 'n' || s_[i_] == 'f' || s_[i_] == 'a'))
+      ++i_;
+    if (i_ == start) throw Error("metrics JSON: expected a number");
+    return s_.substr(start, i_ - start);
+  }
+
+  template <typename Fn>
+  void parse_object(Fn&& on_pair) {
+    expect('{');
+    bool first = true;
+    while (!peek_is('}')) {
+      if (!first) expect(',');
+      first = false;
+      const std::string k = parse_string();
+      expect(':');
+      on_pair(k, parse_number_token());
+    }
+    expect('}');
+  }
+
+  const std::string& s_;
+  std::size_t i_ = 0;
+};
+
+}  // namespace
+
+Metrics parse_metrics_json(const std::string& json) {
+  return MetricsParser(json).parse();
+}
+
+}  // namespace ftdl::obs

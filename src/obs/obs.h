@@ -1,0 +1,162 @@
+// ftdl::obs — cross-layer observability.
+//
+// One process-wide Registry collects three kinds of signal:
+//   * counters  — monotonically accumulated int64 totals with hierarchical
+//     slash-separated names ("sim/act_refills");
+//   * gauges    — last-written doubles ("host/frame_seconds");
+//   * spans     — begin/end intervals on named tracks, either on the wall
+//     clock (compiler phases, runtime layer execution) or on a *virtual*
+//     clock (the cycle-level simulator emits its LoopT bursts, ActBUF
+//     refills, PSumBUF drains and stall intervals in CLKh cycles).
+//
+// Collection is globally gated by set_enabled(): every instrumentation site
+// first reads one global bool, so a build with observability compiled in
+// but disabled costs a predicted branch per site and allocates nothing.
+// Framework results never depend on the registry — enabling or disabling
+// observability leaves compiler and simulator outputs bit-identical (pinned
+// by tests/test_obs.cpp).
+//
+// Exporters (schemas documented in docs/observability.md):
+//   * chrome_trace_json() — Chrome trace-event JSON ("JSON Object Format"
+//     with a traceEvents array of B/E pairs plus process/thread-name
+//     metadata), loadable in Perfetto / chrome://tracing;
+//   * metrics_json()      — flat {"counters": {...}, "gauges": {...}}
+//     snapshot, parseable back via parse_metrics_json().
+//
+// The registry is not thread-safe; the framework is single-threaded by
+// design (see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ftdl::obs {
+
+namespace detail {
+extern bool g_enabled;
+}  // namespace detail
+
+/// True when collection is on. Off by default so library consumers and the
+/// test suite pay (almost) nothing.
+inline bool enabled() { return detail::g_enabled; }
+void set_enabled(bool on);
+
+/// Key/value annotations attached to a span ("layer" -> "conv1/3x3").
+using SpanArgs = std::vector<std::pair<std::string, std::string>>;
+
+/// One trace-event record. `ts_us` is microseconds on wall-clock tracks and
+/// CLKh cycles on the simulator's virtual tracks (1 cycle rendered as 1 us).
+struct TraceEvent {
+  std::string name;
+  std::string cat;     ///< owning subsystem: compiler / sim / runtime / ...
+  char ph = 'B';       ///< 'B' begin or 'E' end
+  double ts = 0.0;
+  std::uint32_t pid = 0;
+  std::uint32_t tid = 0;
+  SpanArgs args;
+};
+
+/// Flat snapshot of the registry's scalar state.
+struct Metrics {
+  std::map<std::string, std::int64_t> counters;
+  std::map<std::string, double> gauges;
+};
+
+class Registry {
+ public:
+  /// The process-wide registry every instrumentation site writes to.
+  static Registry& global();
+
+  // ---- counters / gauges ----
+  void add(const std::string& name, std::int64_t delta = 1);
+  void set_gauge(const std::string& name, double value);
+  std::int64_t counter(const std::string& name) const;
+  double gauge(const std::string& name) const;
+
+  // ---- tracks & spans ----
+
+  /// Registers (or finds) the track named `process` / `thread` and returns
+  /// its handle. Tracks map to Chrome trace pid/tid pairs; every span lives
+  /// on exactly one track and spans on one track must nest.
+  std::uint32_t track(const std::string& process, const std::string& thread);
+
+  /// Opens a span on `track` at timestamp `ts` (microseconds or cycles,
+  /// depending on the track's clock domain). Must be closed by end() with a
+  /// timestamp >= ts; timestamps on one track must be monotonic.
+  void begin(std::uint32_t track, std::string name, double ts,
+             const char* cat, SpanArgs args = {});
+
+  /// Closes the innermost open span of `track`. Unmatched end() calls are
+  /// dropped and counted under "obs/unbalanced_ends".
+  void end(std::uint32_t track, double ts);
+
+  /// Wall-clock microseconds since the registry's first use (steady clock).
+  double now_us();
+
+  /// Caps the recorded event count. Past the cap, whole spans are dropped
+  /// (a dropped begin() drops its end() too, so exports stay balanced) and
+  /// counted under "obs/dropped_events" — never silently.
+  void set_capacity(std::size_t max_events);
+
+  std::size_t event_count() const { return events_.size(); }
+  const std::vector<TraceEvent>& events() const { return events_; }
+  Metrics metrics() const;
+
+  // ---- exporters ----
+  std::string chrome_trace_json() const;
+  std::string metrics_json() const;
+  void write_chrome_trace(const std::string& path) const;
+  void write_metrics(const std::string& path) const;
+
+  /// Clears events, counters, gauges, tracks and the wall-clock epoch.
+  void reset();
+
+ private:
+  struct TrackInfo {
+    std::string process;
+    std::string thread;
+    std::uint32_t pid = 0;
+    std::uint32_t tid = 0;
+    std::vector<char> open;  ///< stack; 1 = span recorded, 0 = dropped
+  };
+
+  std::vector<TraceEvent> events_;
+  std::vector<TrackInfo> tracks_;
+  std::map<std::string, std::int64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::size_t capacity_ = 1u << 20;
+  bool epoch_set_ = false;
+  std::int64_t epoch_ns_ = 0;
+};
+
+/// RAII wall-clock span on the given track of the "host" process. Samples
+/// the clock only when observability is enabled at construction.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* cat, std::string name, SpanArgs args = {},
+                      const char* thread = "main");
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  bool active_ = false;
+  std::uint32_t track_ = 0;
+};
+
+// Convenience wrappers: no-ops (one branch) when observability is off.
+inline void count(const char* name, std::int64_t delta = 1) {
+  if (enabled()) Registry::global().add(name, delta);
+}
+inline void gauge(const char* name, double value) {
+  if (enabled()) Registry::global().set_gauge(name, value);
+}
+
+/// Parses a metrics_json() document back into a Metrics snapshot. Throws
+/// ftdl::Error on documents that do not match the ftdl-metrics-v1 schema.
+Metrics parse_metrics_json(const std::string& json);
+
+}  // namespace ftdl::obs

@@ -6,6 +6,7 @@
 #include "common/math_util.h"
 #include "compiler/codegen.h"
 #include "nn/reference.h"
+#include "obs/obs.h"
 #include "sim/ftdl_sim.h"
 
 namespace ftdl::runtime {
@@ -86,6 +87,14 @@ std::vector<GroupSlice> slice_groups(const Layer& layer, const Tensor16& w,
   return out;
 }
 
+/// Host-kernel layers (pool/concat/ewop): their wall time is covered by the
+/// per-layer runtime span; these counters attribute the EWOP op volume.
+void note_host_kernel(const Layer& layer) {
+  if (!obs::enabled()) return;
+  obs::count("host/ewop_kernel_invocations");
+  obs::count("host/ewop_ops", layer.ewop_ops());
+}
+
 class Executor {
  public:
   Executor(const nn::Network& net, const WeightStore& weights,
@@ -107,7 +116,17 @@ class Executor {
       LayerRun run;
       run.name = layer.name;
       run.kind = layer.kind;
-      Tensor16 out = execute_layer(layer, net_.resolved_inputs(i), run);
+      Tensor16 out;
+      {
+        obs::ScopedSpan span("runtime", "execute_layer",
+                             {{"layer", layer.name},
+                              {"kind", nn::to_string(layer.kind)}});
+        out = execute_layer(layer, net_.resolved_inputs(i), run);
+      }
+      if (obs::enabled()) {
+        obs::count("runtime/layers_executed");
+        if (run.sim_cycles > 0) obs::count("runtime/sim_cycles", run.sim_cycles);
+      }
       result.total_sim_cycles += run.sim_cycles;
       result.runs.push_back(std::move(run));
       tensors_[layer.name] = std::move(out);
@@ -133,14 +152,17 @@ class Executor {
       case LayerKind::MatMul:
         return execute_overlay(layer, tensor(inputs.at(0)), run);
       case LayerKind::Pool: {
+        note_host_kernel(layer);
         const Tensor16& in = tensor(inputs.at(0));
         return layer.pool_op == nn::PoolOp::Max
                    ? nn::maxpool_reference(layer, in)
                    : nn::avgpool_reference(layer, in);
       }
       case LayerKind::Concat:
+        note_host_kernel(layer);
         return concat(layer, inputs);
       case LayerKind::Ewop:
+        note_host_kernel(layer);
         return ewop(layer, inputs);
     }
     throw InternalError("unhandled layer kind");

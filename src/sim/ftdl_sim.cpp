@@ -7,6 +7,7 @@
 #include "common/error.h"
 #include "arch/isa.h"
 #include "common/math_util.h"
+#include "obs/obs.h"
 
 namespace ftdl::sim {
 
@@ -208,6 +209,26 @@ SimResult simulate_layer(const compiler::LayerProgram& program,
   SimStats& st = result.stats;
   std::int64_t pending_drain = 0;  // previous LoopX's psum drain in flight
 
+  // Observability: one virtual-clock timeline per hardware unit for this
+  // layer, timestamped in CLKh cycles (docs/observability.md). Tracks are
+  // only registered when collection is on; when it is off the cost is one
+  // predicted branch per LoopL / LoopX iteration, far outside the MACC loop.
+  const bool obs_on = obs::enabled();
+  std::uint32_t tr_burst = 0, tr_refill = 0, tr_drain = 0, tr_stall = 0;
+  if (obs_on) {
+    obs::Registry& reg = obs::Registry::global();
+    // A fresh process per simulation instance: re-simulating a layer (weight
+    // groups, repeated runs) must not append earlier-than-last timestamps to
+    // an existing track.
+    const std::int64_t inst = reg.counter("sim/layers_simulated");
+    std::string proc = "sim:" + program.layer.name;
+    if (inst > 0) proc += " #" + std::to_string(inst);
+    tr_burst = reg.track(proc, "LoopT bursts");
+    tr_refill = reg.track(proc, "ActBUF refills");
+    tr_drain = reg.track(proc, "PSumBUF drains");
+    tr_stall = reg.track(proc, "stalls");
+  }
+
   // Buffer-footprint tracking (check_buffers): one activation set per TPE
   // (reset per LoopL phase), one psum set per SuperBlock (reset per LoopX
   // phase), one weight set per TPE (whole layer).
@@ -245,6 +266,18 @@ SimResult simulate_layer(const compiler::LayerProgram& program,
       // ActBUF refill (double-buffered): overlaps this burst.
       const std::int64_t fetch = std::max(refill_cycles, dram_rd_per_refill);
       const std::int64_t step = std::max(burst_cycles, fetch);
+      if (obs_on) {
+        obs::Registry& reg = obs::Registry::global();
+        const double t0 = double(st.cycles + x_compute);
+        reg.begin(tr_burst, "burst", t0, "sim");
+        reg.end(tr_burst, t0 + double(burst_cycles));
+        reg.begin(tr_refill, "act_refill", t0, "sim");
+        reg.end(tr_refill, t0 + double(fetch));
+        if (step > burst_cycles) {
+          reg.begin(tr_stall, "act_stall", t0 + double(burst_cycles), "sim");
+          reg.end(tr_stall, t0 + double(step));
+        }
+      }
       st.act_stall_cycles += step - burst_cycles;
       st.compute_cycles += burst_cycles;
       x_compute += step;
@@ -340,9 +373,20 @@ SimResult simulate_layer(const compiler::LayerProgram& program,
     const std::int64_t advance = std::max(x_compute, pending_drain);
     st.psum_stall_cycles += advance - x_compute;
     st.cycles += advance;
+    if (obs_on && advance > x_compute) {
+      obs::Registry& reg = obs::Registry::global();
+      reg.begin(tr_stall, "psum_stall", double(st.cycles - (advance - x_compute)),
+                "sim");
+      reg.end(tr_stall, double(st.cycles));
+    }
 
     if (options.check_buffers) flush_psum_sets();
     pending_drain = std::max(drain_cycles, dram_wr_per_x);
+    if (obs_on) {
+      obs::Registry& reg = obs::Registry::global();
+      reg.begin(tr_drain, "psum_drain", double(st.cycles), "sim");
+      reg.end(tr_drain, double(st.cycles + pending_drain));
+    }
     ++st.psum_drains;
     if (options.collect_trace) {
       result.trace.add(static_cast<std::uint64_t>(st.cycles),
@@ -365,6 +409,18 @@ SimResult simulate_layer(const compiler::LayerProgram& program,
   // valid_maccs counts per-TPE operations; padded_maccs should equal the
   // mapping's padded space.
   FTDL_ASSERT(st.padded_maccs == m.padded_macs());
+
+  if (obs_on) {
+    obs::count("sim/layers_simulated");
+    obs::count("sim/cycles", st.cycles);
+    obs::count("sim/compute_cycles", st.compute_cycles);
+    obs::count("sim/act_stall_cycles", st.act_stall_cycles);
+    obs::count("sim/psum_stall_cycles", st.psum_stall_cycles);
+    obs::count("sim/valid_maccs", st.valid_maccs);
+    obs::count("sim/padded_maccs", st.padded_maccs);
+    obs::count("sim/act_refills", st.act_refills);
+    obs::count("sim/psum_drains", st.psum_drains);
+  }
   return result;
 }
 

@@ -22,33 +22,60 @@
 
 namespace ftdl::sim {
 
+// Field-by-field units and paper mappings: docs/observability.md
+// ("SimStats <-> paper quantities").
 struct SimOptions {
+  /// Log every off-chip transfer into SimResult::trace (a dram::AccessTrace
+  /// of {cycle, kind, bytes} records) — the input of the DRAM power model
+  /// and the Fig. 7 roofline's traffic axis. On by default; turn off for
+  /// microbenchmarks where the trace allocation would dominate.
   bool collect_trace = true;
   /// Track the true buffer footprints (unique activation words per TPE per
   /// LoopL phase, psum entries per SuperBlock per LoopX phase, weight words
   /// per TPE over the layer) and report them in SimStats — lets tests prove
-  /// the analytical buffer-sizing formulas are upper bounds of reality.
-  /// Costs memory/time; off by default.
+  /// the analytical buffer-sizing formulas (Eqns. 10-11 tile bounds) are
+  /// upper bounds of reality. Costs memory/time; off by default.
   bool check_buffers = false;
-  /// Guard for accidental huge functional runs (padded MACs).
+  /// Guard for accidental huge functional runs, in padded MACCs (the Eqn. 2
+  /// iteration space, Mapping::padded_macs): the simulator executes every
+  /// padded iteration, so runtime is linear in this quantity. Runs larger
+  /// than the limit throw ftdl::Error instead of hanging.
   std::int64_t max_padded_macs = std::int64_t{1} << 33;
 };
 
 struct SimStats {
-  std::int64_t cycles = 0;           ///< total CLKh cycles
-  std::int64_t compute_cycles = 0;   ///< LoopT bursts
-  std::int64_t act_stall_cycles = 0; ///< refill time not hidden by compute
+  /// Total execution time in CLKh cycles — the measured C_exe of the layer,
+  /// the simulator's emergent counterpart of Eqn. 12's
+  /// max(C_comp, C_actbus, C_psumbus, C_dram).
+  std::int64_t cycles = 0;
+  /// CLKh cycles spent in LoopT bursts (the Eqn. 7 compute term, including
+  /// the 2x stretch when the double pump lacks T-level weight reuse).
+  std::int64_t compute_cycles = 0;
+  /// CLKh cycles of ActBUF refill time NOT hidden by compute — the Eqn. 12
+  /// slack on the ActBUS / DRAM-read side.
+  std::int64_t act_stall_cycles = 0;
+  /// CLKh cycles of PSumBUF drain time NOT hidden by compute — the Eqn. 12
+  /// slack on the PSumBUS / DRAM-write side.
   std::int64_t psum_stall_cycles = 0;
-  std::int64_t valid_maccs = 0;      ///< MACCs on real (unpadded) iterations
-  std::int64_t padded_maccs = 0;     ///< total issued including padding
+  /// MACCs on real (unpadded) iterations — the layer's true MAC count.
+  std::int64_t valid_maccs = 0;
+  /// MACCs issued including padding (== Mapping::padded_macs, Eqn. 2).
+  std::int64_t padded_maccs = 0;
+  /// ActBUF sub-buffer swaps executed (one per LoopL iteration).
   std::int64_t act_refills = 0;
+  /// PSumBUF drains executed (one per LoopX iteration).
   std::int64_t psum_drains = 0;
 
-  // Measured buffer footprints (only when SimOptions::check_buffers).
+  // Measured buffer footprints (only when SimOptions::check_buffers),
+  // in 16-bit words (psums: accumulator entries).
   std::int64_t max_act_words_per_tpe = 0;   ///< worst LoopL phase
   std::int64_t max_psum_words_per_sb = 0;   ///< worst LoopX phase
-  std::int64_t max_wbuf_words_per_tpe = 0;  ///< whole layer
+  std::int64_t max_wbuf_words_per_tpe = 0;  ///< whole layer; with
+                                            ///< valid_maccs gives the
+                                            ///< measured E_WBUF of Fig. 7
 
+  /// Hardware efficiency as defined for Table II: true MACs over issued
+  /// MACC slots, valid_maccs / (cycles * #TPE). Dimensionless, in (0, 1].
   double hardware_efficiency(int tpes) const {
     return double(valid_maccs) / (double(cycles) * double(tpes));
   }

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Markdown link checker for README.md and docs/.
+
+Verifies that every relative link target in the repository's markdown
+pages exists on disk (anchors-only links and external URLs are skipped).
+Stdlib-only so CI needs nothing beyond python3. Exit code 0 when every
+link resolves, 1 otherwise, listing each broken link as file:line.
+
+Usage: check_links.py [REPO_ROOT]   (default: parent of this script's dir)
+"""
+
+import os
+import re
+import sys
+
+# Inline links [text](target) and reference definitions [label]: target.
+INLINE_LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+IMAGE_LINK = re.compile(r"\!\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REF_DEF = re.compile(r"^\s{0,3}\[[^\]]+\]:\s+(\S+)")
+FENCE = re.compile(r"^\s*(```|~~~)")
+
+
+def markdown_files(root):
+    yield os.path.join(root, "README.md")
+    docs = os.path.join(root, "docs")
+    if os.path.isdir(docs):
+        for name in sorted(os.listdir(docs)):
+            if name.endswith(".md"):
+                yield os.path.join(docs, name)
+
+
+def targets_in(path):
+    """Yield (lineno, target) for every link in one markdown file."""
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            if FENCE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            # Strip inline code spans so `[x](y)` examples don't count.
+            stripped = re.sub(r"`[^`]*`", "", line)
+            for rx in (INLINE_LINK, IMAGE_LINK, REF_DEF):
+                for m in rx.finditer(stripped):
+                    yield lineno, m.group(1)
+
+
+def is_external(target):
+    return target.startswith(("http://", "https://", "mailto:", "ftp://"))
+
+
+def main():
+    root = os.path.abspath(
+        sys.argv[1]
+        if len(sys.argv) > 1
+        else os.path.join(os.path.dirname(__file__), os.pardir)
+    )
+    broken = []
+    checked = 0
+    for md in markdown_files(root):
+        if not os.path.isfile(md):
+            broken.append((md, 0, "<file missing>"))
+            continue
+        base = os.path.dirname(md)
+        for lineno, target in targets_in(md):
+            if is_external(target) or target.startswith("#"):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            checked += 1
+            resolved = os.path.normpath(os.path.join(base, path))
+            if not os.path.exists(resolved):
+                broken.append((md, lineno, target))
+    if broken:
+        for md, lineno, target in broken:
+            rel = os.path.relpath(md, root)
+            print(f"{rel}:{lineno}: broken link -> {target}")
+        print(f"check_links: {len(broken)} broken of {checked} relative links")
+        return 1
+    print(f"check_links: {checked} relative links OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

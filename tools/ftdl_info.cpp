@@ -1,9 +1,9 @@
-// ftdl_info — inspection utility.
+// ftdl-info — inspection utility.
 //
-//   ftdl_info devices                 list the device zoo
-//   ftdl_info models                  list the model zoo with Table I stats
-//   ftdl_info config D1 D2 D3 DEVICE  validate an overlay shape + timing
-//   ftdl_info disasm FILE.hex         disassemble an InstBUS word dump
+//   ftdl-info devices                 list the device zoo
+//   ftdl-info models                  list the model zoo with Table I stats
+//   ftdl-info config D1 D2 D3 DEVICE  validate an overlay shape + timing
+//   ftdl-info disasm FILE.hex         disassemble an InstBUS word dump
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -53,7 +53,7 @@ int cmd_models() {
 
 int cmd_config(int argc, char** argv) {
   if (argc < 6) {
-    std::fprintf(stderr, "usage: ftdl_info config D1 D2 D3 DEVICE\n");
+    std::fprintf(stderr, "usage: ftdl-info config D1 D2 D3 DEVICE\n");
     return 2;
   }
   arch::OverlayConfig cfg = arch::paper_config();
@@ -79,7 +79,7 @@ int cmd_config(int argc, char** argv) {
 
 int cmd_disasm(int argc, char** argv) {
   if (argc < 3) {
-    std::fprintf(stderr, "usage: ftdl_info disasm FILE.hex\n");
+    std::fprintf(stderr, "usage: ftdl-info disasm FILE.hex\n");
     return 2;
   }
   std::ifstream in(argv[2]);
@@ -109,7 +109,7 @@ int cmd_disasm(int argc, char** argv) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: ftdl_info devices|models|config|disasm ...\n");
+                 "usage: ftdl-info devices|models|config|disasm ...\n");
     return 2;
   }
   const std::string cmd = argv[1];

@@ -1,0 +1,212 @@
+// ftdl-prof — cross-layer observability profiler (docs/observability.md).
+//
+// Runs a model-zoo network (or an .ftdl spec) through the full stack with
+// ftdl::obs collection enabled — compile + schedule (wall-clock compiler
+// spans), host-pipeline evaluation, multi-FPGA pipeline planning, and a
+// cycle-level simulation of the whole network on a scaled-down overlay
+// (virtual-clock timelines of LoopT bursts, ActBUF refills, PSumBUF drains
+// and stalls) — then writes
+//   trace.json    Chrome trace-event JSON (open in https://ui.perfetto.dev)
+//   metrics.json  flat counters/gauges snapshot (schema ftdl-metrics-v1)
+//
+//   ftdl-prof [MODEL] [options]
+//     MODEL               Table I model name (default Sentimental-seqCNN)
+//                         or a .ftdl network-spec path
+//     --list              list the model zoo and exit
+//     --trace FILE        trace output path    (default trace.json)
+//     --metrics FILE      metrics output path  (default metrics.json)
+//     --budget N          mapping-search budget per layer (default 8000)
+//     --no-sim            skip the cycle-level execution phase
+//     --sim-macs-limit N  skip simulation above N network MACs (default 5e8;
+//                         the functional simulator executes every MACC)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "arch/overlay_config.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "compiler/scheduler.h"
+#include "frontend/spec_parser.h"
+#include "host/host_pipeline.h"
+#include "multifpga/partition.h"
+#include "nn/model_zoo.h"
+#include "obs/obs.h"
+#include "runtime/executor.h"
+
+namespace {
+
+using namespace ftdl;
+
+struct Args {
+  std::string model = "Sentimental-seqCNN";
+  std::string trace_path = "trace.json";
+  std::string metrics_path = "metrics.json";
+  std::int64_t budget = 8'000;
+  std::int64_t sim_macs_limit = 500'000'000;
+  bool no_sim = false;
+  bool list = false;
+};
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg) std::fprintf(stderr, "ftdl-prof: %s\n", msg);
+  std::fprintf(stderr,
+               "usage: ftdl-prof [MODEL|SPEC.ftdl] [--trace FILE] "
+               "[--metrics FILE]\n                 [--budget N] [--no-sim] "
+               "[--sim-macs-limit N] [--list]\n");
+  std::exit(2);
+}
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  auto next = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage("missing option value");
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--trace") == 0) args.trace_path = next(i);
+    else if (std::strcmp(a, "--metrics") == 0) args.metrics_path = next(i);
+    else if (std::strcmp(a, "--budget") == 0) args.budget = std::atoll(next(i));
+    else if (std::strcmp(a, "--sim-macs-limit") == 0)
+      args.sim_macs_limit = std::atoll(next(i));
+    else if (std::strcmp(a, "--no-sim") == 0) args.no_sim = true;
+    else if (std::strcmp(a, "--list") == 0) args.list = true;
+    else if (a[0] == '-') usage(("unknown option " + std::string(a)).c_str());
+    else args.model = a;
+  }
+  return args;
+}
+
+nn::Network load_network(const std::string& model) {
+  if (model.size() > 5 && model.substr(model.size() - 5) == ".ftdl") {
+    std::ifstream in(model);
+    if (!in) throw Error("cannot open spec " + model);
+    std::ostringstream text;
+    text << in.rdbuf();
+    return frontend::parse_network_spec(text.str());
+  }
+  return nn::model_by_name(model);
+}
+
+/// Overlay the cycle-level phase runs on: small enough that functional
+/// simulation of a whole network finishes in seconds (the schedule phase
+/// still uses the full paper overlay).
+arch::OverlayConfig sim_config() {
+  arch::OverlayConfig c;
+  c.d1 = 4;
+  c.d2 = 2;
+  c.d3 = 3;
+  c.actbuf_words = 128;
+  c.wbuf_words = 1024;
+  c.psumbuf_words = 2048;
+  c.clocks = fpga::ClockPair::from_high(650e6);
+  return c;
+}
+
+std::int64_t overlay_macs(const nn::Network& net) {
+  std::int64_t macs = 0;
+  for (const nn::Layer& l : net.layers()) {
+    if (l.on_overlay()) macs += l.macs() * l.repeat;
+  }
+  return macs;
+}
+
+nn::Tensor16 network_input(const nn::Network& net, Rng& rng) {
+  const nn::Layer& first = net.layers().front();
+  nn::Tensor16 input =
+      first.kind == nn::LayerKind::MatMul
+          ? nn::Tensor16({static_cast<int>(first.mm_m),
+                          static_cast<int>(first.mm_p)})
+          : nn::Tensor16({first.in_c, first.in_h, first.in_w});
+  input.fill_random(rng);
+  return input;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  if (args.list) {
+    for (const nn::Network& net : nn::mlperf_models()) {
+      std::printf("%s\n", net.name().c_str());
+    }
+    return 0;
+  }
+
+  try {
+    obs::set_enabled(true);
+    obs::Registry& reg = obs::Registry::global();
+    reg.reset();
+
+    const nn::Network net = load_network(args.model);
+    std::printf("ftdl-prof: %s (%lld overlay MACs)\n", net.name().c_str(),
+                static_cast<long long>(overlay_macs(net)));
+
+    // Phase 1 — compile + schedule on the full paper overlay.
+    const compiler::NetworkSchedule sched = compiler::schedule_network(
+        net, arch::paper_config(), compiler::Objective::Performance,
+        args.budget);
+    std::printf("  schedule: %.1f FPS, %.1f%% hardware efficiency\n",
+                sched.fps(), 100.0 * sched.hardware_efficiency);
+
+    // Phase 2 — host EWOP pipeline + multi-FPGA plan.
+    const host::PipelineReport pipe =
+        host::evaluate_pipeline(net, sched, host::HostModel{});
+    std::printf("  host pipeline: %.2f host/overlay ratio (%s-bound)\n",
+                pipe.host_over_overlay,
+                pipe.ewop_bounds_throughput ? "host" : "overlay");
+    const multifpga::MultiFpgaPlan plan = multifpga::partition_pipeline(sched, 2);
+    std::printf("  2-FPGA plan: %.1f FPS, balance %.2f, resident=%s\n",
+                plan.fps, plan.balance, plan.weights_resident ? "yes" : "no");
+
+    // Phase 3 — cycle-level execution on a scaled-down overlay.
+    const std::int64_t macs = overlay_macs(net);
+    if (args.no_sim) {
+      obs::count("prof/sim_skipped");
+    } else if (macs > args.sim_macs_limit) {
+      std::printf("  cycle sim: SKIPPED (%lld MACs > limit %lld; "
+                  "--sim-macs-limit raises it)\n",
+                  static_cast<long long>(macs),
+                  static_cast<long long>(args.sim_macs_limit));
+      obs::count("prof/sim_skipped");
+    } else {
+      try {
+        Rng rng(1);
+        const runtime::WeightStore weights =
+            runtime::WeightStore::random_for(net, 2);
+        runtime::ExecOptions opt;
+        opt.path = runtime::OverlayPath::CycleSim;
+        opt.config = sim_config();
+        opt.search_budget_per_layer = args.budget;
+        const runtime::ExecResult r =
+            runtime::run_network(net, network_input(net, rng), weights, opt);
+        std::printf("  cycle sim: %lld cycles over %zu layer runs\n",
+                    static_cast<long long>(r.total_sim_cycles),
+                    r.runs.size());
+      } catch (const ConfigError& e) {
+        // Recurrent networks are not executable feed-forward; the schedule
+        // and pipeline phases above still profile them.
+        std::printf("  cycle sim: SKIPPED (%s)\n", e.what());
+        obs::count("prof/sim_skipped");
+      }
+    }
+
+    obs::gauge("prof/schedule_fps", sched.fps());
+    obs::gauge("prof/schedule_efficiency", sched.hardware_efficiency);
+
+    reg.write_chrome_trace(args.trace_path);
+    reg.write_metrics(args.metrics_path);
+    std::printf("wrote %s (%zu events) and %s (%zu counters, %zu gauges)\n",
+                args.trace_path.c_str(), reg.event_count(),
+                args.metrics_path.c_str(), reg.metrics().counters.size(),
+                reg.metrics().gauges.size());
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "ftdl-prof: %s\n", e.what());
+    return 1;
+  }
+}
