@@ -5,10 +5,12 @@
 // each, and rank them. Shows why the paper's 12 x 5 x 20 is a good choice.
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "common/str_util.h"
 #include "common/table.h"
+#include "compiler/session.h"
 #include "ftdl/ftdl.h"
 
 int main() {
@@ -29,8 +31,11 @@ int main() {
     arch::OverlayConfig cfg;
     compiler::NetworkSchedule sched;
   };
-  std::vector<Row> rows;
 
+  // Enumerate the legal splits serially, schedule them concurrently through
+  // the shared compiler session, and collect survivors back in enumeration
+  // order (so the ranking below is deterministic at any parallelism).
+  std::vector<arch::OverlayConfig> candidates;
   for (int d1 = 4; d1 <= 48; ++d1) {
     if (budget % d1 != 0) continue;
     for (int d2 = 1; d2 <= dev.dsp_columns; ++d2) {
@@ -41,15 +46,29 @@ int main() {
       cfg.d1 = d1;
       cfg.d2 = d2;
       cfg.d3 = d3;
-      try {
-        cfg.validate_for_device(dev);
-        rows.push_back({cfg, compiler::schedule_network(
-                                 net, cfg, compiler::Objective::Performance,
-                                 20'000)});
-      } catch (const Error&) {
-        continue;
-      }
+      candidates.push_back(cfg);
     }
+  }
+
+  compiler::CompilerSession& session = compiler::CompilerSession::global();
+  std::vector<std::unique_ptr<Row>> evaluated(candidates.size());
+  session.pool().parallel_for(candidates.size(), [&](std::size_t i) {
+    compiler::name_worker_track();
+    try {
+      candidates[i].validate_for_device(dev);
+      evaluated[i] = std::make_unique<Row>(Row{
+          candidates[i],
+          compiler::schedule_network(net, candidates[i],
+                                     compiler::Objective::Performance,
+                                     20'000)});
+    } catch (const Error&) {
+      // split does not fit the device or has no feasible mapping
+    }
+  });
+
+  std::vector<Row> rows;
+  for (auto& r : evaluated) {
+    if (r) rows.push_back(std::move(*r));
   }
 
   std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
@@ -71,5 +90,11 @@ int main() {
                 "12 x 5 x 20).\n",
                 rows.front().cfg.d1, rows.front().cfg.d2, rows.front().cfg.d3);
   }
+  const compiler::SessionStats ss = session.stats();
+  std::printf("compiler session: jobs=%d, %lld cache hits / %lld misses, "
+              "%lld programs resident\n",
+              session.jobs(), static_cast<long long>(ss.hits),
+              static_cast<long long>(ss.misses),
+              static_cast<long long>(ss.entries));
   return 0;
 }

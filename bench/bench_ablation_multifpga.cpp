@@ -8,6 +8,7 @@
 
 #include "common/str_util.h"
 #include "common/table.h"
+#include "compiler/session.h"
 #include "ftdl/ftdl.h"
 
 int main() {
@@ -59,5 +60,12 @@ int main() {
   std::printf("Residency makes the weight-stationary scheme of Sec. II-B1 "
               "hold for big models,\nand the pipeline adds near-linear "
               "throughput until stage imbalance dominates.\n");
+  compiler::CompilerSession& session = compiler::CompilerSession::global();
+  const compiler::SessionStats ss = session.stats();
+  std::printf("compiler session: jobs=%d, %lld cache hits / %lld misses, "
+              "%lld programs resident\n",
+              session.jobs(), static_cast<long long>(ss.hits),
+              static_cast<long long>(ss.misses),
+              static_cast<long long>(ss.entries));
   return 0;
 }

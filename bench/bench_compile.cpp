@@ -1,0 +1,113 @@
+// Compiler-session benchmarks (google-benchmark): wall-clock of
+// schedule_network and find_best_hw_config on ResNet50 through a
+// CompilerSession at 1/2/8 jobs, cold cache vs warm cache.
+//
+// The cold/warm split is the interesting axis: a cold session measures the
+// mapping search itself (scaled by the worker pool), while a warm session
+// measures the content-addressed cache — the case every driver above the
+// scheduler (Objective 3 sweeps, DSE, repeated tool runs) actually hits.
+// The serial cold number doubles as the pre-session baseline: before the
+// session refactor every find_best_hw_config call recompiled all programs
+// serially.
+//
+// Unless the caller passes --benchmark_out themselves, results are also
+// written to BENCH_compile.json (google-benchmark's JSON reporter); CI
+// uploads the file as a build artifact.
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "compiler/session.h"
+#include "fpga/device_zoo.h"
+#include "nn/model_zoo.h"
+
+namespace {
+
+using namespace ftdl;
+
+/// Search budget per layer: small enough that a cold ResNet50 pass stays in
+/// benchmark territory, large enough that the search dominates cache lookups.
+constexpr std::int64_t kBudget = 2'000;
+
+const nn::Network& resnet50() {
+  static const nn::Network net = nn::model_by_name("ResNet50");
+  return net;
+}
+
+void BM_ScheduleNetworkCold(benchmark::State& state) {
+  const arch::OverlayConfig cfg = arch::paper_config();
+  compiler::CompilerSession session(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    session.clear_cache();
+    benchmark::DoNotOptimize(session.schedule(
+        resnet50(), cfg, compiler::Objective::Performance, kBudget));
+  }
+}
+BENCHMARK(BM_ScheduleNetworkCold)
+    ->Arg(1)->Arg(2)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ScheduleNetworkWarm(benchmark::State& state) {
+  const arch::OverlayConfig cfg = arch::paper_config();
+  compiler::CompilerSession session(static_cast<int>(state.range(0)));
+  session.schedule(resnet50(), cfg, compiler::Objective::Performance, kBudget);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(session.schedule(
+        resnet50(), cfg, compiler::Objective::Performance, kBudget));
+  }
+}
+BENCHMARK(BM_ScheduleNetworkWarm)
+    ->Arg(1)->Arg(2)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FindBestHwConfigCold(benchmark::State& state) {
+  const arch::OverlayConfig base = arch::paper_config();
+  const fpga::Device dev = fpga::ultrascale_vu125();
+  compiler::CompilerSession session(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    session.clear_cache();
+    benchmark::DoNotOptimize(
+        session.best_hw_config(resnet50(), base, dev, 1200, kBudget));
+  }
+}
+BENCHMARK(BM_FindBestHwConfigCold)
+    ->Arg(1)->Arg(2)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FindBestHwConfigWarm(benchmark::State& state) {
+  const arch::OverlayConfig base = arch::paper_config();
+  const fpga::Device dev = fpga::ultrascale_vu125();
+  compiler::CompilerSession session(static_cast<int>(state.range(0)));
+  session.best_hw_config(resnet50(), base, dev, 1200, kBudget);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        session.best_hw_config(resnet50(), base, dev, 1200, kBudget));
+  }
+}
+BENCHMARK(BM_FindBestHwConfigWarm)
+    ->Arg(1)->Arg(2)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+  }
+  std::string out_flag = "--benchmark_out=BENCH_compile.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int argc2 = static_cast<int>(args.size());
+  benchmark::Initialize(&argc2, args.data());
+  if (benchmark::ReportUnrecognizedArguments(argc2, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

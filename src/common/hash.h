@@ -1,0 +1,63 @@
+// Content hashing for cache keys (ftdl::Hash64).
+//
+// A streaming FNV-1a 64-bit hasher with typed feeders that canonicalize
+// every value to a fixed little-endian byte sequence, so a key derived on
+// any host is stable across runs, build types and (within one ABI) compiler
+// versions. Strings are length-prefixed: ("ab","c") and ("a","bc") hash
+// differently. Doubles hash by bit pattern, so -0.0 != 0.0 and every NaN
+// payload is distinct — callers that want value semantics must normalize
+// first (the compiler session does not: configs are authored, not
+// computed).
+//
+// This is a cache key, not a cryptographic digest: collisions are
+// astronomically unlikely for the few thousand programs a process compiles
+// but are not adversarially hard.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace ftdl {
+
+class Hash64 {
+ public:
+  Hash64& bytes(const void* data, std::size_t n) {
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      h_ ^= p[i];
+      h_ *= 0x100000001b3ull;  // FNV prime
+    }
+    return *this;
+  }
+
+  Hash64& u64(std::uint64_t v) {
+    unsigned char b[8];
+    for (int i = 0; i < 8; ++i) b[i] = static_cast<unsigned char>(v >> (8 * i));
+    return bytes(b, sizeof(b));
+  }
+
+  Hash64& i64(std::int64_t v) { return u64(static_cast<std::uint64_t>(v)); }
+  Hash64& i32(int v) { return u64(static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(v))); }
+  Hash64& boolean(bool v) { return u64(v ? 1 : 0); }
+
+  Hash64& f64(double v) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    return u64(bits);
+  }
+
+  Hash64& str(const std::string& s) {
+    u64(s.size());
+    return bytes(s.data(), s.size());
+  }
+
+  std::uint64_t digest() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xcbf29ce484222325ull;  // FNV offset basis
+};
+
+}  // namespace ftdl

@@ -40,8 +40,10 @@ std::vector<std::int64_t> divisors(std::int64_t n) {
 std::vector<std::int64_t> tile_candidates(std::int64_t n) {
   FTDL_ASSERT(n >= 1);
   // Memoized: the mapping search queries the same trip counts millions of
-  // times. Single-threaded access (the library has no concurrency).
-  static std::unordered_map<std::int64_t, std::vector<std::int64_t>> cache;
+  // times. thread_local keeps the hot path lock-free now that compile_layer
+  // runs on CompilerSession pool threads; the few distinct trip counts per
+  // network keep the per-thread copies tiny.
+  thread_local std::unordered_map<std::int64_t, std::vector<std::int64_t>> cache;
   if (auto it = cache.find(n); it != cache.end()) return it->second;
 
   std::vector<std::int64_t> out = divisors(n);

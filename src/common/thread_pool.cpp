@@ -1,0 +1,155 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+
+namespace ftdl {
+
+namespace {
+thread_local int t_worker_index = -1;
+}  // namespace
+
+/// One parallel_for invocation. Indices are claimed lock-free via `next`;
+/// completion bookkeeping (`done`, the first error, the waiter wake-up)
+/// goes through the owning pool's mutex.
+struct Batch {
+  std::size_t count = 0;
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::size_t done = 0;  ///< finished or skipped indices (pool mutex)
+  std::exception_ptr error;  ///< first task exception (pool mutex)
+  std::condition_variable finished;
+};
+
+struct ThreadPool::Impl {
+  int jobs = 1;
+  mutable std::mutex mu;
+  std::condition_variable work_ready;
+  std::deque<std::shared_ptr<Batch>> queue;  ///< batches with unclaimed work
+  std::vector<std::thread> workers;
+  bool stopping = false;
+
+  /// Claims and runs indices of `b` until none remain unclaimed. Returns
+  /// with the batch possibly still having tasks in flight on other threads.
+  void drain(Batch& b) {
+    for (;;) {
+      const std::size_t i = b.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= b.count) return;
+      std::exception_ptr err;
+      bool skip;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        skip = b.error != nullptr;
+      }
+      if (!skip) {
+        try {
+          (*b.fn)(i);
+        } catch (...) {
+          err = std::current_exception();
+        }
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      if (err && !b.error) b.error = err;
+      if (++b.done == b.count) b.finished.notify_all();
+    }
+  }
+
+  void worker_loop(int index) {
+    t_worker_index = index;
+    for (;;) {
+      std::shared_ptr<Batch> batch;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        work_ready.wait(lock, [&] { return stopping || !queue.empty(); });
+        if (stopping && queue.empty()) return;
+        batch = queue.front();
+        // A batch leaves the queue as soon as all indices are claimed; the
+        // front may already be exhausted by the time this worker wakes.
+        if (batch->next.load(std::memory_order_relaxed) >= batch->count) {
+          queue.pop_front();
+          continue;
+        }
+      }
+      drain(*batch);
+      std::lock_guard<std::mutex> lock(mu);
+      if (!queue.empty() && queue.front() == batch) queue.pop_front();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(int jobs) : impl_(std::make_unique<Impl>()) {
+  if (jobs < 1) throw ConfigError("thread pool needs jobs >= 1");
+  impl_->jobs = jobs;
+  impl_->workers.reserve(static_cast<std::size_t>(jobs - 1));
+  for (int i = 0; i < jobs - 1; ++i) {
+    impl_->workers.emplace_back([this, i] { impl_->worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->stopping = true;
+  }
+  impl_->work_ready.notify_all();
+  for (std::thread& t : impl_->workers) t.join();
+}
+
+int ThreadPool::jobs() const { return impl_->jobs; }
+
+std::size_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->queue.size();
+}
+
+int ThreadPool::worker_index() { return t_worker_index; }
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (impl_->jobs == 1 || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  auto batch = std::make_shared<Batch>();
+  batch->count = count;
+  batch->fn = &fn;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->queue.push_back(batch);
+  }
+  impl_->work_ready.notify_all();
+  impl_->drain(*batch);
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  // All indices are claimed; retire the batch so queue_depth reflects only
+  // batches that still have work to hand out.
+  for (auto it = impl_->queue.begin(); it != impl_->queue.end(); ++it) {
+    if (*it == batch) {
+      impl_->queue.erase(it);
+      break;
+    }
+  }
+  batch->finished.wait(lock, [&] { return batch->done == batch->count; });
+  const std::exception_ptr err = batch->error;
+  lock.unlock();
+  if (err) std::rethrow_exception(err);
+}
+
+int default_jobs() {
+  if (const char* env = std::getenv("FTDL_JOBS")) {
+    const int n = std::atoi(env);
+    if (n >= 1) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+}  // namespace ftdl

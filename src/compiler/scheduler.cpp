@@ -1,97 +1,31 @@
 #include "compiler/scheduler.h"
 
-#include <array>
-#include <map>
-#include <tuple>
-
-#include "common/error.h"
 #include "common/csv.h"
-#include "common/logging.h"
 #include "common/str_util.h"
-#include "obs/obs.h"
+#include "compiler/session.h"
 
 namespace ftdl::compiler {
 
-namespace {
-
-/// Shape signature for layer-level search memoization.
-using LayerSignature =
-    std::tuple<int, std::int64_t, std::int64_t, std::int64_t, std::int64_t,
-               std::int64_t, std::int64_t, int>;
-
-LayerSignature signature(const Workload& w) {
-  std::array<std::int64_t, 6> trips{1, 1, 1, 1, 1, 1};
-  for (int i = 0; i < w.k(); ++i) {
-    trips[static_cast<std::size_t>(i)] = w.loops[static_cast<std::size_t>(i)].trip;
-  }
-  return {static_cast<int>(w.kind), trips[0], trips[1], trips[2],
-          trips[3],                 trips[4], trips[5], w.stride};
-}
-
-}  // namespace
+// Both entry points delegate to the process-wide CompilerSession, which
+// adds the content-addressed program cache and the worker pool; outputs are
+// bit-identical to the historical serial implementations (see
+// compiler/session.h for the determinism argument).
 
 NetworkSchedule schedule_network(const nn::Network& net,
                                  const arch::OverlayConfig& config,
                                  Objective objective,
                                  std::int64_t max_candidates_per_layer) {
-  config.validate();
+  return CompilerSession::global().schedule(net, config, objective,
+                                            max_candidates_per_layer);
+}
 
-  obs::ScopedSpan span("compiler", "schedule_network", {{"network", net.name()}});
-
-  NetworkSchedule sched;
-  sched.network_name = net.name();
-  sched.config = config;
-  sched.objective = objective;
-
-  std::map<LayerSignature, LayerProgram> cache;
-  double e_wbuf_weighted = 0.0;
-  std::int64_t weight_words = 0;
-
-  for (const nn::Layer& layer : net.layers()) {
-    if (!layer.on_overlay()) {
-      sched.host_ewop_ops += layer.ewop_ops();
-      continue;
-    }
-    sched.host_ewop_ops += layer.ewop_ops();  // fused ReLU part
-
-    const LayerSignature sig = signature(Workload::from_layer(layer));
-    auto it = cache.find(sig);
-    if (it == cache.end()) {
-      LayerProgram prog = compile_layer(layer, config, objective,
-                                        max_candidates_per_layer);
-      log_debug(strformat("%s: C_exe=%lld x%d eff=%.1f%% E_WBUF=%.2f",
-                          layer.name.c_str(),
-                          static_cast<long long>(prog.perf.c_exe),
-                          prog.weight_groups,
-                          100.0 * prog.perf.hardware_efficiency,
-                          prog.perf.e_wbuf));
-      it = cache.emplace(sig, std::move(prog)).first;
-    } else {
-      obs::count("compiler/schedule_cache_hits");
-    }
-
-    LayerProgram prog = it->second;
-    prog.layer = layer;  // restore this instance's identity
-    sched.total_cycles += prog.total_cycles() * layer.repeat;
-    sched.overlay_macs += layer.macs() * layer.repeat;
-    e_wbuf_weighted += prog.perf.e_wbuf * double(layer.weight_count());
-    weight_words += layer.weight_count();
-    sched.layers.push_back(std::move(prog));
-  }
-
-  if (sched.layers.empty())
-    throw ConfigError(net.name() + ": no overlay layers to schedule");
-
-  sched.hardware_efficiency =
-      double(sched.overlay_macs) /
-      (double(sched.total_cycles) * double(config.tpes()));
-  sched.mean_e_wbuf = weight_words > 0 ? e_wbuf_weighted / double(weight_words) : 0.0;
-  if (obs::enabled()) {
-    obs::count("compiler/networks_scheduled");
-    obs::gauge("compiler/last_schedule_efficiency", sched.hardware_efficiency);
-    obs::gauge("compiler/last_schedule_fps", sched.fps());
-  }
-  return sched;
+HwConfigChoice find_best_hw_config(const nn::Network& net,
+                                   const arch::OverlayConfig& base,
+                                   const fpga::Device& device, int tpe_budget,
+                                   std::int64_t max_candidates_per_layer) {
+  return CompilerSession::global().best_hw_config(net, base, device,
+                                                  tpe_budget,
+                                                  max_candidates_per_layer);
 }
 
 std::string schedule_to_csv(const NetworkSchedule& schedule,
@@ -112,48 +46,6 @@ std::string schedule_to_csv(const NetworkSchedule& schedule,
              strformat("%.4f", p.e_wbuf), bound});
   }
   return path;
-}
-
-HwConfigChoice find_best_hw_config(const nn::Network& net,
-                                   const arch::OverlayConfig& base,
-                                   const fpga::Device& device, int tpe_budget,
-                                   std::int64_t max_candidates_per_layer) {
-  FTDL_ASSERT(tpe_budget > 0);
-
-  bool found = false;
-  HwConfigChoice best;
-  for (int d1 = 2; d1 <= 64; ++d1) {
-    if (tpe_budget % d1 != 0) continue;
-    const int rows_budget = tpe_budget / d1;
-    for (int d2 = 1; d2 <= device.dsp_columns; ++d2) {
-      if (rows_budget % d2 != 0) continue;
-      const int d3 = rows_budget / d2;
-      if (d1 * d3 > device.dsp_per_column) continue;
-
-      arch::OverlayConfig cand = base;
-      cand.d1 = d1;
-      cand.d2 = d2;
-      cand.d3 = d3;
-      try {
-        cand.validate_for_device(device);
-        NetworkSchedule s = schedule_network(net, cand, Objective::Performance,
-                                             max_candidates_per_layer);
-        if (!found || s.total_cycles < best.schedule.total_cycles) {
-          best.config = cand;
-          best.schedule = std::move(s);
-          found = true;
-        }
-      } catch (const Error&) {
-        continue;  // shape does not fit or has no feasible mapping
-      }
-    }
-  }
-  if (!found) {
-    throw InfeasibleError(
-        strformat("no (D1,D2,D3) split of %d TPEs fits %s", tpe_budget,
-                  device.name.c_str()));
-  }
-  return best;
 }
 
 }  // namespace ftdl::compiler

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "common/csv.h"
 #include "common/error.h"
 #include "common/str_util.h"
+#include "compiler/session.h"
 #include "dram/dram_power.h"
+#include "obs/obs.h"
 #include "timing/placement.h"
 #include "timing/timing_analyzer.h"
 
@@ -95,7 +98,11 @@ DseResult explore(const nn::Network& net, const fpga::Device& device,
       options.sweep_actbuf ? std::vector<std::int64_t>{64, 128, 256}
                            : std::vector<std::int64_t>{base.actbuf_words};
 
-  DseResult result;
+  // Enumerate candidates serially, then evaluate them concurrently through
+  // the shared compiler session (its program cache makes overlapping
+  // candidates cheap) and collect survivors back in enumeration order, so
+  // the point set is identical to a serial sweep.
+  std::vector<arch::OverlayConfig> candidates;
   for (int d1 : options.d1_candidates) {
     for (int d2 = 1; d2 <= device.dsp_columns; ++d2) {
       // Per (d1, d2): deepest D3 that fits the column height.
@@ -110,12 +117,34 @@ DseResult explore(const nn::Network& net, const fpga::Device& device,
         if (double(cfg.tpes()) <
             options.min_dsp_utilization * device.total_dsp())
           continue;
-        DsePoint pt;
-        if (evaluate_candidate(net, device, cfg, options, pt)) {
-          result.points.push_back(pt);
-        }
+        candidates.push_back(cfg);
       }
     }
+  }
+
+  compiler::CompilerSession& session = compiler::CompilerSession::global();
+  if (options.jobs > 0) session.set_jobs(options.jobs);
+
+  obs::ScopedSpan span("dse", "explore",
+                       {{"network", net.name()},
+                        {"candidates", std::to_string(candidates.size())}});
+
+  std::vector<std::unique_ptr<DsePoint>> evaluated(candidates.size());
+  session.pool().parallel_for(candidates.size(), [&](std::size_t i) {
+    compiler::name_worker_track();
+    obs::ScopedSpan task_span(
+        "dse", "candidate",
+        {{"split", strformat("%dx%dx%d", candidates[i].d1, candidates[i].d2,
+                             candidates[i].d3)}});
+    DsePoint pt;
+    if (evaluate_candidate(net, device, candidates[i], options, pt)) {
+      evaluated[i] = std::make_unique<DsePoint>(pt);
+    }
+  });
+
+  DseResult result;
+  for (const auto& pt : evaluated) {
+    if (pt) result.points.push_back(*pt);
   }
 
   mark_pareto(result.points);

@@ -27,6 +27,11 @@ struct DseOptions {
   std::int64_t search_budget_per_layer = 8'000;
   /// Skip candidates using fewer than this fraction of the device's DSPs.
   double min_dsp_utilization = 0.5;
+  /// Parallelism for candidate evaluation: > 0 resizes the shared compiler
+  /// session's pool; 0 keeps the session default (FTDL_JOBS env, else the
+  /// hardware thread count). The evaluated point set is identical for any
+  /// value — candidates are collected back in enumeration order.
+  int jobs = 0;
 };
 
 struct DsePoint {

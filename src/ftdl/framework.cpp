@@ -5,6 +5,7 @@
 #include "common/error.h"
 #include "common/logging.h"
 #include "common/str_util.h"
+#include "compiler/session.h"
 #include "fpga/device_zoo.h"
 #include "timing/placement.h"
 
@@ -13,6 +14,10 @@ namespace ftdl {
 Framework::Framework(FrameworkOptions options)
     : options_(std::move(options)), device_(fpga::device_by_name(options_.device_name)) {
   arch::OverlayConfig& cfg = options_.config;
+
+  if (options_.jobs > 0) {
+    compiler::CompilerSession::global().set_jobs(options_.jobs);
+  }
 
   // Place and time the overlay first: the clock policy may need the result,
   // and an overlay that does not fit should fail fast.
@@ -43,8 +48,9 @@ Framework::Framework(FrameworkOptions options)
 }
 
 compiler::LayerProgram Framework::compile(const nn::Layer& layer) const {
-  return compiler::compile_layer(layer, options_.config, options_.objective,
-                                 options_.search_budget_per_layer);
+  return compiler::CompilerSession::global().compile(
+      layer, options_.config, options_.objective,
+      options_.search_budget_per_layer);
 }
 
 NetworkReport Framework::evaluate(const nn::Network& net) const {

@@ -27,6 +27,10 @@ struct FrameworkOptions {
   std::int64_t search_budget_per_layer = 200'000;
   int dram_channels = 2;
   dram::DramSpec dram_spec = dram::DramSpec::ddr4_2400();
+  /// Compiler parallelism: > 0 resizes the shared compiler session's pool
+  /// at construction; 0 keeps the session default (FTDL_JOBS env, else the
+  /// hardware thread count). Schedules are bit-identical for any value.
+  int jobs = 0;
 };
 
 /// End-to-end evaluation of one network on the configured overlay.

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/error.h"
+#include "compiler/session.h"
 #include "obs/obs.h"
 
 namespace ftdl::multifpga {
@@ -166,9 +167,24 @@ int min_devices_for_residency(const compiler::NetworkSchedule& schedule,
                             " alone exceeds one device's WBUF capacity");
     }
   }
+  // Scan device counts in blocks of the session's parallelism: each block
+  // evaluates its DP partitions concurrently, then the smallest resident
+  // count wins — the answer is the same as the serial 1..max scan, and the
+  // serial early exit is preserved at block granularity.
   const int max_devices = static_cast<int>(schedule.layers.size());
-  for (int d = 1; d <= max_devices; ++d) {
-    if (partition_pipeline(schedule, d, link).weights_resident) return d;
+  ThreadPool& pool = compiler::CompilerSession::global().pool();
+  const int block = std::max(1, pool.jobs());
+  for (int base = 1; base <= max_devices; base += block) {
+    const int count = std::min(block, max_devices - base + 1);
+    std::vector<char> resident(static_cast<std::size_t>(count), 0);
+    pool.parallel_for(static_cast<std::size_t>(count), [&](std::size_t i) {
+      compiler::name_worker_track();
+      const int d = base + static_cast<int>(i);
+      resident[i] = partition_pipeline(schedule, d, link).weights_resident;
+    });
+    for (int i = 0; i < count; ++i) {
+      if (resident[static_cast<std::size_t>(i)]) return base + i;
+    }
   }
   throw InternalError("one layer per device must be resident");
 }

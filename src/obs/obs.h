@@ -23,12 +23,17 @@
 //   * metrics_json()      — flat {"counters": {...}, "gauges": {...}}
 //     snapshot, parseable back via parse_metrics_json().
 //
-// The registry is not thread-safe; the framework is single-threaded by
-// design (see DESIGN.md).
+// The registry is thread-safe: every mutating and reading operation takes
+// one internal mutex, so instrumentation from the compiler session's worker
+// threads (src/common/thread_pool.h) is safe. Spans still must nest *per
+// track*; parallel code gets that for free by giving each worker thread its
+// own track via set_thread_track_name() — ScopedSpan picks the calling
+// thread's registered track name up as its default.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -43,6 +48,13 @@ extern bool g_enabled;
 /// test suite pay (almost) nothing.
 inline bool enabled() { return detail::g_enabled; }
 void set_enabled(bool on);
+
+/// Sets the calling thread's default ScopedSpan track ("main" unless set).
+/// The compiler session names each pool worker ("jobs-0", "jobs-1", ...) so
+/// per-task spans land on per-worker tracks and keep the per-track nesting
+/// and monotonicity invariants.
+void set_thread_track_name(const std::string& name);
+const std::string& thread_track_name();
 
 /// Key/value annotations attached to a span ("layer" -> "conv1/3x3").
 using SpanArgs = std::vector<std::pair<std::string, std::string>>;
@@ -101,8 +113,12 @@ class Registry {
   /// counted under "obs/dropped_events" — never silently.
   void set_capacity(std::size_t max_events);
 
+  // Unsynchronized views for tests and exporters driven after parallel
+  // regions have completed; do not call while spans may still be recorded
+  // on other threads.
   std::size_t event_count() const { return events_.size(); }
   const std::vector<TraceEvent>& events() const { return events_; }
+
   Metrics metrics() const;
 
   // ---- exporters ----
@@ -123,6 +139,9 @@ class Registry {
     std::vector<char> open;  ///< stack; 1 = span recorded, 0 = dropped
   };
 
+  // All state below is guarded by mu_ (one coarse lock; instrumentation
+  // sites are far from any inner loop).
+  mutable std::mutex mu_;
   std::vector<TraceEvent> events_;
   std::vector<TrackInfo> tracks_;
   std::map<std::string, std::int64_t> counters_;
@@ -133,11 +152,13 @@ class Registry {
 };
 
 /// RAII wall-clock span on the given track of the "host" process. Samples
-/// the clock only when observability is enabled at construction.
+/// the clock only when observability is enabled at construction. With no
+/// explicit thread name (nullptr), the span lands on the calling thread's
+/// registered track (thread_track_name(): "main", or the pool worker's).
 class ScopedSpan {
  public:
   explicit ScopedSpan(const char* cat, std::string name, SpanArgs args = {},
-                      const char* thread = "main");
+                      const char* thread = nullptr);
   ~ScopedSpan();
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;

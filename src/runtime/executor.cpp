@@ -4,7 +4,7 @@
 
 #include "common/error.h"
 #include "common/math_util.h"
-#include "compiler/codegen.h"
+#include "compiler/session.h"
 #include "nn/reference.h"
 #include "obs/obs.h"
 #include "sim/ftdl_sim.h"
@@ -199,11 +199,13 @@ class Executor {
     return nn::requantize_output(layer, acc, run.requant_shift);
   }
 
-  /// Cycle-level path: compile (with weight-group splitting), simulate each
+  /// Cycle-level path: compile through the shared session (so repeated
+  /// frames and repeated shapes reuse one search), simulate each weight
   /// group, and stitch the output slices.
   AccTensor simulate(const Layer& layer, const Tensor16& act,
                      const Tensor16& w, LayerRun& run) {
-    const compiler::LayerProgram master = compiler::compile_layer(
+    compiler::CompilerSession& session = compiler::CompilerSession::global();
+    const compiler::LayerProgram master = session.compile(
         layer, opt_.config, compiler::Objective::Performance,
         opt_.search_budget_per_layer);
     run.weight_groups = master.weight_groups;
@@ -214,7 +216,7 @@ class Executor {
                         : AccTensor({layer.out_c, layer.out_h(), layer.out_w()});
 
     for (const GroupSlice& gs : slice_groups(layer, w, master.weight_groups)) {
-      const compiler::LayerProgram prog = compiler::compile_layer(
+      const compiler::LayerProgram prog = session.compile(
           gs.layer, opt_.config, compiler::Objective::Performance,
           opt_.search_budget_per_layer);
       // Depthwise groups split the channel dimension of the *activations*

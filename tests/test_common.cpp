@@ -5,13 +5,19 @@
 #include <filesystem>
 #include <fstream>
 
+#include <atomic>
+#include <numeric>
+#include <vector>
+
 #include "common/csv.h"
 #include "common/error.h"
 #include "common/fixed_point.h"
+#include "common/hash.h"
 #include "common/math_util.h"
 #include "common/rng.h"
 #include "common/str_util.h"
 #include "common/table.h"
+#include "common/thread_pool.h"
 
 namespace ftdl {
 namespace {
@@ -157,6 +163,114 @@ TEST(AsciiTable, RendersAligned) {
 TEST(Error, AssertThrowsInternalError) {
   EXPECT_THROW(FTDL_ASSERT(1 == 2), InternalError);
   EXPECT_NO_THROW(FTDL_ASSERT(1 == 1));
+}
+
+TEST(Hash64, KnownFnv1aVectors) {
+  // FNV-1a reference values: empty input is the offset basis, "a" is the
+  // published test vector.
+  EXPECT_EQ(Hash64().digest(), 0xcbf29ce484222325ull);
+  EXPECT_EQ(Hash64().bytes("a", 1).digest(), 0xaf63dc4c8601ec8cull);
+}
+
+TEST(Hash64, IntegersAreCanonicalizedLittleEndian) {
+  EXPECT_EQ(Hash64().u64(0x0102030405060708ull).digest(),
+            Hash64()
+                .bytes("\x08\x07\x06\x05\x04\x03\x02\x01", 8)
+                .digest());
+  // i32 widens through i64, so the two feeders agree on common values.
+  EXPECT_EQ(Hash64().i32(-7).digest(), Hash64().i64(-7).digest());
+}
+
+TEST(Hash64, StringsAreLengthPrefixed) {
+  const auto h = [](const std::string& a, const std::string& b) {
+    return Hash64().str(a).str(b).digest();
+  };
+  EXPECT_NE(h("ab", "c"), h("a", "bc"));
+  EXPECT_EQ(h("ab", "c"), h("ab", "c"));
+}
+
+TEST(Hash64, DoublesHashByBitPattern) {
+  EXPECT_NE(Hash64().f64(0.0).digest(), Hash64().f64(-0.0).digest());
+  EXPECT_EQ(Hash64().f64(26e9).digest(), Hash64().f64(26e9).digest());
+  EXPECT_NE(Hash64().f64(1.0).digest(), Hash64().i64(1).digest());
+}
+
+TEST(ThreadPool, RejectsNonPositiveJobs) {
+  EXPECT_THROW(ThreadPool(0), ConfigError);
+  EXPECT_THROW(ThreadPool(-3), ConfigError);
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  for (int jobs : {1, 2, 8}) {
+    ThreadPool pool(jobs);
+    EXPECT_EQ(pool.jobs(), jobs);
+    std::vector<std::atomic<int>> ran(257);
+    for (auto& r : ran) r = 0;
+    pool.parallel_for(ran.size(), [&](std::size_t i) { ran[i]++; });
+    for (const auto& r : ran) EXPECT_EQ(r.load(), 1);
+  }
+}
+
+TEST(ThreadPool, ZeroCountIsANoOp) {
+  ThreadPool pool(4);
+  pool.parallel_for(0, [&](std::size_t) { FAIL() << "must not run"; });
+}
+
+TEST(ThreadPool, FirstExceptionIsRethrownOnTheCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(64,
+                        [&](std::size_t i) {
+                          if (i % 7 == 3) throw ConfigError("task failed");
+                        }),
+      ConfigError);
+  // The pool survives a throwing batch and runs subsequent work.
+  std::atomic<int> count{0};
+  pool.parallel_for(16, [&](std::size_t) { count++; });
+  EXPECT_EQ(count.load(), 16);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<int> inner_total{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    pool.parallel_for(8, [&](std::size_t) { inner_total++; });
+  });
+  EXPECT_EQ(inner_total.load(), 64);
+}
+
+TEST(ThreadPool, WorkerIndexIdentifiesPoolThreads) {
+  EXPECT_EQ(ThreadPool::worker_index(), -1);
+  ThreadPool pool(3);
+  pool.parallel_for(64, [&](std::size_t) {
+    const int wi = ThreadPool::worker_index();
+    // Tasks run on the caller (-1) or on one of the jobs - 1 workers (0, 1).
+    ASSERT_GE(wi, -1);
+    ASSERT_LT(wi, 2);
+  });
+  EXPECT_EQ(ThreadPool::worker_index(), -1);  // caller never becomes a worker
+}
+
+TEST(ThreadPool, ParallelSumMatchesSerial) {
+  std::vector<std::int64_t> values(1000);
+  std::iota(values.begin(), values.end(), 1);
+  const std::int64_t expect =
+      std::accumulate(values.begin(), values.end(), std::int64_t{0});
+  ThreadPool pool(8);
+  std::vector<std::int64_t> out(values.size());
+  pool.parallel_for(values.size(),
+                    [&](std::size_t i) { out[i] = values[i]; });
+  EXPECT_EQ(std::accumulate(out.begin(), out.end(), std::int64_t{0}), expect);
+}
+
+TEST(ThreadPool, DefaultJobsHonorsFtdlJobsEnv) {
+  EXPECT_GE(default_jobs(), 1);
+  ::setenv("FTDL_JOBS", "5", 1);
+  EXPECT_EQ(default_jobs(), 5);
+  ::setenv("FTDL_JOBS", "not-a-number", 1);
+  EXPECT_GE(default_jobs(), 1);  // unparseable values fall back
+  ::unsetenv("FTDL_JOBS");
+  EXPECT_GE(default_jobs(), 1);
 }
 
 }  // namespace

@@ -16,6 +16,8 @@
 //     --trace FILE        trace output path    (default trace.json)
 //     --metrics FILE      metrics output path  (default metrics.json)
 //     --budget N          mapping-search budget per layer (default 8000)
+//     --jobs N            compiler parallelism (default: FTDL_JOBS env, else
+//                         the hardware thread count; results bit-identical)
 //     --no-sim            skip the cycle-level execution phase
 //     --sim-macs-limit N  skip simulation above N network MACs (default 5e8;
 //                         the functional simulator executes every MACC)
@@ -29,7 +31,7 @@
 #include "arch/overlay_config.h"
 #include "common/error.h"
 #include "common/rng.h"
-#include "compiler/scheduler.h"
+#include "compiler/session.h"
 #include "frontend/spec_parser.h"
 #include "host/host_pipeline.h"
 #include "multifpga/partition.h"
@@ -47,6 +49,7 @@ struct Args {
   std::string metrics_path = "metrics.json";
   std::int64_t budget = 8'000;
   std::int64_t sim_macs_limit = 500'000'000;
+  int jobs = 0;  ///< 0 = session default (FTDL_JOBS env / hardware threads)
   bool no_sim = false;
   bool list = false;
 };
@@ -55,8 +58,8 @@ struct Args {
   if (msg) std::fprintf(stderr, "ftdl-prof: %s\n", msg);
   std::fprintf(stderr,
                "usage: ftdl-prof [MODEL|SPEC.ftdl] [--trace FILE] "
-               "[--metrics FILE]\n                 [--budget N] [--no-sim] "
-               "[--sim-macs-limit N] [--list]\n");
+               "[--metrics FILE]\n                 [--budget N] [--jobs N] "
+               "[--no-sim] [--sim-macs-limit N] [--list]\n");
   std::exit(2);
 }
 
@@ -71,6 +74,10 @@ Args parse_args(int argc, char** argv) {
     if (std::strcmp(a, "--trace") == 0) args.trace_path = next(i);
     else if (std::strcmp(a, "--metrics") == 0) args.metrics_path = next(i);
     else if (std::strcmp(a, "--budget") == 0) args.budget = std::atoll(next(i));
+    else if (std::strcmp(a, "--jobs") == 0) {
+      args.jobs = std::atoi(next(i));
+      if (args.jobs < 1) usage("--jobs must be >= 1");
+    }
     else if (std::strcmp(a, "--sim-macs-limit") == 0)
       args.sim_macs_limit = std::atoll(next(i));
     else if (std::strcmp(a, "--no-sim") == 0) args.no_sim = true;
@@ -142,6 +149,9 @@ int main(int argc, char** argv) {
     obs::Registry& reg = obs::Registry::global();
     reg.reset();
 
+    compiler::CompilerSession& session = compiler::CompilerSession::global();
+    if (args.jobs > 0) session.set_jobs(args.jobs);
+
     const nn::Network net = load_network(args.model);
     std::printf("ftdl-prof: %s (%lld overlay MACs)\n", net.name().c_str(),
                 static_cast<long long>(overlay_macs(net)));
@@ -197,6 +207,14 @@ int main(int argc, char** argv) {
 
     obs::gauge("prof/schedule_fps", sched.fps());
     obs::gauge("prof/schedule_efficiency", sched.hardware_efficiency);
+
+    const compiler::SessionStats ss = session.stats();
+    std::printf("  session: jobs=%d, %lld cache hits / %lld misses, "
+                "%lld programs (%.1f KiB)\n",
+                session.jobs(), static_cast<long long>(ss.hits),
+                static_cast<long long>(ss.misses),
+                static_cast<long long>(ss.entries),
+                double(ss.program_bytes) / 1024.0);
 
     reg.write_chrome_trace(args.trace_path);
     reg.write_metrics(args.metrics_path);

@@ -11,6 +11,9 @@
 //     --clock MHZ          CLKh in MHz            (default 650)
 //     --objective obj1|obj2  scheduling objective (default obj1)
 //     --budget N           search budget/layer    (default 60000)
+//     --jobs N             compiler parallelism   (default: FTDL_JOBS env,
+//                          else the hardware thread count; output is
+//                          bit-identical for any value)
 //     --emit FILE          write instruction words (hex) to FILE
 //     --verify             statically verify every emitted stream
 //     --timing             print the post-P&R style timing report
@@ -50,7 +53,7 @@ struct Args {
   std::fprintf(stderr,
                "usage: ftdlc NETWORK.ftdl [--device NAME] [--d1 N --d2 N "
                "--d3 N]\n             [--clock MHZ] [--objective obj1|obj2] "
-               "[--budget N]\n             [--emit FILE] [--verify] "
+               "[--budget N] [--jobs N]\n             [--emit FILE] [--verify] "
                "[--quiet]\n");
   std::exit(2);
 }
@@ -77,6 +80,9 @@ Args parse_args(int argc, char** argv) {
       else usage("objective must be obj1 or obj2");
     } else if (std::strcmp(a, "--budget") == 0) {
       args.fw.search_budget_per_layer = std::atoll(next(i));
+    } else if (std::strcmp(a, "--jobs") == 0) {
+      args.fw.jobs = std::atoi(next(i));
+      if (args.fw.jobs < 1) usage("--jobs must be >= 1");
     } else if (std::strcmp(a, "--emit") == 0) {
       args.emit_path = next(i);
     } else if (std::strcmp(a, "--quiet") == 0) {
