@@ -15,6 +15,8 @@ struct AccessEvent {
   std::uint64_t cycle = 0;   ///< CLKh cycle the transfer is issued
   AccessKind kind = AccessKind::Read;
   std::uint64_t bytes = 0;
+
+  bool operator==(const AccessEvent&) const = default;
 };
 
 struct AccessTrace {
@@ -28,6 +30,8 @@ struct AccessTrace {
   void add(std::uint64_t cycle, AccessKind kind, std::uint64_t bytes) {
     events.push_back({cycle, kind, bytes});
   }
+
+  bool operator==(const AccessTrace&) const = default;
 };
 
 }  // namespace ftdl::dram

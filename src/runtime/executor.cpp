@@ -231,8 +231,14 @@ class Executor {
               act_slice.at(c, y, x) = act.at(gs.offset + c, y, x);
         group_act = &act_slice;
       }
-      const sim::SimResult r =
-          sim::simulate_layer(prog, opt_.config, gs.weights, *group_act);
+      // The executor only consumes the output accumulators and cycle count;
+      // skip the trace allocation and fan the bursts across sim_jobs.
+      sim::SimOptions sim_opt;
+      sim_opt.collect_trace = false;
+      sim_opt.jobs = opt_.sim_jobs;
+      const sim::SimResult r = sim::simulate_layer(prog, opt_.config,
+                                                   gs.weights, *group_act,
+                                                   sim_opt);
       run.sim_cycles += r.stats.cycles;
       // Stitch the group's output slice into the full tensor.
       if (layer.kind == LayerKind::MatMul) {

@@ -36,6 +36,10 @@ struct ExecOptions {
   /// are scaled into roughly +-2^(7) so the next layer's accumulators
   /// cannot overflow 48 bits.
   int target_magnitude_bits = 7;
+  /// Worker parallelism of each CycleSim functional burst, forwarded to
+  /// sim::SimOptions::jobs (0 = the shared CompilerSession pool, 1 = serial,
+  /// N > 1 = a transient pool). Outputs are bit-identical at every value.
+  int sim_jobs = 0;
 };
 
 struct LayerRun {

@@ -2,12 +2,17 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
+#include <string>
 #include <unordered_set>
 
-#include "common/error.h"
 #include "arch/isa.h"
+#include "common/error.h"
 #include "common/math_util.h"
+#include "common/thread_pool.h"
+#include "compiler/session.h"
 #include "obs/obs.h"
+#include "sim/sim_engine.h"
 
 namespace ftdl::sim {
 
@@ -52,7 +57,9 @@ class Odometer {
 };
 
 /// Per-TPE spatial digits, enumerated once (the hardware runs these in
-/// parallel every cycle).
+/// parallel every cycle). Only the Reference interpreter walks these
+/// vectors; the Fast engine flattens them into the contiguous tables of
+/// sim_engine.h.
 std::vector<std::vector<std::int64_t>> enumerate_spatial(const Mapping& m,
                                                          int k) {
   Odometer d3(m, HwLevel::D3), d2(m, HwLevel::D2), d1(m, HwLevel::D1);
@@ -85,9 +92,7 @@ struct Shape {
   int mm_m = 0, mm_n = 0, mm_p = 0;
 };
 
-Shape checked_shape(const compiler::LayerProgram& program,
-                    const nn::Tensor16& weights, const nn::Tensor16& input) {
-  const nn::Layer& layer = program.layer;
+Shape shape_from_layer(const nn::Layer& layer) {
   Shape s;
   if (layer.kind == nn::LayerKind::Depthwise) {
     s.in_c = layer.in_c;
@@ -100,10 +105,6 @@ Shape checked_shape(const compiler::LayerProgram& program,
     s.pad = layer.pad;
     s.oh = layer.out_h();
     s.ow = layer.out_w();
-    if (input.dims() != std::vector<int>{s.in_c, s.in_h, s.in_w})
-      throw ConfigError(layer.name + ": input tensor layout mismatch");
-    if (weights.dims() != std::vector<int>{s.in_c, s.kh, s.kw})
-      throw ConfigError(layer.name + ": weight tensor layout mismatch");
   } else if (layer.kind == nn::LayerKind::Conv) {
     s.in_c = layer.in_c;
     s.in_h = layer.in_h;
@@ -115,53 +116,200 @@ Shape checked_shape(const compiler::LayerProgram& program,
     s.pad = layer.pad;
     s.oh = layer.out_h();
     s.ow = layer.out_w();
+  } else {
+    s.mm_m = static_cast<int>(layer.mm_m);
+    s.mm_n = static_cast<int>(layer.mm_n);
+    s.mm_p = static_cast<int>(layer.mm_p);
+  }
+  return s;
+}
+
+void check_tensors(const nn::Layer& layer, const Shape& s,
+                   const nn::Tensor16& weights, const nn::Tensor16& input) {
+  if (layer.kind == nn::LayerKind::Depthwise) {
+    if (input.dims() != std::vector<int>{s.in_c, s.in_h, s.in_w})
+      throw ConfigError(layer.name + ": input tensor layout mismatch");
+    if (weights.dims() != std::vector<int>{s.in_c, s.kh, s.kw})
+      throw ConfigError(layer.name + ": weight tensor layout mismatch");
+  } else if (layer.kind == nn::LayerKind::Conv) {
     if (input.dims() != std::vector<int>{s.in_c, s.in_h, s.in_w})
       throw ConfigError(layer.name + ": input tensor layout mismatch");
     if (weights.dims() != std::vector<int>{s.out_c, s.in_c, s.kh, s.kw})
       throw ConfigError(layer.name + ": weight tensor layout mismatch");
   } else {
-    s.mm_m = static_cast<int>(layer.mm_m);
-    s.mm_n = static_cast<int>(layer.mm_n);
-    s.mm_p = static_cast<int>(layer.mm_p);
     if (input.dims() != std::vector<int>{s.mm_m, s.mm_p})
       throw ConfigError(layer.name + ": input tensor layout mismatch");
     if (weights.dims() != std::vector<int>{s.mm_n, s.mm_m})
       throw ConfigError(layer.name + ": weight tensor layout mismatch");
   }
-  return s;
 }
 
-}  // namespace
+/// DRAM transfer time in whole CLKh cycles, in exact integer arithmetic:
+/// ceil(bytes / (bytes_per_sec / clk_hz)) == ceil(bytes * clk_hz /
+/// bytes_per_sec). The rates are configured as whole numbers (26e9, 650e6),
+/// so rounding them to integers is lossless and the gcd reduction keeps the
+/// product far from overflow (paper config reduces to ceil_div(bytes, 40)).
+std::int64_t dram_cycles(std::int64_t bytes, double bytes_per_sec,
+                         double clk_hz) {
+  std::int64_t bps = std::llround(bytes_per_sec);
+  std::int64_t hz = std::llround(clk_hz);
+  FTDL_ASSERT(bps > 0 && hz > 0);
+  const std::int64_t g = std::gcd(bps, hz);
+  bps /= g;
+  hz /= g;
+  return ceil_div(bytes * hz, bps);
+}
 
-SimResult simulate_layer(const compiler::LayerProgram& program,
-                         const arch::OverlayConfig& config,
-                         const nn::Tensor16& weights, const nn::Tensor16& input,
-                         const SimOptions& options) {
+/// Per-layer timing ingredients (shared with the analytical model so the
+/// two agree on tile geometry; the *schedule* in run_timing is simulated,
+/// not formulaic). Everything here is independent of the tensor data, which
+/// is what makes the stats-only path exact: timing, trace and obs spans are
+/// produced by the same code on every path.
+struct Timing {
+  std::int64_t t_trip = 0, l_trip = 0, x_trip = 0;
+  std::int64_t burst_cycles = 0;
+  std::int64_t refill_cycles = 0;
+  std::int64_t drain_cycles = 0;
+  std::int64_t act_bytes_per_refill = 0;
+  std::int64_t psum_bytes_per_x = 0;
+  std::int64_t dram_rd_per_refill = 0;
+  std::int64_t dram_wr_per_x = 0;
+  std::int64_t pipeline_latency = 0;
+};
+
+Timing make_timing(const compiler::LayerProgram& program,
+                   const arch::OverlayConfig& config) {
   const Workload& w = program.workload;
   const Mapping& m = program.mapping;
-  FTDL_ASSERT(m.k() == w.k());
+  Timing tm;
+  tm.t_trip = m.level_product(HwLevel::T);
+  tm.l_trip = m.level_product(HwLevel::L);
+  tm.x_trip = m.level_product(HwLevel::X);
+  const bool reuse_ok =
+      !config.double_pump || compiler::weight_reuse_at_t(w, m) >= 2;
+  tm.burst_cycles = tm.t_trip * (reuse_ok ? 1 : 2);
+  tm.refill_cycles = ceil_div(compiler::act_refill_words(w, m),
+                              config.actbus_words_per_cycle);
+  const std::int64_t psum_words = compiler::psum_tile_words(w, m);
+  const std::int64_t passes = compiler::psum_passes(w, m);
+  const std::int64_t psum_traffic = passes > 1 ? 2 * psum_words : psum_words;
+  tm.drain_cycles =
+      ceil_div(psum_traffic, config.psumbus_words_per_cycle) * config.d3;
+  tm.act_bytes_per_refill = 2 * compiler::act_refill_words(w, m) * config.d3;
+  tm.psum_bytes_per_x =
+      std::int64_t{config.psum_bytes} * psum_words * config.d2 * config.d3;
+  tm.dram_rd_per_refill = dram_cycles(
+      tm.act_bytes_per_refill, config.dram_rd_bytes_per_sec, config.clocks.clk_h_hz);
+  tm.dram_wr_per_x = dram_cycles(
+      tm.psum_bytes_per_x, config.dram_wr_bytes_per_sec, config.clocks.clk_h_hz);
+  tm.pipeline_latency = config.pipeline_latency();
+  return tm;
+}
 
-  if (m.padded_macs() > options.max_padded_macs)
-    throw Error(w.name + ": padded iteration space too large to simulate");
-
-  const Shape shape = checked_shape(program, weights, input);
-
-  // Consume the controller's instruction stream the way the hardware
-  // would: decode the encoded InstBUS words and take the temporal
-  // configuration from the resulting controller state, cross-checking it
-  // against the mapping the compiler claims to have lowered.
-  const arch::ControllerState ctrl =
-      arch::interpret_stream(arch::decode_stream(program.encoded_stream()));
-  if (ctrl.x_trip != static_cast<std::uint64_t>(m.level_product(HwLevel::X)) ||
-      ctrl.l_trip != static_cast<std::uint64_t>(m.level_product(HwLevel::L)) ||
-      ctrl.t_trip != static_cast<std::uint64_t>(m.level_product(HwLevel::T))) {
-    throw Error(w.name + ": instruction stream disagrees with the mapping");
+/// Simulates the Listing-1 control schedule: LoopT bursts overlapping ActBUF
+/// refills, LoopX overlapping PSumBUF drains, the slower side stalling —
+/// Eqn. 12's max() as emergent per-iteration behaviour. Fills the cycle /
+/// stall / refill / drain fields of `st`, the DRAM trace, and the obs
+/// timelines. Runs the same way on every engine / functional setting, so
+/// stats and trace are bit-identical across them by construction.
+void run_timing(const Timing& tm, const SimOptions& options,
+                const std::string& layer_name, SimStats& st,
+                dram::AccessTrace& trace) {
+  // Observability: one virtual-clock timeline per hardware unit for this
+  // layer, timestamped in CLKh cycles (docs/observability.md). Tracks are
+  // only registered when collection is on; when it is off the cost is one
+  // predicted branch per LoopL / LoopX iteration, far outside the MACC loop.
+  const bool obs_on = obs::enabled();
+  std::uint32_t tr_burst = 0, tr_refill = 0, tr_drain = 0, tr_stall = 0;
+  if (obs_on) {
+    obs::Registry& reg = obs::Registry::global();
+    // A fresh process per simulation instance: re-simulating a layer (weight
+    // groups, repeated runs) must not append earlier-than-last timestamps to
+    // an existing track.
+    const std::int64_t inst = reg.counter("sim/layers_simulated");
+    std::string proc = "sim:" + layer_name;
+    if (inst > 0) proc += " #" + std::to_string(inst);
+    tr_burst = reg.track(proc, "LoopT bursts");
+    tr_refill = reg.track(proc, "ActBUF refills");
+    tr_drain = reg.track(proc, "PSumBUF drains");
+    tr_stall = reg.track(proc, "stalls");
   }
 
-  SimResult result;
-  result.output = (w.kind == WorkloadKind::MatMul)
-                      ? nn::AccTensor({shape.mm_n, shape.mm_p})
-                      : nn::AccTensor({shape.out_c, shape.oh, shape.ow});
+  std::int64_t pending_drain = 0;  // previous LoopX's psum drain in flight
+  for (std::int64_t x = 0; x < tm.x_trip; ++x) {
+    std::int64_t x_compute = 0;
+    for (std::int64_t l = 0; l < tm.l_trip; ++l) {
+      // ActBUF refill (double-buffered): overlaps this burst.
+      const std::int64_t fetch =
+          std::max(tm.refill_cycles, tm.dram_rd_per_refill);
+      const std::int64_t step = std::max(tm.burst_cycles, fetch);
+      if (obs_on) {
+        obs::Registry& reg = obs::Registry::global();
+        const double t0 = double(st.cycles + x_compute);
+        reg.begin(tr_burst, "burst", t0, "sim");
+        reg.end(tr_burst, t0 + double(tm.burst_cycles));
+        reg.begin(tr_refill, "act_refill", t0, "sim");
+        reg.end(tr_refill, t0 + double(fetch));
+        if (step > tm.burst_cycles) {
+          reg.begin(tr_stall, "act_stall", t0 + double(tm.burst_cycles), "sim");
+          reg.end(tr_stall, t0 + double(step));
+        }
+      }
+      st.act_stall_cycles += step - tm.burst_cycles;
+      st.compute_cycles += tm.burst_cycles;
+      x_compute += step;
+      ++st.act_refills;
+      if (options.collect_trace) {
+        trace.add(static_cast<std::uint64_t>(st.cycles + x_compute),
+                  dram::AccessKind::Read,
+                  static_cast<std::uint64_t>(tm.act_bytes_per_refill));
+      }
+    }
+
+    // Pipeline latency of the TPE chain per LoopX iteration (Eqn. 7).
+    x_compute += tm.pipeline_latency;
+
+    // The previous LoopX's psum drain must have finished before this one's
+    // results need the other sub-buffer (double buffering, depth 1).
+    const std::int64_t advance = std::max(x_compute, pending_drain);
+    st.psum_stall_cycles += advance - x_compute;
+    st.cycles += advance;
+    if (obs_on && advance > x_compute) {
+      obs::Registry& reg = obs::Registry::global();
+      reg.begin(tr_stall, "psum_stall",
+                double(st.cycles - (advance - x_compute)), "sim");
+      reg.end(tr_stall, double(st.cycles));
+    }
+
+    pending_drain = std::max(tm.drain_cycles, tm.dram_wr_per_x);
+    if (obs_on) {
+      obs::Registry& reg = obs::Registry::global();
+      reg.begin(tr_drain, "psum_drain", double(st.cycles), "sim");
+      reg.end(tr_drain, double(st.cycles + pending_drain));
+    }
+    ++st.psum_drains;
+    if (options.collect_trace) {
+      trace.add(static_cast<std::uint64_t>(st.cycles),
+                dram::AccessKind::Write,
+                static_cast<std::uint64_t>(tm.psum_bytes_per_x));
+    }
+  }
+  // The final drain is not hidden by any compute.
+  st.cycles += pending_drain;
+  trace.total_cycles = static_cast<std::uint64_t>(st.cycles);
+}
+
+/// The original scalar interpreter, now functional-only: walks every padded
+/// Eqn. 2 iteration with per-MACC odometer arithmetic and bounds-checked
+/// tensor accessors. Kept as the executable specification the Fast engine is
+/// pinned against, and as the only path that can measure true buffer
+/// footprints (check_buffers).
+void run_reference(const compiler::LayerProgram& program, const Shape& shape,
+                   const nn::Tensor16& weights, const nn::Tensor16& input,
+                   const SimOptions& options, SimStats& st,
+                   nn::AccTensor& output) {
+  const Workload& w = program.workload;
+  const Mapping& m = program.mapping;
 
   // Loop indices within the workload vector.
   const bool conv_like = w.kind != WorkloadKind::MatMul;
@@ -181,53 +329,6 @@ SimResult simulate_layer(const compiler::LayerProgram& program,
   const int iP = (w.kind == WorkloadKind::MatMul) ? w.loop_index('P') : -1;
 
   const auto spatial = enumerate_spatial(m, w.k());
-
-  // Timing ingredients (shared with the analytical model so the two agree
-  // on tile geometry; the *schedule* below is simulated, not formulaic).
-  const std::int64_t t_trip = m.level_product(HwLevel::T);
-  const std::int64_t l_trip = m.level_product(HwLevel::L);
-  const std::int64_t x_trip = m.level_product(HwLevel::X);
-  const bool reuse_ok =
-      !config.double_pump || compiler::weight_reuse_at_t(w, m) >= 2;
-  const std::int64_t burst_cycles = t_trip * (reuse_ok ? 1 : 2);
-  const std::int64_t refill_cycles = ceil_div(
-      compiler::act_refill_words(w, m), config.actbus_words_per_cycle);
-  const std::int64_t psum_words = compiler::psum_tile_words(w, m);
-  const std::int64_t passes = compiler::psum_passes(w, m);
-  const std::int64_t psum_traffic = passes > 1 ? 2 * psum_words : psum_words;
-  const std::int64_t drain_cycles =
-      ceil_div(psum_traffic, config.psumbus_words_per_cycle) * config.d3;
-  const std::int64_t act_bytes_per_refill =
-      2 * compiler::act_refill_words(w, m) * config.d3;
-  const std::int64_t psum_bytes_per_x = std::int64_t{config.psum_bytes} *
-                                        psum_words * config.d2 * config.d3;
-  const std::int64_t dram_rd_per_refill = static_cast<std::int64_t>(
-      std::ceil(double(act_bytes_per_refill) / config.dram_rd_bytes_per_cycle()));
-  const std::int64_t dram_wr_per_x = static_cast<std::int64_t>(
-      std::ceil(double(psum_bytes_per_x) / config.dram_wr_bytes_per_cycle()));
-
-  SimStats& st = result.stats;
-  std::int64_t pending_drain = 0;  // previous LoopX's psum drain in flight
-
-  // Observability: one virtual-clock timeline per hardware unit for this
-  // layer, timestamped in CLKh cycles (docs/observability.md). Tracks are
-  // only registered when collection is on; when it is off the cost is one
-  // predicted branch per LoopL / LoopX iteration, far outside the MACC loop.
-  const bool obs_on = obs::enabled();
-  std::uint32_t tr_burst = 0, tr_refill = 0, tr_drain = 0, tr_stall = 0;
-  if (obs_on) {
-    obs::Registry& reg = obs::Registry::global();
-    // A fresh process per simulation instance: re-simulating a layer (weight
-    // groups, repeated runs) must not append earlier-than-last timestamps to
-    // an existing track.
-    const std::int64_t inst = reg.counter("sim/layers_simulated");
-    std::string proc = "sim:" + program.layer.name;
-    if (inst > 0) proc += " #" + std::to_string(inst);
-    tr_burst = reg.track(proc, "LoopT bursts");
-    tr_refill = reg.track(proc, "ActBUF refills");
-    tr_drain = reg.track(proc, "PSumBUF drains");
-    tr_stall = reg.track(proc, "stalls");
-  }
 
   // Buffer-footprint tracking (check_buffers): one activation set per TPE
   // (reset per LoopL phase), one psum set per SuperBlock (reset per LoopX
@@ -256,38 +357,16 @@ SimResult simulate_layer(const compiler::LayerProgram& program,
     }
   };
 
+  const std::int64_t t_trip = m.level_product(HwLevel::T);
+  const std::int64_t l_trip = m.level_product(HwLevel::L);
+  const std::int64_t x_trip = m.level_product(HwLevel::X);
+
   Odometer x_od(m, HwLevel::X), l_od(m, HwLevel::L), t_od(m, HwLevel::T);
   std::vector<std::int64_t> gidx(static_cast<std::size_t>(w.k()));
 
   for (std::int64_t x = 0; x < x_trip; ++x) {
-    std::int64_t x_compute = 0;
     l_od.reset();
     for (std::int64_t l = 0; l < l_trip; ++l) {
-      // ActBUF refill (double-buffered): overlaps this burst.
-      const std::int64_t fetch = std::max(refill_cycles, dram_rd_per_refill);
-      const std::int64_t step = std::max(burst_cycles, fetch);
-      if (obs_on) {
-        obs::Registry& reg = obs::Registry::global();
-        const double t0 = double(st.cycles + x_compute);
-        reg.begin(tr_burst, "burst", t0, "sim");
-        reg.end(tr_burst, t0 + double(burst_cycles));
-        reg.begin(tr_refill, "act_refill", t0, "sim");
-        reg.end(tr_refill, t0 + double(fetch));
-        if (step > burst_cycles) {
-          reg.begin(tr_stall, "act_stall", t0 + double(burst_cycles), "sim");
-          reg.end(tr_stall, t0 + double(step));
-        }
-      }
-      st.act_stall_cycles += step - burst_cycles;
-      st.compute_cycles += burst_cycles;
-      x_compute += step;
-      ++st.act_refills;
-      if (options.collect_trace) {
-        result.trace.add(static_cast<std::uint64_t>(st.cycles + x_compute),
-                         dram::AccessKind::Read,
-                         static_cast<std::uint64_t>(act_bytes_per_refill));
-      }
-
       // ---- functional burst: every TPE, every LoopT state ----
       t_od.reset();
       for (std::int64_t t = 0; t < t_trip; ++t) {
@@ -329,8 +408,8 @@ SimResult simulate_layer(const compiler::LayerProgram& program,
             const auto sIdx = static_cast<int>(gidx[static_cast<std::size_t>(iS)]);
             const std::int16_t wv = is_dw ? weights.at(n, r, sIdx)
                                           : weights.at(mo, n, r, sIdx);
-            result.output.at(mo, e, f) =
-                macc(result.output.at(mo, e, f), wv, input.at(n, y, xc));
+            output.at(mo, e, f) =
+                macc(output.at(mo, e, f), wv, input.at(n, y, xc));
             if (options.check_buffers) {
               const std::int64_t act_id =
                   (std::int64_t{n} * shape.in_h + y) * shape.in_w + xc;
@@ -348,8 +427,8 @@ SimResult simulate_layer(const compiler::LayerProgram& program,
             const auto mm = static_cast<int>(gidx[static_cast<std::size_t>(iM)]);
             const auto n = static_cast<int>(gidx[static_cast<std::size_t>(iNmm)]);
             const auto pp = static_cast<int>(gidx[static_cast<std::size_t>(iP)]);
-            result.output.at(n, pp) =
-                macc(result.output.at(n, pp), weights.at(n, mm), input.at(mm, pp));
+            output.at(n, pp) =
+                macc(output.at(n, pp), weights.at(n, mm), input.at(mm, pp));
             if (options.check_buffers) {
               act_sets[sp_idx].insert(std::int64_t{mm} * shape.mm_p + pp);
               wbuf_sets[sp_idx].insert(std::int64_t{n} * shape.mm_m + mm);
@@ -364,40 +443,9 @@ SimResult simulate_layer(const compiler::LayerProgram& program,
       if (options.check_buffers) flush_act_sets();
       l_od.advance();
     }
-
-    // Pipeline latency of the TPE chain per LoopX iteration (Eqn. 7).
-    x_compute += config.pipeline_latency();
-
-    // The previous LoopX's psum drain must have finished before this one's
-    // results need the other sub-buffer (double buffering, depth 1).
-    const std::int64_t advance = std::max(x_compute, pending_drain);
-    st.psum_stall_cycles += advance - x_compute;
-    st.cycles += advance;
-    if (obs_on && advance > x_compute) {
-      obs::Registry& reg = obs::Registry::global();
-      reg.begin(tr_stall, "psum_stall", double(st.cycles - (advance - x_compute)),
-                "sim");
-      reg.end(tr_stall, double(st.cycles));
-    }
-
     if (options.check_buffers) flush_psum_sets();
-    pending_drain = std::max(drain_cycles, dram_wr_per_x);
-    if (obs_on) {
-      obs::Registry& reg = obs::Registry::global();
-      reg.begin(tr_drain, "psum_drain", double(st.cycles), "sim");
-      reg.end(tr_drain, double(st.cycles + pending_drain));
-    }
-    ++st.psum_drains;
-    if (options.collect_trace) {
-      result.trace.add(static_cast<std::uint64_t>(st.cycles),
-                       dram::AccessKind::Write,
-                       static_cast<std::uint64_t>(psum_bytes_per_x));
-    }
     x_od.advance();
   }
-  // The final drain is not hidden by any compute.
-  st.cycles += pending_drain;
-  result.trace.total_cycles = static_cast<std::uint64_t>(st.cycles);
 
   if (options.check_buffers) {
     for (const auto& set : wbuf_sets) {
@@ -405,12 +453,100 @@ SimResult simulate_layer(const compiler::LayerProgram& program,
           st.max_wbuf_words_per_tpe, static_cast<std::int64_t>(set.size()));
     }
   }
+}
+
+/// Fast-engine functional pass: precomputed tables + dense/guarded kernels,
+/// fanned across the resolved worker pool (SimOptions::jobs).
+void run_engine(const compiler::LayerProgram& program,
+                const nn::Tensor16& weights, const nn::Tensor16& input,
+                const SimOptions& options, SimStats& st,
+                nn::AccTensor& output) {
+  const detail::EngineTables tables = detail::build_tables(program);
+  const std::int16_t* wp = weights.data();
+  const std::int16_t* ip = input.data();
+  acc_t* op = output.data();
+  std::int64_t valid = 0;
+  if (options.jobs == 1) {
+    valid = detail::run_functional(tables, wp, ip, op, nullptr);
+  } else if (options.jobs == 0) {
+    valid = detail::run_functional(tables, wp, ip, op,
+                                   &compiler::CompilerSession::global().pool());
+  } else {
+    ThreadPool pool(options.jobs);
+    valid = detail::run_functional(tables, wp, ip, op, &pool);
+  }
+  st.valid_maccs = valid;
+  st.padded_maccs = program.mapping.padded_macs();
+}
+
+SimResult simulate_impl(const compiler::LayerProgram& program,
+                        const arch::OverlayConfig& config,
+                        const nn::Tensor16* weights, const nn::Tensor16* input,
+                        const SimOptions& options) {
+  const Workload& w = program.workload;
+  const Mapping& m = program.mapping;
+  FTDL_ASSERT(m.k() == w.k());
+
+  if (!options.functional && options.check_buffers)
+    throw ConfigError(w.name +
+                      ": check_buffers needs a functional run "
+                      "(functional = false skips the bursts the footprints "
+                      "are measured on)");
+  if (m.padded_macs() > options.max_padded_macs)
+    throw Error(w.name + ": padded iteration space too large to simulate (" +
+                std::to_string(m.padded_macs()) + " padded MACCs > " +
+                "max_padded_macs = " +
+                std::to_string(options.max_padded_macs) + ")");
+
+  const Shape shape = shape_from_layer(program.layer);
+  if (options.functional) {
+    FTDL_ASSERT(weights != nullptr && input != nullptr);
+    check_tensors(program.layer, shape, *weights, *input);
+  }
+
+  // Consume the controller's instruction stream the way the hardware
+  // would: decode the encoded InstBUS words and take the temporal
+  // configuration from the resulting controller state, cross-checking it
+  // against the mapping the compiler claims to have lowered.
+  const arch::ControllerState ctrl =
+      arch::interpret_stream(arch::decode_stream(program.encoded_stream()));
+  if (ctrl.x_trip != static_cast<std::uint64_t>(m.level_product(HwLevel::X)) ||
+      ctrl.l_trip != static_cast<std::uint64_t>(m.level_product(HwLevel::L)) ||
+      ctrl.t_trip != static_cast<std::uint64_t>(m.level_product(HwLevel::T))) {
+    throw Error(w.name + ": instruction stream disagrees with the mapping");
+  }
+
+  SimResult result;
+  SimStats& st = result.stats;
+
+  // ---- functional pass (or interval-arithmetic stand-in) ----
+  if (options.functional) {
+    result.output = (w.kind == WorkloadKind::MatMul)
+                        ? nn::AccTensor({shape.mm_n, shape.mm_p})
+                        : nn::AccTensor({shape.out_c, shape.oh, shape.ow});
+    // check_buffers is tied to the reference walk: the footprint sets track
+    // its serial LoopL/LoopX phases and the mode exists for verification,
+    // not speed.
+    if (options.engine == SimEngine::Reference || options.check_buffers)
+      run_reference(program, shape, *weights, *input, options, st,
+                    result.output);
+    else
+      run_engine(program, *weights, *input, options, st, result.output);
+  } else {
+    const detail::EngineTables tables = detail::build_tables(program);
+    st.valid_maccs = detail::count_valid_maccs(tables);
+    st.padded_maccs = m.padded_macs();
+  }
+
+  // ---- timing pass: identical on every path by construction ----
+  run_timing(make_timing(program, config), options, program.layer.name, st,
+             result.trace);
 
   // valid_maccs counts per-TPE operations; padded_maccs should equal the
   // mapping's padded space.
   FTDL_ASSERT(st.padded_maccs == m.padded_macs());
 
-  if (obs_on) {
+  if (obs::enabled()) {
     obs::count("sim/layers_simulated");
     obs::count("sim/cycles", st.cycles);
     obs::count("sim/compute_cycles", st.compute_cycles);
@@ -422,6 +558,24 @@ SimResult simulate_layer(const compiler::LayerProgram& program,
     obs::count("sim/psum_drains", st.psum_drains);
   }
   return result;
+}
+
+}  // namespace
+
+SimResult simulate_layer(const compiler::LayerProgram& program,
+                         const arch::OverlayConfig& config,
+                         const nn::Tensor16& weights, const nn::Tensor16& input,
+                         const SimOptions& options) {
+  return simulate_impl(program, config, &weights, &input, options);
+}
+
+SimResult simulate_layer_stats(const compiler::LayerProgram& program,
+                               const arch::OverlayConfig& config,
+                               const SimOptions& options) {
+  SimOptions opt = options;
+  opt.functional = false;
+  opt.check_buffers = false;
+  return simulate_impl(program, config, nullptr, nullptr, opt);
 }
 
 }  // namespace ftdl::sim

@@ -22,6 +22,21 @@
 
 namespace ftdl::sim {
 
+/// Functional-simulation implementation (docs/simulator.md).
+enum class SimEngine {
+  /// Tiled engine: per-layer index/offset precomputation, dense
+  /// auto-vectorizable MACC kernels on interior bursts, guarded table-driven
+  /// loop on edge bursts, ThreadPool fan-out over output-disjoint spatial
+  /// chunks. Bit-identical to Reference at any jobs count (pinned by
+  /// tests/test_sim_engine.cpp). The default.
+  Fast,
+  /// The original scalar interpreter: per-MACC odometer arithmetic and
+  /// bounds-checked tensor accessors. An order of magnitude slower; kept as
+  /// the executable specification the engine is tested against (and the
+  /// baseline bench_sim measures speedup from).
+  Reference,
+};
+
 // Field-by-field units and paper mappings: docs/observability.md
 // ("SimStats <-> paper quantities").
 struct SimOptions {
@@ -41,6 +56,23 @@ struct SimOptions {
   /// padded iteration, so runtime is linear in this quantity. Runs larger
   /// than the limit throw ftdl::Error instead of hanging.
   std::int64_t max_padded_macs = std::int64_t{1} << 33;
+  /// Functional engine selection (see SimEngine). check_buffers always runs
+  /// the Reference interpreter: the footprint sets are tied to its serial
+  /// walk and the mode exists for verification, not speed.
+  SimEngine engine = SimEngine::Fast;
+  /// When false, skip the functional bursts entirely: no tensor is read or
+  /// written (SimResult::output stays empty) and valid_maccs is counted by
+  /// interval arithmetic on the loop bounds instead. SimStats and the DRAM
+  /// trace are bit-identical to a functional run — the cheap path for
+  /// Table II / Fig. 7 / roofline sweeps that never look at the output.
+  /// Incompatible with check_buffers (throws ftdl::ConfigError).
+  bool functional = true;
+  /// Worker-pool parallelism of the Fast engine's functional bursts:
+  /// 0 uses the shared CompilerSession pool (FTDL_JOBS / hardware threads),
+  /// 1 runs serially on the caller, N > 1 runs on a transient pool of N.
+  /// Outputs and SimStats are bit-identical at every value — each output
+  /// accumulator is owned by exactly one worker.
+  int jobs = 0;
 };
 
 struct SimStats {
@@ -75,8 +107,10 @@ struct SimStats {
                                             ///< measured E_WBUF of Fig. 7
 
   /// Hardware efficiency as defined for Table II: true MACs over issued
-  /// MACC slots, valid_maccs / (cycles * #TPE). Dimensionless, in (0, 1].
+  /// MACC slots, valid_maccs / (cycles * #TPE). Dimensionless, in [0, 1];
+  /// 0.0 when cycles or tpes is not positive (nothing was issued).
   double hardware_efficiency(int tpes) const {
+    if (cycles <= 0 || tpes <= 0) return 0.0;
     return double(valid_maccs) / (double(cycles) * double(tpes));
   }
 };
@@ -95,5 +129,14 @@ SimResult simulate_layer(const compiler::LayerProgram& program,
                          const arch::OverlayConfig& config,
                          const nn::Tensor16& weights, const nn::Tensor16& input,
                          const SimOptions& options = {});
+
+/// Stats-only simulation (SimOptions::functional = false) without tensors:
+/// produces SimStats and the DRAM AccessTrace bit-identical to a functional
+/// run of the same program, with SimResult::output left empty. The
+/// `functional` and `check_buffers` fields of `options` are ignored (forced
+/// to false).
+SimResult simulate_layer_stats(const compiler::LayerProgram& program,
+                               const arch::OverlayConfig& config,
+                               const SimOptions& options = {});
 
 }  // namespace ftdl::sim

@@ -1,0 +1,138 @@
+// Internal engine of the fast cycle-level simulator (ftdl_sim.cpp).
+//
+// The reference interpreter in ftdl_sim.cpp re-derives the full Eqn. 2
+// index nest per padded MACC; this layer replaces that arithmetic with
+// tables computed once per layer:
+//
+//   * every workload loop's global index decomposes positionally over the
+//     hardware levels, gidx_k = sp_k*(TX*TL*TT)_k + (x_k*TL_k + l_k)*TT_k
+//     + t_k, so the per-state contributions of each level are precomputed
+//     into flat digit arrays (the spatial levels D3/D2/D1 flatten into one
+//     contiguous array instead of enumerate_spatial's vector-per-TPE);
+//   * the flat tensor offsets (weight / activation / output) are linear in
+//     the global loop indices, so they decompose into per-level
+//     contribution arrays too — the inner loop is lookups and adds only;
+//   * bursts whose whole (spatial, t) sub-space is in-trip and free of pad
+//     clipping are detected by interval arithmetic on the precomputed
+//     digit ranges and run through a branch-free dense MACC kernel; edge
+//     bursts fall back to a guarded (but still table-driven) loop;
+//   * the spatial states are regrouped by their output-projection digits
+//     (the loops with a non-zero output-offset coefficient), so each group
+//     writes a disjoint set of output accumulators — the unit of parallel
+//     fan-out across the ThreadPool, deterministic at any jobs count;
+//   * the same interval arithmetic counts valid MACCs per burst without
+//     touching tensors — the stats-only path (SimOptions::functional =
+//     false).
+//
+// Everything here is deterministic and bit-identical to the reference
+// interpreter (pinned by tests/test_sim_engine.cpp). Internal header: only
+// ftdl_sim.cpp and the tests include it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/fixed_point.h"
+#include "common/thread_pool.h"
+#include "compiler/codegen.h"
+
+namespace ftdl::sim::detail {
+
+/// Per-layer precomputed index/offset tables (see file comment).
+struct EngineTables {
+  int k = 0;  ///< workload loop count (3 for MM, 5/6 for conv)
+
+  // Level state counts: spatial (D3*D2*D1 combined), T, X, L trip products.
+  std::int64_t S = 0, T = 0, X = 0, L = 0;
+
+  // Per-loop geometry.
+  std::vector<std::int64_t> trip;     ///< workload trip counts W_k
+  std::vector<std::int64_t> sp_ext;   ///< spatial extent per loop (D3*D2*D1)
+  std::vector<std::int64_t> t_ext;    ///< T-level tile per loop
+  std::vector<std::int64_t> sp_stride;  ///< (TX*TL*TT)_k: weight of one
+                                        ///< spatial digit in gidx_k
+
+  // Digit-contribution tables, k-major and contiguous:
+  //   gidx_k(sp, x, l, t) = spd[k*S+sp] + xb[k*X+x] + lb[k*L+l] + td[k*T+t]
+  std::vector<std::int64_t> spd;  ///< k*S: spatial digit * sp_stride_k
+  std::vector<std::int64_t> xb;   ///< k*X: x digit * (TL*TT)_k
+  std::vector<std::int64_t> lb;   ///< k*L: l digit * TT_k
+  std::vector<std::int64_t> td;   ///< k*T: t digit
+
+  // Flat tensor-offset contributions (sum of coeff_k * digit contribution
+  // over all loops): offset = const + _sp[sp] + _x[x] + _l[l] + _t[t].
+  std::int64_t in_const = 0;  ///< conv: -pad*in_w - pad
+  std::vector<std::int64_t> in_sp, w_sp, out_sp;  ///< length S
+  std::vector<std::int64_t> in_x, w_x, out_x;     ///< length X
+  std::vector<std::int64_t> in_l, w_l, out_l;     ///< length L
+  std::vector<std::int64_t> in_t, w_t, out_t;     ///< length T
+
+  // T-level run structure: the fastest-varying T-level loop with a tile
+  // > 1 (t_run_loop) sweeps its digit 0..t_run_len-1 across consecutive t,
+  // so every tensor offset advances by a constant delta inside a run —
+  // in_t[r*len + j] = in_t[r*len] + j*din, and likewise dw/dout/dry/dcx.
+  // The kernels iterate (spatial, run, j) with the j loop branch-free.
+  std::int64_t t_run_len = 1;
+  int t_run_loop = 0;
+  std::int64_t din = 0, dw = 0, dout = 0;
+  std::int64_t dry = 0, dcx = 0;  ///< conv only
+
+  // Conv-only: input row/col indices, y = stride*E + R - pad and
+  // xc = stride*F + S - pad, decomposed the same way. Empty for MM.
+  bool conv = false;
+  std::int64_t in_h = 0, in_w = 0;
+  std::int64_t ry_const = 0, cx_const = 0;  ///< -pad
+  std::vector<std::int64_t> ry_sp, ry_x, ry_l, ry_t;
+  std::vector<std::int64_t> cx_sp, cx_x, cx_l, cx_t;
+  std::int64_t ry_t_max = 0, cx_t_max = 0;  ///< max over t of ry_t / cx_t
+
+  /// A contiguous range [begin, end) of the (group-reordered) spatial
+  /// arrays whose output accumulators are disjoint from every other
+  /// chunk's — the unit of parallel work.
+  struct Chunk {
+    std::int64_t begin = 0, end = 0;
+    // Per-loop max of spd over the range (dense-burst detection; the min is
+    // not needed for the trip check because every contribution is >= 0).
+    std::vector<std::int64_t> sp_max;
+    std::int64_t ry_sp_min = 0, ry_sp_max = 0;  ///< conv only
+    std::int64_t cx_sp_min = 0, cx_sp_max = 0;
+  };
+  std::vector<Chunk> chunks;
+
+  // Stats-only helpers: loops free of pad coupling, and the coupled
+  // (index loop, kernel loop, bound) pairs — (E, R, in_h) and (F, S, in_w)
+  // for conv, none for MM.
+  std::vector<int> free_loops;
+  struct CoupledPair {
+    int outer = 0;   ///< E or F
+    int kernel = 0;  ///< R or S
+    std::int64_t bound = 0;  ///< in_h / in_w
+  };
+  std::vector<CoupledPair> pairs;
+  std::int64_t conv_stride = 1, pad = 0;
+};
+
+/// Builds the tables for one compiled layer. `max_chunks` bounds the
+/// parallel fan-out granularity (chunk boundaries never split an
+/// output-projection group, so any value is deterministic-safe).
+EngineTables build_tables(const compiler::LayerProgram& program,
+                          int max_chunks = 64);
+
+/// Runs the functional bursts over every (x, l) tile: dense kernel on
+/// interior bursts, guarded loop on edge bursts, fanned across `pool`
+/// (nullptr or jobs()==1 runs serially on the caller). Accumulates into
+/// `out` (raw pointer to the layer's AccTensor storage, zero-initialized by
+/// the caller) and returns the number of valid MACCs executed. Output
+/// writes are chunk-disjoint, so the result is bit-identical at any jobs
+/// count.
+std::int64_t run_functional(const EngineTables& tables,
+                            const std::int16_t* weights,
+                            const std::int16_t* input, acc_t* out,
+                            ThreadPool* pool);
+
+/// Counts the valid MACCs of every burst by interval arithmetic on the loop
+/// bounds without touching tensors — exactly the count run_functional would
+/// produce (stats-only path).
+std::int64_t count_valid_maccs(const EngineTables& tables);
+
+}  // namespace ftdl::sim::detail

@@ -1,0 +1,240 @@
+// Pins the fast simulation engine to the reference scalar interpreter:
+// bit-identical outputs, identical SimStats and DRAM traces across odd
+// strides / pads / tail sizes, at every jobs count, and on the stats-only
+// (functional = false) path (docs/simulator.md).
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "compiler/codegen.h"
+#include "nn/reference.h"
+#include "sim/ftdl_sim.h"
+
+namespace ftdl {
+namespace {
+
+using compiler::Objective;
+
+arch::OverlayConfig random_config(Rng& rng) {
+  arch::OverlayConfig c;
+  c.d1 = static_cast<int>(rng.uniform(2, 8));
+  c.d2 = static_cast<int>(rng.uniform(1, 4));
+  c.d3 = static_cast<int>(rng.uniform(1, 5));
+  c.actbuf_words = 64 << rng.uniform(0, 2);
+  c.psumbuf_words = 1024 << rng.uniform(0, 2);
+  c.validate();
+  return c;
+}
+
+/// Odd extents, strides and pads on purpose: the engine's dense/guarded
+/// split is exercised hardest when trip counts spill past the padded tiles
+/// and pad clipping cuts into edge bursts.
+nn::Layer random_layer(Rng& rng, int idx) {
+  const double pick = rng.uniform01();
+  if (pick < 0.45) {
+    const int in_c = static_cast<int>(rng.uniform(1, 13));
+    const int hw = static_cast<int>(rng.uniform(5, 17));
+    const int out_c = static_cast<int>(rng.uniform(1, 17));
+    const int k = static_cast<int>(rng.uniform(1, std::min(hw, 5)));
+    const int stride = static_cast<int>(rng.uniform(1, 3));
+    const int pad = static_cast<int>(rng.uniform(0, k - 1 > 0 ? k - 1 : 0));
+    return nn::make_conv("eng_conv_" + std::to_string(idx), in_c, hw, hw,
+                         out_c, k, stride, pad);
+  }
+  if (pick < 0.65) {
+    const int ch = static_cast<int>(rng.uniform(2, 24));
+    const int hw = static_cast<int>(rng.uniform(5, 15));
+    const int k = static_cast<int>(rng.uniform(2, std::min(hw, 4)));
+    const int stride = static_cast<int>(rng.uniform(1, 2));
+    return nn::make_depthwise("eng_dw_" + std::to_string(idx), ch, hw, hw, k,
+                              stride, k / 2);
+  }
+  return nn::make_matmul("eng_mm_" + std::to_string(idx), rng.uniform(1, 97),
+                         rng.uniform(1, 65), rng.uniform(1, 25));
+}
+
+struct LayerData {
+  nn::Tensor16 weights, input;
+};
+
+LayerData make_data(const nn::Layer& layer, std::uint64_t seed) {
+  Rng rng(seed);
+  LayerData d;
+  if (layer.kind == nn::LayerKind::Conv) {
+    d.input = nn::Tensor16({layer.in_c, layer.in_h, layer.in_w});
+    d.weights = nn::Tensor16({layer.out_c, layer.in_c, layer.kh, layer.kw});
+  } else if (layer.kind == nn::LayerKind::Depthwise) {
+    d.input = nn::Tensor16({layer.in_c, layer.in_h, layer.in_w});
+    d.weights = nn::Tensor16({layer.in_c, layer.kh, layer.kw});
+  } else {
+    d.input = nn::Tensor16({static_cast<int>(layer.mm_m),
+                            static_cast<int>(layer.mm_p)});
+    d.weights = nn::Tensor16({static_cast<int>(layer.mm_n),
+                              static_cast<int>(layer.mm_m)});
+  }
+  d.input.fill_random(rng);
+  d.weights.fill_random(rng);
+  return d;
+}
+
+void expect_same_stats(const sim::SimStats& a, const sim::SimStats& b,
+                       const char* what) {
+  EXPECT_EQ(a.cycles, b.cycles) << what;
+  EXPECT_EQ(a.compute_cycles, b.compute_cycles) << what;
+  EXPECT_EQ(a.act_stall_cycles, b.act_stall_cycles) << what;
+  EXPECT_EQ(a.psum_stall_cycles, b.psum_stall_cycles) << what;
+  EXPECT_EQ(a.valid_maccs, b.valid_maccs) << what;
+  EXPECT_EQ(a.padded_maccs, b.padded_maccs) << what;
+  EXPECT_EQ(a.act_refills, b.act_refills) << what;
+  EXPECT_EQ(a.psum_drains, b.psum_drains) << what;
+}
+
+class EngineSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(EngineSweep, EngineMatchesReferenceBitExactly) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 7);
+  const arch::OverlayConfig cfg = random_config(rng);
+  const nn::Layer layer = random_layer(rng, GetParam());
+  const compiler::LayerProgram prog =
+      compiler::compile_layer(layer, cfg, Objective::Performance, 4'000);
+  if (prog.weight_groups != 1) return;  // stitching covered in test_runtime
+
+  const LayerData data =
+      make_data(layer, static_cast<std::uint64_t>(GetParam()) + 11);
+
+  sim::SimOptions ref_opt;
+  ref_opt.engine = sim::SimEngine::Reference;
+  const sim::SimResult ref =
+      sim::simulate_layer(prog, cfg, data.weights, data.input, ref_opt);
+
+  // (a) fast engine vs the reference scalar path: bit-identical outputs,
+  // identical SimStats and traces.
+  sim::SimOptions fast_opt;
+  fast_opt.jobs = 1;
+  const sim::SimResult fast =
+      sim::simulate_layer(prog, cfg, data.weights, data.input, fast_opt);
+  EXPECT_EQ(fast.output, ref.output) << prog.mapping.to_string(prog.workload);
+  expect_same_stats(fast.stats, ref.stats, "fast vs reference");
+  EXPECT_EQ(fast.trace, ref.trace);
+
+  // (b) jobs = 8 vs jobs = 1: bit-identical (each accumulator is owned by
+  // exactly one worker; integer sums are associative).
+  sim::SimOptions par_opt;
+  par_opt.jobs = 8;
+  const sim::SimResult par =
+      sim::simulate_layer(prog, cfg, data.weights, data.input, par_opt);
+  EXPECT_EQ(par.output, fast.output);
+  expect_same_stats(par.stats, fast.stats, "jobs=8 vs jobs=1");
+  EXPECT_EQ(par.trace, fast.trace);
+
+  // (c) stats-only: SimStats + trace identical to the functional run, no
+  // output tensor.
+  const sim::SimResult stats = sim::simulate_layer_stats(prog, cfg);
+  expect_same_stats(stats.stats, ref.stats, "stats-only vs functional");
+  EXPECT_EQ(stats.trace, ref.trace);
+  EXPECT_TRUE(stats.output.dims().empty());
+
+  // The reference output itself stays pinned to the nn:: golden kernels.
+  if (layer.kind == nn::LayerKind::Conv) {
+    EXPECT_EQ(ref.output,
+              nn::conv2d_reference(layer, data.input, data.weights));
+  } else if (layer.kind == nn::LayerKind::MatMul) {
+    EXPECT_EQ(ref.output,
+              nn::matmul_reference(layer, data.input, data.weights));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EngineSweep, ::testing::Range(0, 48));
+
+TEST(SimEngine, SharedPoolAndTransientPoolAgree) {
+  Rng rng(2026);
+  const arch::OverlayConfig cfg = arch::paper_config();
+  const nn::Layer layer = nn::make_conv("eng_pool_conv", 16, 14, 14, 32, 3,
+                                        /*stride=*/1, /*pad=*/1);
+  const compiler::LayerProgram prog =
+      compiler::compile_layer(layer, cfg, Objective::Performance, 4'000);
+  ASSERT_EQ(prog.weight_groups, 1);
+  const LayerData data = make_data(layer, 99);
+
+  sim::SimOptions shared;  // jobs = 0: CompilerSession pool
+  sim::SimOptions serial;
+  serial.jobs = 1;
+  const sim::SimResult a =
+      sim::simulate_layer(prog, cfg, data.weights, data.input, shared);
+  const sim::SimResult b =
+      sim::simulate_layer(prog, cfg, data.weights, data.input, serial);
+  EXPECT_EQ(a.output, b.output);
+  expect_same_stats(a.stats, b.stats, "shared pool vs serial");
+  EXPECT_EQ(a.trace, b.trace);
+}
+
+TEST(SimEngine, CheckBuffersRunsOnAnyEngineSetting) {
+  Rng rng(7);
+  const arch::OverlayConfig cfg = arch::paper_config();
+  const nn::Layer layer =
+      nn::make_conv("eng_cb_conv", 8, 10, 10, 12, 3, 1, 1);
+  const compiler::LayerProgram prog =
+      compiler::compile_layer(layer, cfg, Objective::Performance, 4'000);
+  ASSERT_EQ(prog.weight_groups, 1);
+  const LayerData data = make_data(layer, 3);
+
+  sim::SimOptions ref_cb;
+  ref_cb.engine = sim::SimEngine::Reference;
+  ref_cb.check_buffers = true;
+  sim::SimOptions fast_cb;  // Fast + check_buffers falls back to Reference
+  fast_cb.check_buffers = true;
+  const sim::SimResult a =
+      sim::simulate_layer(prog, cfg, data.weights, data.input, ref_cb);
+  const sim::SimResult b =
+      sim::simulate_layer(prog, cfg, data.weights, data.input, fast_cb);
+  EXPECT_EQ(a.output, b.output);
+  EXPECT_EQ(a.stats.max_act_words_per_tpe, b.stats.max_act_words_per_tpe);
+  EXPECT_EQ(a.stats.max_psum_words_per_sb, b.stats.max_psum_words_per_sb);
+  EXPECT_EQ(a.stats.max_wbuf_words_per_tpe, b.stats.max_wbuf_words_per_tpe);
+  EXPECT_GT(b.stats.max_wbuf_words_per_tpe, 0);
+}
+
+TEST(SimEngine, StatsOnlyRejectsCheckBuffers) {
+  const arch::OverlayConfig cfg = arch::paper_config();
+  const nn::Layer layer = nn::make_matmul("eng_mm_reject", 8, 8, 8);
+  const compiler::LayerProgram prog =
+      compiler::compile_layer(layer, cfg, Objective::Performance, 4'000);
+  const LayerData data = make_data(layer, 1);
+  sim::SimOptions opt;
+  opt.functional = false;
+  opt.check_buffers = true;
+  EXPECT_THROW(sim::simulate_layer(prog, cfg, data.weights, data.input, opt),
+               ConfigError);
+}
+
+TEST(SimEngine, HardwareEfficiencyGuardsDegenerateInputs) {
+  sim::SimStats st;
+  EXPECT_EQ(st.hardware_efficiency(1200), 0.0);  // cycles == 0
+  st.cycles = 100;
+  st.valid_maccs = 50;
+  EXPECT_EQ(st.hardware_efficiency(0), 0.0);  // tpes == 0
+  EXPECT_EQ(st.hardware_efficiency(-3), 0.0);
+  EXPECT_DOUBLE_EQ(st.hardware_efficiency(1), 0.5);
+}
+
+TEST(SimEngine, MaxPaddedMacsErrorNamesTheCounts) {
+  const arch::OverlayConfig cfg = arch::paper_config();
+  const nn::Layer layer = nn::make_matmul("eng_mm_limit", 32, 32, 32);
+  const compiler::LayerProgram prog =
+      compiler::compile_layer(layer, cfg, Objective::Performance, 4'000);
+  const LayerData data = make_data(layer, 2);
+  sim::SimOptions opt;
+  opt.max_padded_macs = 1;
+  try {
+    sim::simulate_layer(prog, cfg, data.weights, data.input, opt);
+    FAIL() << "expected ftdl::Error";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find(std::to_string(prog.mapping.padded_macs())),
+              std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("max_padded_macs = 1"), std::string::npos) << msg;
+  }
+}
+
+}  // namespace
+}  // namespace ftdl
