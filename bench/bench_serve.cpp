@@ -1,0 +1,181 @@
+// Serving-runtime benchmarks (google-benchmark): closed-loop throughput of
+// ftdl::serve::Server on a small conv network across worker counts
+// {1, 2, 8}, dynamic batch sizes and admission queue depths, reporting
+// requests/s and the p99 enqueue-to-complete latency per run. Outputs are
+// bit-identical across every variant (pinned by tests/test_serve.cpp);
+// these benchmarks measure only throughput and tail latency.
+//
+// Unless the caller passes --benchmark_out themselves, results are also
+// written to BENCH_serve.json (google-benchmark's JSON reporter); CI
+// uploads the file as a build artifact.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/network.h"
+#include "serve/serve.h"
+
+namespace {
+
+using namespace ftdl;
+
+/// Workload: a conv -> conv -> fc chain costing ~1 M MACs per request on
+/// the scalar reference path — large enough that batching and worker
+/// scaling dominate queue overhead, small enough to iterate quickly.
+const nn::Network& bench_net() {
+  static const nn::Network net = [] {
+    nn::Network n("serve-bench");
+    n.add(nn::make_conv("c1", 3, 16, 16, 16, 3, 1, 1));
+    n.add(nn::make_conv("c2", 16, 16, 16, 16, 3, 1, 1));
+    n.add(nn::make_matmul("fc", 16 * 16 * 16, 10, 1));
+    n.validate_graph();
+    return n;
+  }();
+  return net;
+}
+
+const runtime::WeightStore& bench_weights() {
+  static const runtime::WeightStore ws =
+      runtime::WeightStore::random_for(bench_net(), 0x5e12e);
+  return ws;
+}
+
+nn::Tensor16 request_input(std::uint64_t seed) {
+  Rng rng(seed);
+  nn::Tensor16 t({3, 16, 16});
+  t.fill_random(rng);
+  return t;
+}
+
+/// One closed-loop measurement: `clients` submitter threads push
+/// `requests` total requests and wait for each result; rejected
+/// submissions are not retried (the server's stats carry the accounting).
+void drive(serve::Server& server, int requests, int clients) {
+  std::atomic<int> next{0};
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&] {
+      for (;;) {
+        const int i = next.fetch_add(1);
+        if (i >= requests) return;
+        serve::Submission s =
+            server.submit(request_input(static_cast<std::uint64_t>(i)));
+        if (s.accepted) s.result.get();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+void report(benchmark::State& state, const serve::ServerStats& st) {
+  // Completed, not submitted: under a shallow queue most of a burst is
+  // rejected, and served throughput is the honest number.
+  state.counters["req/s"] = benchmark::Counter(
+      static_cast<double>(st.completed),
+      benchmark::Counter::kIsIterationInvariantRate);
+  state.counters["p99_us"] = static_cast<double>(st.latency.percentile(99.0));
+  state.counters["mean_batch"] = st.mean_batch_size();
+}
+
+/// Worker scaling at a fixed batch/queue shape: workers in {1, 2, 8} with
+/// twice as many closed-loop clients as workers keeps the queue non-empty.
+void BM_ServeWorkers(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  constexpr int kRequests = 64;
+  serve::ServerStats last;
+  for (auto _ : state) {
+    serve::ServerOptions opt;
+    opt.workers = workers;
+    opt.max_batch = 4;
+    opt.batch_timeout_us = 200;
+    serve::Server server(bench_net(), bench_weights(), opt);
+    drive(server, kRequests, 2 * workers);
+    server.stop();
+    last = server.stats();
+  }
+  report(state, last);
+}
+
+/// Batch-size sweep at a fixed worker count: larger dynamic batches
+/// amortize dispatch, at the cost of per-request wait.
+void BM_ServeBatch(benchmark::State& state) {
+  const int max_batch = static_cast<int>(state.range(0));
+  constexpr int kRequests = 64;
+  serve::ServerStats last;
+  for (auto _ : state) {
+    serve::ServerOptions opt;
+    opt.workers = 2;
+    opt.max_batch = max_batch;
+    opt.batch_timeout_us = 500;
+    serve::Server server(bench_net(), bench_weights(), opt);
+    drive(server, kRequests, 8);
+    server.stop();
+    last = server.stats();
+  }
+  report(state, last);
+}
+
+/// Queue-depth sweep: a shallow queue rejects under burst (the rejected
+/// requests are not retried), a deep one buffers and batches better.
+void BM_ServeQueueDepth(benchmark::State& state) {
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  constexpr int kRequests = 64;
+  serve::ServerStats last;
+  for (auto _ : state) {
+    serve::ServerOptions opt;
+    opt.workers = 2;
+    opt.max_batch = 4;
+    opt.batch_timeout_us = 200;
+    opt.queue_depth = depth;
+    serve::Server server(bench_net(), bench_weights(), opt);
+    drive(server, kRequests, 8);
+    server.stop();
+    last = server.stats();
+  }
+  report(state, last);
+  state.counters["rejected"] = static_cast<double>(last.rejected());
+}
+
+}  // namespace
+
+BENCHMARK(BM_ServeWorkers)
+    ->Arg(1)->Arg(2)->Arg(8)
+    ->ArgName("workers")
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(BM_ServeBatch)
+    ->Arg(1)->Arg(4)->Arg(16)
+    ->ArgName("batch")
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(BM_ServeQueueDepth)
+    ->Arg(2)->Arg(16)->Arg(64)
+    ->ArgName("depth")
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+  }
+  std::string out_flag = "--benchmark_out=BENCH_serve.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int argc2 = static_cast<int>(args.size());
+  benchmark::Initialize(&argc2, args.data());
+  if (benchmark::ReportUnrecognizedArguments(argc2, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,6 +1,7 @@
 #include "host/host_pipeline.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/error.h"
 #include "obs/obs.h"
@@ -27,7 +28,17 @@ PipelineReport evaluate_pipeline(const nn::Network& net,
   r.overlay_seconds = schedule.seconds_per_frame();
   r.host_seconds = double(total_ewop_ops(net)) / host.ewop_ops_per_sec;
   r.frame_seconds = std::max(r.overlay_seconds, r.host_seconds);
-  r.host_over_overlay = r.host_seconds / r.overlay_seconds;
+  // A host-only network (empty overlay schedule) has overlay_seconds == 0;
+  // dividing through would make the ratio inf (or NaN when the host side is
+  // empty too). Defined values (host_pipeline.h): +inf when host work exists
+  // with no overlay stage to hide behind, 0 when the network is empty.
+  if (r.overlay_seconds > 0.0) {
+    r.host_over_overlay = r.host_seconds / r.overlay_seconds;
+  } else {
+    r.host_over_overlay = r.host_seconds > 0.0
+                              ? std::numeric_limits<double>::infinity()
+                              : 0.0;
+  }
   r.ewop_bounds_throughput = r.host_seconds > r.overlay_seconds;
 
   // Worst per-stage imbalance: host work attached to overlay layer i (its
@@ -66,7 +77,10 @@ PipelineReport evaluate_pipeline(const nn::Network& net,
     obs::gauge("host/frame_seconds", r.frame_seconds);
     // Steady-state occupancy of the overlay->host hand-off queue: the
     // fraction of a frame slot the host stage is busy (1.0 = host-bound).
-    obs::gauge("host/queue_occupancy", r.host_seconds / r.frame_seconds);
+    // Guarded for the empty network (frame_seconds == 0): an idle pipeline
+    // has an empty queue, and gauges must stay finite for the JSON export.
+    obs::gauge("host/queue_occupancy",
+               r.frame_seconds > 0.0 ? r.host_seconds / r.frame_seconds : 0.0);
     obs::gauge("host/worst_stage_ratio", r.worst_stage_ratio);
   }
   return r;

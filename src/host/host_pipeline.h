@@ -24,7 +24,12 @@ struct PipelineReport {
   /// Pipelined frame time: max of the two stages (steady state).
   double frame_seconds = 0.0;
   bool ewop_bounds_throughput = false;
-  /// Host/overlay time ratio; < 1 means the paper's claim holds.
+  /// Host/overlay time ratio; < 1 means the paper's claim holds. For a
+  /// host-only network (overlay_seconds == 0) the ratio is defined as +inf
+  /// when host work exists — the pipeline is trivially host-bound — and 0.0
+  /// when the network has no work at all; it is never NaN. The
+  /// `host/queue_occupancy` gauge stays finite in both cases (0.0 for the
+  /// empty network, 1.0 when host-bound).
   double host_over_overlay = 0.0;
   /// Slowest single host stage vs the matching overlay stage (worst-case
   /// per-layer imbalance within the pipeline).

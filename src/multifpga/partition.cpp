@@ -78,6 +78,12 @@ MultiFpgaPlan partition_pipeline(const compiler::NetworkSchedule& schedule,
   // DP over (first i layers, s stages): minimize the bottleneck, with a
   // large penalty for capacity violations so resident partitions win when
   // they exist. dp[s][i] = best bottleneck for layers [0, i) in s stages.
+  // dp[s][n] is only ever read as the final answer for a partition of
+  // exactly s stages (dp[s][j] with j < n feeds dp[s + 1][*]), so the stage
+  // ending at i == n is the pipeline's last stage for *every* candidate
+  // stage count and performs no egress transfer — `last` must not also
+  // require s == k, or every s < k candidate is charged a phantom transfer
+  // and best_s is biased toward k stages.
   constexpr double kViolation = 1e6;  // seconds; dwarfs any real stage
   const double inf = std::numeric_limits<double>::infinity();
   std::vector<std::vector<double>> dp(
@@ -91,7 +97,7 @@ MultiFpgaPlan partition_pipeline(const compiler::NetworkSchedule& schedule,
     for (std::size_t i = su; i <= n; ++i) {
       for (std::size_t j = su - 1; j < i; ++j) {  // previous cut at j
         if (dp[su - 1][j] == inf) continue;
-        double t = stage_seconds(j, i - 1, /*last=*/i == n && s == k);
+        double t = stage_seconds(j, i - 1, /*last=*/i == n);
         if (stage_words(j, i - 1) > capacity) t += kViolation;
         const double bottleneck = std::max(dp[su - 1][j], t);
         if (bottleneck < dp[su][i]) {
@@ -102,8 +108,10 @@ MultiFpgaPlan partition_pipeline(const compiler::NetworkSchedule& schedule,
     }
   }
 
-  // Fewer devices than requested can be better never (monotone), but a
-  // stage per device is not mandatory: pick the best stage count <= k.
+  // A stage per device is not mandatory: every extra cut adds a link
+  // transfer, so a partition into fewer stages can beat one that uses all k
+  // devices. Pick the best stage count s <= k (the minimum over a superset
+  // never worsens, so more available devices still never slow the plan).
   int best_s = k;
   for (int s = 1; s <= k; ++s) {
     if (dp[static_cast<std::size_t>(s)][n] <

@@ -22,6 +22,18 @@ std::vector<std::string> Network::resolved_inputs(std::size_t i) const {
   return {layers_[i - 1].name};
 }
 
+std::vector<std::string> Network::sink_names() const {
+  std::unordered_set<std::string> consumed;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    for (const std::string& in : resolved_inputs(i)) consumed.insert(in);
+  }
+  std::vector<std::string> sinks;
+  for (const Layer& l : layers_) {
+    if (!consumed.contains(l.name)) sinks.push_back(l.name);
+  }
+  return sinks;
+}
+
 int Network::find(const std::string& name) const {
   for (std::size_t i = 0; i < layers_.size(); ++i) {
     if (layers_[i].name == name) return static_cast<int>(i);

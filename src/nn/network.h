@@ -47,6 +47,14 @@ class Network {
   /// Index of the layer named `name`; -1 if absent.
   int find(const std::string& name) const;
 
+  /// Names of the graph's sink layers — layers whose output no other layer
+  /// consumes — in declaration order. A non-empty network always has at
+  /// least one sink (the last-declared layer can never be consumed, since
+  /// inputs only reference earlier layers); branching graphs may have
+  /// several (multi-output heads). Callers that need THE network output
+  /// (the feed-forward executor) must reject |sinks| != 1.
+  std::vector<std::string> sink_names() const;
+
   /// Checks that layer names are unique and every input reference points to
   /// an earlier layer or the network input (the graph is a DAG by
   /// construction). Throws ftdl::ConfigError on violations.

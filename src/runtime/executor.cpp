@@ -1,6 +1,7 @@
 #include "runtime/executor.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/error.h"
 #include "common/math_util.h"
@@ -18,16 +19,30 @@ using nn::Layer;
 using nn::LayerKind;
 using nn::Tensor16;
 
-/// Requantization shift for a wide-accumulator tensor: scale the max
-/// magnitude into ~2^target_bits.
+}  // namespace
+
 int calibrate_shift(const AccTensor& acc, int target_bits) {
-  acc_t maxabs = 0;
+  // Magnitudes in uint64: std::abs on the most-negative acc_t is UB, and
+  // its magnitude (2^63) does not fit in acc_t anyway.
+  std::uint64_t maxabs = 0;
   for (std::int64_t i = 0; i < acc.size(); ++i) {
-    maxabs = std::max<acc_t>(maxabs, std::abs(acc[i]));
+    const acc_t v = acc[i];
+    const std::uint64_t mag = v < 0 ? 0ULL - static_cast<std::uint64_t>(v)
+                                    : static_cast<std::uint64_t>(v);
+    maxabs = std::max(maxabs, mag);
   }
-  if (maxabs <= (acc_t{1} << target_bits)) return 0;
-  return ilog2(maxabs) - target_bits;
+  const std::uint64_t target = std::uint64_t{1} << target_bits;
+  if (maxabs <= target) return 0;
+  // Smallest shift with (maxabs >> shift) <= 2^target_bits: take the top
+  // set bit down to position target_bits, then round the sub-bit remainder
+  // up (bit_width - 1 alone leaves values up to 2^(target_bits+1) - 1 —
+  // the historical off-by-one this function is pinned against).
+  int shift = std::bit_width(maxabs) - 1 - target_bits;
+  if ((maxabs >> shift) > target) ++shift;
+  return shift;
 }
+
+namespace {
 
 /// Reshapes {C,H,W} to the {M,1} column a MM layer consumes.
 Tensor16 flatten_for_mm(const Tensor16& t, const Layer& layer) {
@@ -103,6 +118,24 @@ class Executor {
 
   ExecResult run(const Tensor16& input) {
     net_.validate_graph();
+    if (net_.layers().empty())
+      throw ConfigError(net_.name() + ": cannot execute an empty network");
+    // Resolve the true output before running anything: the last-declared
+    // layer is always *a* sink, but branching graphs can leave several
+    // layers unconsumed (multi-output heads) and silently returning one of
+    // them would drop the rest.
+    const std::vector<std::string> sinks = net_.sink_names();
+    if (sinks.size() != 1) {
+      std::string names;
+      for (const std::string& s : sinks) {
+        if (!names.empty()) names += ", ";
+        names += s;
+      }
+      throw ConfigError(net_.name() +
+                        ": ambiguous network output — feed-forward execution "
+                        "needs exactly one sink layer, found " +
+                        std::to_string(sinks.size()) + " (" + names + ")");
+    }
     tensors_.clear();
     tensors_.emplace(nn::kNetworkInput, input);
 
@@ -131,7 +164,7 @@ class Executor {
       result.runs.push_back(std::move(run));
       tensors_[layer.name] = std::move(out);
     }
-    result.output = tensors_.at(net_.layers().back().name);
+    result.output = tensors_.at(sinks.front());
     return result;
   }
 

@@ -56,8 +56,22 @@ struct ExecResult {
   std::int64_t total_sim_cycles = 0;
 };
 
+/// Requantization shift calibration (the host EWOP stage between layers):
+/// the smallest right shift s >= 0 such that the maximum absolute
+/// accumulator value, shifted by s, is <= 2^target_bits. Overflow-safe over
+/// the full acc_t range, including the most-negative value (whose magnitude
+/// 2^63 is not representable in acc_t). Exact boundary contract, pinned by
+/// tests/test_runtime.cpp:
+///   maxabs <= 2^target_bits      -> 0
+///   maxabs == 2^target_bits + 1  -> 1
+///   maxabs == 2^(target_bits+1)  -> 1
+int calibrate_shift(const nn::AccTensor& acc, int target_bits);
+
 /// Executes `net` on `input` (dims {C,H,W} for vision nets, {M,P} when the
-/// first layer is MM). Throws ftdl::ConfigError on graph/shape problems.
+/// first layer is MM). The network output is the graph's unique sink layer
+/// (resolved from the dataflow edges, not declaration order); graphs with
+/// several sinks (multi-output heads) are rejected with ftdl::ConfigError
+/// naming the sinks. Throws ftdl::ConfigError on graph/shape problems.
 ExecResult run_network(const nn::Network& net, const nn::Tensor16& input,
                        const WeightStore& weights, const ExecOptions& options);
 

@@ -1,0 +1,382 @@
+#include "serve/serve.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "obs/obs.h"
+
+namespace ftdl::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double us_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+/// Lower bucket edges: quarter-octave geometric series from 1 µs.
+const std::array<double, LatencyHistogram::kBuckets>& bucket_lo_table() {
+  static const std::array<double, LatencyHistogram::kBuckets> table = [] {
+    std::array<double, LatencyHistogram::kBuckets> t{};
+    constexpr double kRatio = 1.189207115002721;  // 2^(1/4)
+    double v = 1.0;
+    for (int i = 0; i < LatencyHistogram::kBuckets; ++i) {
+      t[static_cast<std::size_t>(i)] = v;
+      v *= kRatio;
+    }
+    return t;
+  }();
+  return table;
+}
+
+double bucket_hi(int b) {
+  const auto& t = bucket_lo_table();
+  if (b + 1 < LatencyHistogram::kBuckets)
+    return t[static_cast<std::size_t>(b + 1)];
+  return t[static_cast<std::size_t>(b)] * 1.189207115002721;
+}
+
+}  // namespace
+
+void LatencyHistogram::record(double us) {
+  us = std::max(us, 0.0);
+  const auto& t = bucket_lo_table();
+  auto it = std::upper_bound(t.begin(), t.end(), us);
+  const int b = std::clamp(static_cast<int>(it - t.begin()) - 1, 0,
+                           kBuckets - 1);
+  ++counts_[static_cast<std::size_t>(b)];
+  if (count_ == 0) {
+    min_ = max_ = us;
+  } else {
+    min_ = std::min(min_, us);
+    max_ = std::max(max_, us);
+  }
+  ++count_;
+  sum_ += us;
+}
+
+double LatencyHistogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Fractional 0-based rank (numpy-style linear interpolation), located in
+  // its bucket and interpolated across the bucket's width. Clamping to the
+  // exact [min, max] envelope keeps constant samples exact and every
+  // estimate inside the observed range.
+  const double rank = p / 100.0 * double(count_ - 1);
+  const auto& t = bucket_lo_table();
+  std::int64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    const std::int64_t n = counts_[static_cast<std::size_t>(b)];
+    if (n == 0) continue;
+    if (rank <= double(seen + n - 1)) {
+      const double lo = t[static_cast<std::size_t>(b)];
+      const double hi = bucket_hi(b);
+      const double frac =
+          std::clamp((rank - double(seen) + 0.5) / double(n), 0.0, 1.0);
+      return std::clamp(lo + (hi - lo) * frac, min_, max_);
+    }
+    seen += n;
+  }
+  return max_;
+}
+
+const char* to_string(RejectReason r) {
+  switch (r) {
+    case RejectReason::QueueFull: return "queue_full";
+    case RejectReason::Stopped: return "stopped";
+    case RejectReason::BadRequest: return "bad_request";
+  }
+  return "unknown";
+}
+
+namespace {
+
+struct Request {
+  std::uint64_t id = 0;
+  nn::Tensor16 input;
+  std::promise<InferenceResult> promise;
+  Clock::time_point enqueue_time;
+};
+
+}  // namespace
+
+struct Server::Impl {
+  nn::Network net;
+  runtime::WeightStore weights;
+  ServerOptions opt;
+
+  mutable std::mutex mu;
+  std::condition_variable cv;  ///< queue / pause / stop transitions
+  std::deque<Request> queue;
+  bool accepting = true;
+  bool paused = false;
+  std::uint64_t next_id = 1;
+  std::uint64_t next_batch = 1;
+  ServerStats stats;
+
+  std::mutex stop_mu;  ///< serializes stop() (idempotent join)
+  bool stopped = false;
+  std::vector<std::thread> workers;
+
+  Impl(nn::Network n, runtime::WeightStore w, ServerOptions o)
+      : net(std::move(n)), weights(std::move(w)), opt(o) {}
+
+  /// Cheap admission-time shape check against the first layer. Layers the
+  /// check cannot constrain (concat/ewop heads) admit anything; execution
+  /// still validates and surfaces errors through the future.
+  bool shape_ok(const nn::Tensor16& t) const {
+    const nn::Layer& first = net.layers().front();
+    switch (first.kind) {
+      case nn::LayerKind::Conv:
+      case nn::LayerKind::Depthwise:
+      case nn::LayerKind::Pool:
+        return t.dims() ==
+               std::vector<int>{first.in_c, first.in_h, first.in_w};
+      case nn::LayerKind::MatMul:
+        return t.size() == first.mm_m * first.mm_p;
+      default:
+        return true;
+    }
+  }
+
+  void worker_loop(int w) {
+    obs::set_thread_track_name("serve-" + std::to_string(w));
+    for (;;) {
+      std::vector<Request> batch;
+      std::uint64_t batch_id = 0;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        for (;;) {
+          cv.wait(lock, [&] {
+            return (!paused && !queue.empty()) || (!accepting && queue.empty());
+          });
+          if (queue.empty()) return;  // stopped and drained
+          // Dynamic batching: wait for batch-mates until the oldest pending
+          // request has waited batch_timeout_us, the batch is full, or the
+          // server is draining. The deque is only mutated under `mu`, so
+          // the coalesced requests are taken atomically below.
+          const auto deadline =
+              queue.front().enqueue_time +
+              std::chrono::microseconds(opt.batch_timeout_us);
+          bool timed_out = opt.batch_timeout_us == 0;
+          while (!timed_out && accepting && !paused &&
+                 queue.size() < static_cast<std::size_t>(opt.max_batch)) {
+            timed_out = cv.wait_until(lock, deadline) == std::cv_status::timeout;
+          }
+          // Another worker may have drained the queue while this one
+          // slept, and pause() suspends dispatch; re-enter the idle wait.
+          if (paused || queue.empty()) continue;
+          break;
+        }
+        const std::size_t n =
+            std::min(queue.size(), static_cast<std::size_t>(opt.max_batch));
+        batch_id = next_batch++;
+        batch.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          batch.push_back(std::move(queue.front()));
+          queue.pop_front();
+        }
+        ++stats.batches;
+        stats.batched_requests += static_cast<std::int64_t>(n);
+        stats.max_batch_observed =
+            std::max(stats.max_batch_observed, static_cast<std::int64_t>(n));
+        if (obs::enabled()) {
+          obs::count("serve/batches");
+          obs::count("serve/batched_requests", static_cast<std::int64_t>(n));
+          obs::gauge("serve/queue_depth", double(queue.size()));
+        }
+      }
+      execute_batch(w, batch_id, batch);
+    }
+  }
+
+  void execute_batch(int w, std::uint64_t batch_id,
+                     std::vector<Request>& batch) {
+    const Clock::time_point dispatch = Clock::now();
+    obs::ScopedSpan batch_span(
+        "serve", "batch",
+        {{"batch", std::to_string(batch_id)},
+         {"size", std::to_string(batch.size())}});
+    for (Request& req : batch) {
+      InferenceResult res;
+      res.request_id = req.id;
+      res.worker = w;
+      res.batch_id = batch_id;
+      res.batch_size = static_cast<int>(batch.size());
+      res.queue_us = us_between(req.enqueue_time, dispatch);
+      std::exception_ptr err;
+      {
+        obs::ScopedSpan span("serve", "execute",
+                             {{"request", std::to_string(req.id)}});
+        try {
+          runtime::ExecResult er =
+              runtime::run_network(net, req.input, weights, opt.exec);
+          res.output = std::move(er.output);
+          res.total_sim_cycles = er.total_sim_cycles;
+        } catch (...) {
+          err = std::current_exception();
+        }
+      }
+      const Clock::time_point done = Clock::now();
+      res.execute_us = us_between(dispatch, done);
+      res.latency_us = us_between(req.enqueue_time, done);
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (err) {
+          ++stats.failed;
+        } else {
+          ++stats.completed;
+          stats.latency.record(res.latency_us);
+        }
+      }
+      obs::count(err ? "serve/requests_failed" : "serve/requests_completed");
+      if (err) {
+        req.promise.set_exception(err);
+      } else {
+        req.promise.set_value(std::move(res));
+      }
+    }
+  }
+};
+
+Server::Server(nn::Network net, runtime::WeightStore weights,
+               ServerOptions options)
+    : impl_(std::make_unique<Impl>(std::move(net), std::move(weights),
+                                   options)) {
+  const ServerOptions& opt = impl_->opt;
+  if (opt.workers < 1) throw ConfigError("serve: workers must be >= 1");
+  if (opt.max_batch < 1) throw ConfigError("serve: max_batch must be >= 1");
+  if (opt.queue_depth < 1) throw ConfigError("serve: queue_depth must be >= 1");
+  if (opt.batch_timeout_us < 0)
+    throw ConfigError("serve: batch_timeout_us must be >= 0");
+  impl_->net.validate_graph();
+  if (impl_->net.layers().empty())
+    throw ConfigError("serve: cannot serve an empty network");
+  const std::vector<std::string> sinks = impl_->net.sink_names();
+  if (sinks.size() != 1) {
+    throw ConfigError(impl_->net.name() +
+                      ": serving needs exactly one sink layer, found " +
+                      std::to_string(sinks.size()));
+  }
+  impl_->workers.reserve(static_cast<std::size_t>(opt.workers));
+  for (int w = 0; w < opt.workers; ++w) {
+    impl_->workers.emplace_back([this, w] { impl_->worker_loop(w); });
+  }
+}
+
+Server::~Server() { stop(); }
+
+Submission Server::submit(nn::Tensor16 input) {
+  Impl& im = *impl_;
+  Submission s;
+  if (!im.shape_ok(input)) {
+    s.reject_reason = RejectReason::BadRequest;
+    std::lock_guard<std::mutex> lock(im.mu);
+    ++im.stats.rejected_bad_request;
+    if (obs::enabled()) {
+      obs::count("serve/requests_rejected");
+      obs::count("serve/rejected_bad_request");
+    }
+    return s;
+  }
+  obs::ScopedSpan span("serve", "enqueue");
+  std::unique_lock<std::mutex> lock(im.mu);
+  if (!im.accepting) {
+    s.reject_reason = RejectReason::Stopped;
+    ++im.stats.rejected_stopped;
+    if (obs::enabled()) {
+      obs::count("serve/requests_rejected");
+      obs::count("serve/rejected_stopped");
+    }
+    return s;
+  }
+  if (im.queue.size() >= im.opt.queue_depth) {
+    s.reject_reason = RejectReason::QueueFull;
+    ++im.stats.rejected_queue_full;
+    if (obs::enabled()) {
+      obs::count("serve/requests_rejected");
+      obs::count("serve/rejected_queue_full");
+    }
+    return s;
+  }
+  Request req;
+  req.id = im.next_id++;
+  req.input = std::move(input);
+  req.enqueue_time = Clock::now();
+  s.accepted = true;
+  s.request_id = req.id;
+  s.result = req.promise.get_future();
+  im.queue.push_back(std::move(req));
+  ++im.stats.accepted;
+  im.stats.peak_queue_depth =
+      std::max(im.stats.peak_queue_depth,
+               static_cast<std::int64_t>(im.queue.size()));
+  if (obs::enabled()) {
+    obs::count("serve/requests_accepted");
+    obs::gauge("serve/queue_depth", double(im.queue.size()));
+  }
+  lock.unlock();
+  im.cv.notify_all();
+  return s;
+}
+
+void Server::stop() {
+  Impl& im = *impl_;
+  std::lock_guard<std::mutex> stop_lock(im.stop_mu);
+  if (im.stopped) return;
+  {
+    std::lock_guard<std::mutex> lock(im.mu);
+    im.accepting = false;
+    im.paused = false;  // draining must always complete
+  }
+  im.cv.notify_all();
+  for (std::thread& t : im.workers) t.join();
+  im.stopped = true;
+  if (obs::enabled()) {
+    std::lock_guard<std::mutex> lock(im.mu);
+    const LatencyHistogram& h = im.stats.latency;
+    obs::gauge("serve/latency_p50_us", h.percentile(50.0));
+    obs::gauge("serve/latency_p95_us", h.percentile(95.0));
+    obs::gauge("serve/latency_p99_us", h.percentile(99.0));
+    obs::gauge("serve/latency_mean_us", h.mean_us());
+    obs::gauge("serve/latency_max_us", h.max_us());
+    obs::gauge("serve/queue_depth", 0.0);
+  }
+}
+
+void Server::pause() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->paused = true;
+}
+
+void Server::resume() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->paused = false;
+  }
+  impl_->cv.notify_all();
+}
+
+std::size_t Server::queue_depth() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->queue.size();
+}
+
+ServerStats Server::stats() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->stats;
+}
+
+const ServerOptions& Server::options() const { return impl_->opt; }
+
+const nn::Network& Server::network() const { return impl_->net; }
+
+}  // namespace ftdl::serve

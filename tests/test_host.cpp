@@ -9,6 +9,7 @@
 #include "host/ewop_kernels.h"
 #include "host/host_pipeline.h"
 #include "nn/model_zoo.h"
+#include "obs/obs.h"
 
 namespace ftdl::host {
 namespace {
@@ -107,6 +108,53 @@ TEST(HostPipeline, SlowHostBreaksTheClaim) {
   HostModel fast;
   fast.ewop_ops_per_sec = required * 2.0;
   EXPECT_FALSE(evaluate_pipeline(net, sched, fast).ewop_bounds_throughput);
+}
+
+TEST(HostPipeline, HostOnlyNetworkHasDefinedRatios) {
+  // Regression: a network with no overlay layers has overlay_seconds == 0,
+  // and the report used to divide straight through it — host_over_overlay
+  // came out inf-by-accident and, with no host work either, NaN. The
+  // defined values (host_pipeline.h): +inf when host work exists with no
+  // overlay stage to hide behind, and every gauge stays finite.
+  nn::Network net("host-only");
+  net.add(nn::make_pool("pool", 8, 16, 16, 2, 2));
+  net.add(nn::make_ewop("post", 10'000));
+  net.validate_graph();
+  compiler::NetworkSchedule sched;
+  sched.config = arch::paper_config();
+
+  obs::Registry::global().reset();
+  obs::set_enabled(true);
+  const PipelineReport r = evaluate_pipeline(net, sched, HostModel{});
+  obs::set_enabled(false);
+
+  EXPECT_DOUBLE_EQ(r.overlay_seconds, 0.0);
+  EXPECT_GT(r.host_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(r.frame_seconds, r.host_seconds);
+  EXPECT_TRUE(std::isinf(r.host_over_overlay));
+  EXPECT_GT(r.host_over_overlay, 0.0);
+  EXPECT_TRUE(r.ewop_bounds_throughput);
+  // The hand-off queue gauge must stay finite for the metrics JSON: a
+  // host-bound pipeline is fully occupied, not infinitely so.
+  const double occupancy = obs::Registry::global().gauge("host/queue_occupancy");
+  EXPECT_TRUE(std::isfinite(occupancy));
+  EXPECT_DOUBLE_EQ(occupancy, 1.0);
+  obs::Registry::global().reset();
+}
+
+TEST(HostPipeline, EmptyNetworkReportsZeros) {
+  // Degenerate case of the same regression: no work anywhere must give
+  // well-defined zeros, never 0/0 NaN.
+  nn::Network net("empty");
+  compiler::NetworkSchedule sched;
+  sched.config = arch::paper_config();
+  const PipelineReport r = evaluate_pipeline(net, sched, HostModel{});
+  EXPECT_DOUBLE_EQ(r.overlay_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(r.host_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(r.frame_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(r.host_over_overlay, 0.0);
+  EXPECT_FALSE(r.ewop_bounds_throughput);
+  EXPECT_FALSE(std::isnan(r.host_over_overlay));
 }
 
 }  // namespace

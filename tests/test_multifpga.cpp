@@ -89,6 +89,30 @@ TEST(MultiFpga, SlowLinkShiftsBottleneck) {
   EXPECT_LT(choked.fps, fast.fps);
 }
 
+TEST(MultiFpga, NoPhantomEgressOnFinalStage) {
+  // Regression: the DP used to mark a stage ending at layer n as "last"
+  // only when it also used all k devices, so every fewer-stage candidate
+  // was charged a phantom egress transfer of the *network output* and
+  // best_s was biased toward k stages. With the last layer's output much
+  // bigger than the only interior cut and a pathologically slow link, the
+  // buggy partitioner split into 2 stages; the correct answer is 1 stage
+  // (any cut costs seconds of link time, staying fused costs none).
+  nn::Network net("tail-heavy");
+  net.add(nn::make_conv("c1", 16, 28, 28, 4, 3, 1, 1));   // tiny boundary
+  net.add(nn::make_conv("c2", 4, 28, 28, 64, 3, 1, 1));   // huge output
+  net.validate_graph();
+  const auto sched = compiler::schedule_network(
+      net, arch::paper_config(), compiler::Objective::Performance, 8'000);
+
+  LinkModel glacial;
+  glacial.bytes_per_sec = 1.0;  // any transferred byte dominates compute
+  const MultiFpgaPlan plan = partition_pipeline(sched, 2, glacial);
+  ASSERT_EQ(plan.stages.size(), 1u);
+  // And the fused plan is charged no link time at all: it runs at the
+  // schedule's own frame rate.
+  EXPECT_NEAR(plan.fps, sched.fps(), sched.fps() * 1e-9);
+}
+
 TEST(MultiFpga, InvalidInputsThrow) {
   const auto sched = small_schedule();
   EXPECT_THROW(partition_pipeline(sched, 0), ConfigError);

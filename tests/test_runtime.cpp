@@ -3,6 +3,9 @@
 // kernels and quantization calibration.
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <string>
+
 #include "common/rng.h"
 #include "nn/model_zoo.h"
 #include "runtime/executor.h"
@@ -166,6 +169,73 @@ TEST(Executor, RejectsShapeMismatch) {
   const WeightStore ws = WeightStore::random_for(net, 1);
   nn::Tensor16 wrong({3, 10, 10});
   EXPECT_THROW(run_network(net, wrong, ws, ExecOptions{}), ConfigError);
+}
+
+TEST(Executor, OutputComesFromGraphSinkNotLastDeclaredLayer) {
+  // Regression: the executor used to return layers().back()'s tensor as
+  // "the" output. In this DAG representation the last layer is always *a*
+  // sink, but a multi-headed network has several — returning one silently
+  // truncates the rest. The executor must resolve the unique sink and
+  // refuse ambiguous graphs by name.
+  nn::Network multi("two-heads");
+  multi.add(nn::make_conv("stem", 3, 8, 8, 4, 3, 1, 1));
+  multi.add(nn::with_inputs(nn::make_conv("head_a", 4, 8, 8, 2, 1, 1, 0),
+                            {"stem"}));
+  multi.add(nn::with_inputs(nn::make_conv("head_b", 4, 8, 8, 2, 1, 1, 0),
+                            {"stem"}));
+  multi.validate_graph();
+  EXPECT_EQ(multi.sink_names(), (std::vector<std::string>{"head_a", "head_b"}));
+
+  const WeightStore ws = WeightStore::random_for(multi, 29);
+  Rng rng(31);
+  nn::Tensor16 input({3, 8, 8});
+  input.fill_random(rng);
+  try {
+    run_network(multi, input, ws, ExecOptions{});
+    FAIL() << "ambiguous sinks must be rejected";
+  } catch (const ConfigError& e) {
+    // The error names the offending sinks so the fix is obvious.
+    EXPECT_NE(std::string(e.what()).find("head_a"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("head_b"), std::string::npos);
+  }
+
+  // Single-sink branching graphs (concat rejoins both branches) still
+  // resolve: the sink is the last layer here, and execution is unchanged.
+  const nn::Network net = tiny_inception();
+  EXPECT_EQ(net.sink_names(), std::vector<std::string>{"fc"});
+  EXPECT_EQ(nn::googlenet().sink_names().size(), 1u);
+}
+
+TEST(Executor, CalibrateShiftBoundariesAreExact) {
+  // Regression: calibrate_shift used std::abs on acc_t (UB at the most
+  // negative accumulator) and its shift landed one off around the
+  // 2^target_bits boundary. The contract is the smallest shift s >= 0 with
+  // (max |acc| >> s) <= 2^target_bits.
+  const int t = 7;
+  const auto shift_for = [&](acc_t v) {
+    nn::AccTensor acc({1});
+    acc[0] = v;
+    return calibrate_shift(acc, t);
+  };
+  EXPECT_EQ(shift_for(0), 0);
+  EXPECT_EQ(shift_for(127), 0);
+  EXPECT_EQ(shift_for(128), 0);       // exactly 2^t: already in range
+  EXPECT_EQ(shift_for(129), 1);       // one past: one shift
+  EXPECT_EQ(shift_for(-129), 1);      // symmetric for negatives
+  EXPECT_EQ(shift_for(256), 1);       // 2^(t+1) >> 1 == 2^t: in range
+  EXPECT_EQ(shift_for(257), 1);       // floor(257 >> 1) == 128: still in range
+  EXPECT_EQ(shift_for(259), 2);       // 259 >> 1 == 129 > 128: one more
+  EXPECT_EQ(shift_for(3 * 128), 2);   // 384 >> 1 = 192 > 128; >> 2 = 96
+  // Most negative accumulator: |INT64_MIN| overflows std::abs; the shift
+  // must still be exact: 2^63 >> 56 == 2^7 == 256.
+  EXPECT_EQ(shift_for(std::numeric_limits<acc_t>::min()), 64 - 1 - t);
+  for (const acc_t v : {acc_t{1} << 20, (acc_t{1} << 20) + 1}) {
+    const int s = shift_for(v);
+    // Minimality: s keeps the value in range, s - 1 would not.
+    EXPECT_LE(std::uint64_t(v) >> s, std::uint64_t{1} << t);
+    ASSERT_GT(s, 0);
+    EXPECT_GT(std::uint64_t(v) >> (s - 1), std::uint64_t{1} << t);
+  }
 }
 
 TEST(Executor, GoogLeNetGraphExecutesEndToEnd) {

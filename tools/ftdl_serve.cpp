@@ -1,0 +1,290 @@
+// ftdl-serve — batched concurrent inference serving demo (docs/serving.md).
+//
+// Stands up an ftdl::serve::Server over a model-zoo network (or an .ftdl
+// spec), drives it with a multi-client load generator — closed-loop by
+// default, fixed-rate with --rate — and reports throughput, batching and
+// latency percentiles. With observability on it also writes
+//   trace.json    enqueue/batch/execute spans on client and worker tracks
+//   metrics.json  serve/* counters, queue-depth and latency gauges
+//
+//   ftdl-serve [MODEL] [options]
+//     MODEL            Table I model name (default Sentimental-seqCNN)
+//                      or a .ftdl network-spec path
+//     --list           list the model zoo and exit
+//     --requests N     total requests to submit        (default 16)
+//     --clients N      load-generator threads          (default 4)
+//     --workers N      server worker threads           (default 2)
+//     --batch N        max dynamic batch size          (default 8)
+//     --timeout-us N   batch coalescing timeout        (default 2000)
+//     --depth N        admission queue depth           (default 64)
+//     --rate R         submissions/sec across all clients (0 = closed loop)
+//     --path ref|sim   execution path                  (default ref)
+//     --seed N         request input seed base         (default 1)
+//     --check          verify outputs bit-identical to a workers=1 rerun
+//     --trace FILE     trace output path               (default trace.json)
+//     --metrics FILE   metrics output path             (default metrics.json)
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "frontend/spec_parser.h"
+#include "nn/model_zoo.h"
+#include "obs/obs.h"
+#include "serve/serve.h"
+
+namespace {
+
+using namespace ftdl;
+
+struct Args {
+  std::string model = "Sentimental-seqCNN";
+  std::string trace_path = "trace.json";
+  std::string metrics_path = "metrics.json";
+  int requests = 16;
+  int clients = 4;
+  int workers = 2;
+  int max_batch = 8;
+  std::int64_t timeout_us = 2'000;
+  std::size_t depth = 64;
+  double rate = 0.0;  ///< 0 = closed loop
+  std::uint64_t seed = 1;
+  bool sim_path = false;
+  bool check = false;
+  bool list = false;
+};
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg) std::fprintf(stderr, "ftdl-serve: %s\n", msg);
+  std::fprintf(stderr,
+               "usage: ftdl-serve [MODEL|SPEC.ftdl] [--requests N] "
+               "[--clients N] [--workers N]\n"
+               "                  [--batch N] [--timeout-us N] [--depth N] "
+               "[--rate R] [--path ref|sim]\n"
+               "                  [--seed N] [--check] [--trace FILE] "
+               "[--metrics FILE] [--list]\n");
+  std::exit(2);
+}
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  auto next = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage("missing option value");
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--requests") == 0) args.requests = std::atoi(next(i));
+    else if (std::strcmp(a, "--clients") == 0) args.clients = std::atoi(next(i));
+    else if (std::strcmp(a, "--workers") == 0) args.workers = std::atoi(next(i));
+    else if (std::strcmp(a, "--batch") == 0) args.max_batch = std::atoi(next(i));
+    else if (std::strcmp(a, "--timeout-us") == 0)
+      args.timeout_us = std::atoll(next(i));
+    else if (std::strcmp(a, "--depth") == 0)
+      args.depth = static_cast<std::size_t>(std::atoll(next(i)));
+    else if (std::strcmp(a, "--rate") == 0) args.rate = std::atof(next(i));
+    else if (std::strcmp(a, "--seed") == 0)
+      args.seed = static_cast<std::uint64_t>(std::atoll(next(i)));
+    else if (std::strcmp(a, "--path") == 0) {
+      const std::string p = next(i);
+      if (p == "sim") args.sim_path = true;
+      else if (p != "ref") usage("--path must be ref or sim");
+    }
+    else if (std::strcmp(a, "--check") == 0) args.check = true;
+    else if (std::strcmp(a, "--trace") == 0) args.trace_path = next(i);
+    else if (std::strcmp(a, "--metrics") == 0) args.metrics_path = next(i);
+    else if (std::strcmp(a, "--list") == 0) args.list = true;
+    else if (a[0] == '-') usage(("unknown option " + std::string(a)).c_str());
+    else args.model = a;
+  }
+  if (args.requests < 1) usage("--requests must be >= 1");
+  if (args.clients < 1) usage("--clients must be >= 1");
+  return args;
+}
+
+nn::Network load_network(const std::string& model) {
+  if (model.size() > 5 && model.substr(model.size() - 5) == ".ftdl") {
+    std::ifstream in(model);
+    if (!in) throw Error("cannot open spec " + model);
+    std::ostringstream text;
+    text << in.rdbuf();
+    return frontend::parse_network_spec(text.str());
+  }
+  return nn::model_by_name(model);
+}
+
+nn::Tensor16 request_input(const nn::Network& net, std::uint64_t seed) {
+  const nn::Layer& first = net.layers().front();
+  nn::Tensor16 input =
+      first.kind == nn::LayerKind::MatMul
+          ? nn::Tensor16({static_cast<int>(first.mm_m),
+                          static_cast<int>(first.mm_p)})
+          : nn::Tensor16({first.in_c, first.in_h, first.in_w});
+  Rng rng(seed);
+  input.fill_random(rng);
+  return input;
+}
+
+struct LoadResult {
+  std::vector<nn::Tensor16> outputs;  ///< indexed by request; empty if lost
+  std::int64_t submitted = 0;
+  std::int64_t rejected = 0;
+  double wall_seconds = 0.0;
+};
+
+/// Submits `n` seeded requests from `clients` threads. Closed loop when
+/// rate == 0 (each client waits for its result before the next submit);
+/// otherwise open loop paced to `rate` submissions/sec overall, collecting
+/// futures as they resolve. Rejected submissions (backpressure) are counted
+/// and not retried.
+LoadResult run_load(serve::Server& server, const nn::Network& net,
+                    const Args& args) {
+  LoadResult lr;
+  lr.outputs.resize(static_cast<std::size_t>(args.requests));
+  std::atomic<int> next{0};
+  std::atomic<std::int64_t> rejected{0};
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(args.clients));
+  for (int c = 0; c < args.clients; ++c) {
+    threads.emplace_back([&, c] {
+      obs::set_thread_track_name("client-" + std::to_string(c));
+      std::vector<std::pair<int, std::future<serve::InferenceResult>>> open;
+      for (;;) {
+        const int i = next.fetch_add(1);
+        if (i >= args.requests) break;
+        if (args.rate > 0.0) {
+          // Fixed-rate pacing: request i is due at start + i/rate.
+          const auto due =
+              start + std::chrono::duration_cast<
+                          std::chrono::steady_clock::duration>(
+                          std::chrono::duration<double>(double(i) / args.rate));
+          std::this_thread::sleep_until(due);
+        }
+        serve::Submission s =
+            server.submit(request_input(net, args.seed + std::uint64_t(i)));
+        if (!s.accepted) {
+          rejected.fetch_add(1);
+          continue;
+        }
+        if (args.rate > 0.0) {
+          open.emplace_back(i, std::move(s.result));
+        } else {
+          lr.outputs[static_cast<std::size_t>(i)] = s.result.get().output;
+        }
+      }
+      for (auto& [i, fut] : open) {
+        lr.outputs[static_cast<std::size_t>(i)] = fut.get().output;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  lr.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  lr.submitted = args.requests;
+  lr.rejected = rejected.load();
+  return lr;
+}
+
+serve::ServerOptions server_options(const Args& args) {
+  serve::ServerOptions opt;
+  opt.workers = args.workers;
+  opt.max_batch = args.max_batch;
+  opt.batch_timeout_us = args.timeout_us;
+  opt.queue_depth = args.depth;
+  if (args.sim_path) {
+    opt.exec.path = runtime::OverlayPath::CycleSim;
+    // Scaled-down overlay: the functional simulator executes every MACC.
+    opt.exec.config.d1 = 4;
+    opt.exec.config.d2 = 2;
+    opt.exec.config.d3 = 3;
+  }
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  if (args.list) {
+    for (const nn::Network& net : nn::mlperf_models()) {
+      std::printf("%s\n", net.name().c_str());
+    }
+    return 0;
+  }
+
+  try {
+    obs::set_enabled(true);
+    obs::Registry& reg = obs::Registry::global();
+    reg.reset();
+
+    const nn::Network net = load_network(args.model);
+    const runtime::WeightStore weights =
+        runtime::WeightStore::random_for(net, args.seed + 1'000);
+
+    std::printf("ftdl-serve: %s, %d requests from %d clients (%s)\n",
+                net.name().c_str(), args.requests, args.clients,
+                args.rate > 0.0 ? "fixed-rate" : "closed-loop");
+
+    serve::Server server(net, weights, server_options(args));
+    const LoadResult lr = run_load(server, net, args);
+    server.stop();
+    const serve::ServerStats st = server.stats();
+
+    std::printf("  %lld completed, %lld rejected, %lld failed in %.3f s "
+                "(%.1f req/s)\n",
+                static_cast<long long>(st.completed),
+                static_cast<long long>(lr.rejected),
+                static_cast<long long>(st.failed), lr.wall_seconds,
+                double(st.completed) / lr.wall_seconds);
+    std::printf("  batches: %lld (mean size %.2f, max %lld), peak queue %lld\n",
+                static_cast<long long>(st.batches), st.mean_batch_size(),
+                static_cast<long long>(st.max_batch_observed),
+                static_cast<long long>(st.peak_queue_depth));
+    std::printf("  latency us: p50 %.0f  p95 %.0f  p99 %.0f  max %.0f\n",
+                st.latency.percentile(50.0), st.latency.percentile(95.0),
+                st.latency.percentile(99.0), st.latency.max_us());
+
+    if (args.check) {
+      // Replay the same request set on a serial server: every output the
+      // concurrent run produced must be bit-identical (docs/serving.md).
+      serve::ServerOptions serial = server_options(args);
+      serial.workers = 1;
+      serial.max_batch = 1;
+      serial.batch_timeout_us = 0;
+      serve::Server ref(net, weights, serial);
+      std::int64_t checked = 0;
+      for (int i = 0; i < args.requests; ++i) {
+        if (lr.outputs[static_cast<std::size_t>(i)].size() == 0) continue;
+        serve::Submission s =
+            ref.submit(request_input(net, args.seed + std::uint64_t(i)));
+        if (!s.accepted) throw Error("check rerun rejected a request");
+        if (!(s.result.get().output == lr.outputs[static_cast<std::size_t>(i)]))
+          throw Error("determinism check FAILED at request " +
+                      std::to_string(i));
+        ++checked;
+      }
+      ref.stop();
+      std::printf("  check: %lld outputs bit-identical to workers=1\n",
+                  static_cast<long long>(checked));
+    }
+
+    reg.write_chrome_trace(args.trace_path);
+    reg.write_metrics(args.metrics_path);
+    std::printf("wrote %s (%zu events) and %s\n", args.trace_path.c_str(),
+                reg.event_count(), args.metrics_path.c_str());
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "ftdl-serve: %s\n", e.what());
+    return 1;
+  }
+}
