@@ -1,0 +1,204 @@
+// ftdl::analyze — whole-network static analysis of compiled artifacts.
+//
+// ftdl::verify checks ONE controller instruction stream at a time; what a
+// deployment actually ships (Sec. V-A) is a *scheduled network*: many layer
+// programs sharing a DRAM address space, a weight store, and — multi-FPGA —
+// a pipeline of devices. This pass runs after per-stream verification and
+// checks everything that only exists at that level, reporting a typed
+// diagnostic catalog mirroring ftdl::verify's. Three check families:
+//
+//   memory    — every tensor has exactly one DRAM range, ranges stay inside
+//     the planned image, hold the tensor they claim to, and no two
+//     *simultaneously live* tensors (liveness intervals derived from the
+//     dataflow graph; weights are persistent) alias; per-layer weight-store
+//     footprints agree with the layer and fit WBUF residency; the DRAM
+//     reads a stream will issue — reconstructed from its tile/stride
+//     configuration — stay inside the producer's range;
+//   graph     — producer/consumer shape+dtype agreement across layer
+//     boundaries, dead layers and unconsumed outputs, unique-sink and
+//     acyclicity re-checked on the compiled artifact rather than the
+//     frontend graph;
+//   partition — a multi-FPGA plan covers the schedule with contiguous
+//     stages, every cut edge has a matching activation transfer, no stage
+//     exceeds device weight residency, and stage costs agree with the
+//     schedule.
+//
+// Everything is a diagnostic, never a throw (assert_network_analyzed wraps
+// the error case for pipelines that want an exception). The analyzer runs
+// in the ftdlc post-schedule path, on every network-bundle load
+// (analyze/network_io.h), and at serve::Server startup.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "compiler/scheduler.h"
+#include "multifpga/partition.h"
+#include "nn/network.h"
+#include "verify/verifier.h"
+
+namespace ftdl::analyze {
+
+/// The network-level check catalog (docs/verification.md lists it with
+/// examples). Grouped by family; the slug of each value is its kebab-case
+/// name via to_string().
+enum class Check {
+  // memory
+  MissingTensorRange,      ///< a produced tensor has no planned DRAM range
+  DuplicateTensorRange,    ///< two ranges planned for one tensor
+  TensorOutOfImage,        ///< range ends beyond the planned DRAM image
+  TensorRangeUnderflow,    ///< range smaller than the tensor it holds
+  TensorOverlap,           ///< simultaneously-live ranges alias
+  DtypeMismatch,           ///< element width disagrees with the int16 flow
+  WeightFootprintMismatch, ///< weight range size != layer weight words
+  WbufResidencyOverflow,   ///< resident weight words exceed device WBUFs
+  DramOverread,            ///< stream reads past the producer's range
+  // graph
+  DuplicateLayer,          ///< two layers share a name
+  MissingProducer,         ///< input references an unknown layer
+  GraphCycle,              ///< input references itself or a later layer
+  ShapeMismatch,           ///< consumer input shape != producer output
+  MultipleSinks,           ///< more than one unconsumed output
+  DeadLayer,               ///< output never consumed and not the sink
+  MissingProgram,          ///< overlay layer absent from the schedule
+  OrphanProgram,           ///< program for a layer the network lacks
+  ProgramOrderMismatch,    ///< programs not in network execution order
+  StaleProgram,            ///< program geometry != network layer geometry
+  // partition
+  StageCoverage,           ///< stages not contiguous / not covering
+  StageResidencyMismatch,  ///< stage resident words != sum of its layers
+  StageResidencyOverflow,  ///< resident stage exceeds device capacity
+  CutTransferMismatch,     ///< cut-edge transfer != boundary tensor bytes
+  StageCostMismatch,       ///< stage cycles != sum of its layer cycles
+};
+
+/// Stable kebab-case slug, e.g. "tensor-overlap".
+const char* to_string(Check c);
+
+/// One network-level finding. `where` names the offending entity (a layer,
+/// a tensor's producer, or "stage N"); empty means the whole artifact.
+struct Diagnostic {
+  verify::Severity severity = verify::Severity::Error;
+  Check check = Check::MissingTensorRange;
+  std::string where;
+  std::string message;
+
+  /// "error[tensor-overlap] conv1: ..." (where omitted when empty).
+  std::string to_string() const;
+};
+
+struct AnalysisResult {
+  std::vector<Diagnostic> diagnostics;
+
+  bool ok() const { return errors() == 0; }
+  int errors() const;
+  int warnings() const;
+  /// First error diagnostic, or nullptr when ok().
+  const Diagnostic* first_error() const;
+  /// All diagnostics, one per line.
+  std::string to_string() const;
+};
+
+// ---- the analyzed artifact --------------------------------------------------
+
+/// Half-open DRAM word range [base, base + words).
+struct MemRange {
+  std::uint64_t base = 0;
+  std::uint64_t words = 0;
+
+  std::uint64_t end() const { return base + words; }
+  bool overlaps(const MemRange& o) const {
+    return words > 0 && o.words > 0 && base < o.end() && o.base < end();
+  }
+};
+
+/// DRAM backing range of one activation tensor, keyed by its producer
+/// layer (nn::kNetworkInput for the network input tensor).
+struct TensorPlan {
+  std::string producer;
+  MemRange range;
+  int elem_words = 1;  ///< words per element (int16 activations = 1)
+};
+
+/// DRAM backing range of one layer's (unique) weights.
+struct WeightPlan {
+  std::string layer;
+  MemRange range;
+};
+
+/// The DRAM image layout a deployment ships alongside the programs.
+struct MemoryPlan {
+  std::uint64_t image_words = 0;  ///< planned DRAM image size
+  std::vector<TensorPlan> tensors;
+  std::vector<WeightPlan> weights;
+};
+
+/// A deployable artifact: the dataflow graph, its compiled schedule, and
+/// the DRAM layout. This is what analyze_network checks and what
+/// analyze/network_io.h serializes as a `ftdl-network v1` bundle.
+struct ScheduledNetwork {
+  nn::Network net;
+  compiler::NetworkSchedule schedule;
+  MemoryPlan memory;
+
+  ScheduledNetwork() : net("") {}
+  ScheduledNetwork(nn::Network n, compiler::NetworkSchedule s, MemoryPlan m)
+      : net(std::move(n)), schedule(std::move(s)), memory(std::move(m)) {}
+};
+
+// ---- tensor geometry helpers ------------------------------------------------
+
+/// Output elements of layer `i`, deriving through producers for layers
+/// whose own geometry does not determine it (Ewop is element-wise identity
+/// on its first input; Concat sums its inputs). Returns 0 when the graph
+/// is too broken to tell (missing producer, cycle) — the graph checks
+/// report that separately.
+std::int64_t tensor_elems(const nn::Network& net, std::size_t i);
+
+/// Elements of the network input tensor, from the first consumer's
+/// declared input geometry (0 when no layer consumes it).
+std::int64_t network_input_elems(const nn::Network& net);
+
+// ---- passes -----------------------------------------------------------------
+
+/// How strict the graph checks are about sink multiplicity: a compiled
+/// artifact may legitimately ship several output heads (warning), but the
+/// feed-forward serving runtime needs exactly one (error).
+enum class GraphStrictness { Artifact, Serving };
+
+/// Plans a deterministic DRAM layout for `net`'s tensors and `schedule`'s
+/// weight stores: weights first (persistent), then activations through a
+/// liveness-driven first-fit allocator that reuses the ranges of dead
+/// tensors — disjoint-lifetime aliasing is legal and exercised, which is
+/// what makes the overlap check meaningful.
+MemoryPlan plan_memory(const nn::Network& net,
+                       const compiler::NetworkSchedule& schedule);
+
+/// Convenience: bundle net + schedule with a freshly planned memory layout.
+ScheduledNetwork make_scheduled(nn::Network net,
+                                compiler::NetworkSchedule schedule);
+
+/// Graph-family checks only (no schedule needed): shape/dtype agreement,
+/// duplicate names, unknown producers, cycles, sinks, dead layers. Usable
+/// on a frontend graph before compilation (serve::Server does).
+AnalysisResult analyze_graph(const nn::Network& net,
+                             GraphStrictness strictness =
+                                 GraphStrictness::Artifact);
+
+/// The full network-level analysis: graph family, schedule/graph
+/// cross-checks, and the memory family over `sn.memory`. Per-stream
+/// verification (compiler/program_verify.h) is NOT repeated here — run it
+/// first; network_io's loader does.
+AnalysisResult analyze_network(const ScheduledNetwork& sn);
+
+/// Partition-family checks of a multi-FPGA plan against its schedule.
+AnalysisResult analyze_partition(const compiler::NetworkSchedule& schedule,
+                                 const multifpga::MultiFpgaPlan& plan);
+
+/// Post-condition form: throws ftdl::InternalError carrying the first
+/// error diagnostic if analyze_network finds any (mirrors
+/// compiler::assert_program_verified).
+void assert_network_analyzed(const ScheduledNetwork& sn);
+
+}  // namespace ftdl::analyze

@@ -1,0 +1,309 @@
+#include "analyze/network_io.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/str_util.h"
+#include "compiler/program_io.h"
+
+namespace ftdl::analyze {
+
+namespace {
+
+constexpr const char* kMagic = "ftdl-network";
+constexpr int kVersion = 1;
+constexpr const char* kProgramMarker = "%% program ";
+
+std::string serialize_layer(std::size_t i, const nn::Layer& l) {
+  const std::string p = strformat("layer.%zu.", i);
+  std::string out;
+  out += p + "name=" + l.name + "\n";
+  out += p + strformat("kind=%d\n", static_cast<int>(l.kind));
+  out += p + strformat("geom=%d %d %d %d %d %d %d %d\n", l.in_c, l.in_h,
+                       l.in_w, l.out_c, l.kh, l.kw, l.stride, l.pad);
+  out += p + strformat("mm=%lld %lld %lld\n", static_cast<long long>(l.mm_m),
+                       static_cast<long long>(l.mm_n),
+                       static_cast<long long>(l.mm_p));
+  out += p + strformat("relu=%d\n", l.relu ? 1 : 0);
+  out += p + strformat("repeat=%d\n", l.repeat);
+  out += p + strformat("pool_op=%d\n", static_cast<int>(l.pool_op));
+  out += p + strformat("ewop_op=%d\n", static_cast<int>(l.ewop_op));
+  out += p + strformat("ewop_ops=%lld\n",
+                       static_cast<long long>(l.explicit_ewop_ops));
+  std::string inputs;
+  for (const std::string& in : l.input_names) {
+    if (!inputs.empty()) inputs += ',';
+    inputs += in;
+  }
+  out += p + "inputs=" + inputs + "\n";
+  return out;
+}
+
+std::map<std::string, std::string> parse_kv(const std::string& text) {
+  std::map<std::string, std::string> kv;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos)
+      throw Error("malformed network bundle line: " + line);
+    if (!kv.emplace(line.substr(0, eq), line.substr(eq + 1)).second)
+      throw Error("duplicate key in network bundle: " + line.substr(0, eq));
+  }
+  return kv;
+}
+
+const std::string& require(const std::map<std::string, std::string>& kv,
+                           const std::string& key) {
+  auto it = kv.find(key);
+  if (it == kv.end()) throw Error("network bundle missing key " + key);
+  return it->second;
+}
+
+std::vector<std::int64_t> parse_ints(const std::string& s,
+                                     const std::string& key,
+                                     std::size_t expect) {
+  std::vector<std::int64_t> out;
+  std::istringstream in(s);
+  std::int64_t v;
+  while (in >> v) out.push_back(v);
+  if (out.size() != expect)
+    throw Error("network bundle: bad value for " + key);
+  return out;
+}
+
+std::int64_t parse_int(const std::string& s, const std::string& key) {
+  try {
+    std::size_t pos = 0;
+    const std::int64_t v = std::stoll(s, &pos);
+    if (pos != s.size()) throw Error("");
+    return v;
+  } catch (const std::exception&) {
+    throw Error("network bundle: bad integer for " + key + ": " + s);
+  }
+}
+
+/// "<base> <words> ... <name>": numbers first so names may contain spaces.
+struct RangeLine {
+  std::vector<std::int64_t> nums;
+  std::string name;
+};
+
+RangeLine parse_range_line(const std::string& s, const std::string& key,
+                           std::size_t num_count) {
+  RangeLine out;
+  std::istringstream in(s);
+  for (std::size_t i = 0; i < num_count; ++i) {
+    std::int64_t v;
+    if (!(in >> v) || v < 0)
+      throw Error("network bundle: bad value for " + key);
+    out.nums.push_back(v);
+  }
+  std::getline(in, out.name);
+  const auto start = out.name.find_first_not_of(' ');
+  out.name = start == std::string::npos ? "" : out.name.substr(start);
+  if (out.name.empty())
+    throw Error("network bundle: missing name in " + key);
+  return out;
+}
+
+nn::Layer parse_layer(const std::map<std::string, std::string>& kv,
+                      std::size_t i) {
+  const std::string p = strformat("layer.%zu.", i);
+  nn::Layer l;
+  l.name = require(kv, p + "name");
+  l.kind = static_cast<nn::LayerKind>(
+      static_cast<int>(parse_int(require(kv, p + "kind"), p + "kind")));
+  const auto geom = parse_ints(require(kv, p + "geom"), p + "geom", 8);
+  l.in_c = static_cast<int>(geom[0]);
+  l.in_h = static_cast<int>(geom[1]);
+  l.in_w = static_cast<int>(geom[2]);
+  l.out_c = static_cast<int>(geom[3]);
+  l.kh = static_cast<int>(geom[4]);
+  l.kw = static_cast<int>(geom[5]);
+  l.stride = static_cast<int>(geom[6]);
+  l.pad = static_cast<int>(geom[7]);
+  const auto mm = parse_ints(require(kv, p + "mm"), p + "mm", 3);
+  l.mm_m = mm[0];
+  l.mm_n = mm[1];
+  l.mm_p = mm[2];
+  l.relu = require(kv, p + "relu") == "1";
+  l.repeat =
+      static_cast<int>(parse_int(require(kv, p + "repeat"), p + "repeat"));
+  l.pool_op = static_cast<nn::PoolOp>(
+      static_cast<int>(parse_int(require(kv, p + "pool_op"), p + "pool_op")));
+  l.ewop_op = static_cast<nn::EwopOp>(
+      static_cast<int>(parse_int(require(kv, p + "ewop_op"), p + "ewop_op")));
+  l.explicit_ewop_ops = parse_int(require(kv, p + "ewop_ops"), p + "ewop_ops");
+  const std::string& inputs = require(kv, p + "inputs");
+  std::size_t pos = 0;
+  while (pos < inputs.size()) {
+    const std::size_t comma = inputs.find(',', pos);
+    const std::size_t end = comma == std::string::npos ? inputs.size() : comma;
+    if (end > pos) l.input_names.push_back(inputs.substr(pos, end - pos));
+    pos = end + 1;
+  }
+  return l;
+}
+
+}  // namespace
+
+std::string serialize_network(const ScheduledNetwork& sn) {
+  std::string out;
+  out += strformat("%s v%d\n", kMagic, kVersion);
+  out += "name=" + sn.net.name() + "\n";
+  out += strformat("objective=%d\n", static_cast<int>(sn.schedule.objective));
+  out += strformat("layers=%zu\n", sn.net.layers().size());
+  for (std::size_t i = 0; i < sn.net.layers().size(); ++i) {
+    out += serialize_layer(i, sn.net.layers()[i]);
+  }
+  out += strformat("image_words=%llu\n",
+                   static_cast<unsigned long long>(sn.memory.image_words));
+  out += strformat("tensors=%zu\n", sn.memory.tensors.size());
+  for (std::size_t i = 0; i < sn.memory.tensors.size(); ++i) {
+    const TensorPlan& t = sn.memory.tensors[i];
+    out += strformat("tensor.%zu=%llu %llu %d %s\n", i,
+                     static_cast<unsigned long long>(t.range.base),
+                     static_cast<unsigned long long>(t.range.words),
+                     t.elem_words, t.producer.c_str());
+  }
+  out += strformat("weights=%zu\n", sn.memory.weights.size());
+  for (std::size_t i = 0; i < sn.memory.weights.size(); ++i) {
+    const WeightPlan& w = sn.memory.weights[i];
+    out += strformat("weight.%zu=%llu %llu %s\n", i,
+                     static_cast<unsigned long long>(w.range.base),
+                     static_cast<unsigned long long>(w.range.words),
+                     w.layer.c_str());
+  }
+  out += strformat("programs=%zu\n", sn.schedule.layers.size());
+  for (std::size_t k = 0; k < sn.schedule.layers.size(); ++k) {
+    out += strformat("%s%zu\n", kProgramMarker, k);
+    out += compiler::serialize_program(sn.schedule.layers[k]);
+  }
+  return out;
+}
+
+ScheduledNetwork parse_network_bundle(const std::string& text,
+                                      const arch::OverlayConfig& config) {
+  std::istringstream in(text);
+  std::string header;
+  std::getline(in, header);
+  if (header != strformat("%s v%d", kMagic, kVersion))
+    throw Error("not a v" + std::to_string(kVersion) +
+                " ftdl network bundle: " + header);
+
+  // Split the remainder into the key=value section and the embedded
+  // program sections.
+  std::string head_text;
+  std::vector<std::string> program_texts;
+  std::string line;
+  std::string* current = &head_text;
+  while (std::getline(in, line)) {
+    if (line.rfind(kProgramMarker, 0) == 0) {
+      program_texts.emplace_back();
+      current = &program_texts.back();
+      continue;
+    }
+    *current += line;
+    *current += '\n';
+  }
+
+  const auto kv = parse_kv(head_text);
+
+  nn::Network net(require(kv, "name"));
+  const std::int64_t n_layers = parse_int(require(kv, "layers"), "layers");
+  if (n_layers < 0) throw Error("network bundle: bad layer count");
+  for (std::int64_t i = 0; i < n_layers; ++i) {
+    net.add(parse_layer(kv, static_cast<std::size_t>(i)));
+  }
+
+  MemoryPlan memory;
+  memory.image_words = static_cast<std::uint64_t>(
+      parse_int(require(kv, "image_words"), "image_words"));
+  const std::int64_t n_tensors = parse_int(require(kv, "tensors"), "tensors");
+  for (std::int64_t i = 0; i < n_tensors; ++i) {
+    const std::string key = strformat("tensor.%lld", static_cast<long long>(i));
+    const RangeLine rl = parse_range_line(require(kv, key), key, 3);
+    memory.tensors.push_back(TensorPlan{
+        rl.name,
+        MemRange{static_cast<std::uint64_t>(rl.nums[0]),
+                 static_cast<std::uint64_t>(rl.nums[1])},
+        static_cast<int>(rl.nums[2])});
+  }
+  const std::int64_t n_weights = parse_int(require(kv, "weights"), "weights");
+  for (std::int64_t i = 0; i < n_weights; ++i) {
+    const std::string key = strformat("weight.%lld", static_cast<long long>(i));
+    const RangeLine rl = parse_range_line(require(kv, key), key, 2);
+    memory.weights.push_back(WeightPlan{
+        rl.name, MemRange{static_cast<std::uint64_t>(rl.nums[0]),
+                          static_cast<std::uint64_t>(rl.nums[1])}});
+  }
+
+  const std::int64_t n_programs =
+      parse_int(require(kv, "programs"), "programs");
+  if (n_programs != static_cast<std::int64_t>(program_texts.size()))
+    throw Error(strformat("network bundle: %lld programs declared, %zu "
+                          "embedded",
+                          static_cast<long long>(n_programs),
+                          program_texts.size()));
+
+  // Per-program validation first (analytical model + stream verifier),
+  // exactly as loading each .ftdlprog individually would.
+  compiler::NetworkSchedule sched;
+  sched.network_name = net.name();
+  sched.config = config;
+  sched.objective = static_cast<compiler::Objective>(
+      static_cast<int>(parse_int(require(kv, "objective"), "objective")));
+  double e_wbuf_weighted = 0.0;
+  std::int64_t weight_words = 0;
+  for (const std::string& ptext : program_texts) {
+    compiler::LayerProgram prog = compiler::deserialize_program(ptext, config);
+    sched.total_cycles += prog.total_cycles() * prog.layer.repeat;
+    sched.overlay_macs += prog.layer.macs() * prog.layer.repeat;
+    e_wbuf_weighted += prog.perf.e_wbuf * double(prog.layer.weight_count());
+    weight_words += prog.layer.weight_count();
+    sched.layers.push_back(std::move(prog));
+  }
+  for (const nn::Layer& l : net.layers()) sched.host_ewop_ops += l.ewop_ops();
+  if (sched.total_cycles > 0) {
+    sched.hardware_efficiency =
+        double(sched.overlay_macs) /
+        (double(sched.total_cycles) * double(config.tpes()));
+  }
+  sched.mean_e_wbuf =
+      weight_words > 0 ? e_wbuf_weighted / double(weight_words) : 0.0;
+
+  return ScheduledNetwork(std::move(net), std::move(sched),
+                          std::move(memory));
+}
+
+ScheduledNetwork deserialize_network(const std::string& text,
+                                     const arch::OverlayConfig& config) {
+  ScheduledNetwork sn = parse_network_bundle(text, config);
+  const AnalysisResult r = analyze_network(sn);
+  if (const Diagnostic* d = r.first_error()) {
+    throw ConfigError("network bundle fails static analysis: " +
+                      d->to_string());
+  }
+  return sn;
+}
+
+void save_network(const ScheduledNetwork& sn, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot write network bundle " + path);
+  out << serialize_network(sn);
+}
+
+ScheduledNetwork load_network(const std::string& path,
+                              const arch::OverlayConfig& config) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open network bundle " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return deserialize_network(buf.str(), config);
+}
+
+}  // namespace ftdl::analyze

@@ -1,0 +1,48 @@
+// Whole-network deployment bundles: save/load a ScheduledNetwork.
+//
+// The per-layer `.ftdlprog` format (compiler/program_io.h) ships one
+// stream; a deployment ships the whole artifact — the dataflow graph, the
+// DRAM memory plan, and every compiled layer program — as one `ftdl-network
+// v1` text bundle. The header section is line-based key=value like the
+// program format; the programs follow verbatim as embedded `ftdl-program
+// v1` sections delimited by `%% program <k>` lines, so a bundle is
+// self-contained and human-diffable.
+//
+// Loading is the untrusted path the ROADMAP's persistent program cache and
+// multi-tenant serving will lean on, so it re-validates everything:
+// deserialize_program re-runs the analytical model and the per-stream
+// verifier on every embedded program, then deserialize_network runs the
+// whole-network analyzer (analyze.h) and throws ftdl::ConfigError carrying
+// the first network-level diagnostic. parse_network_bundle stops after the
+// per-program checks for tools (ftdl-lint --network) that want to report
+// ALL network-level diagnostics instead of throwing on the first.
+#pragma once
+
+#include <string>
+
+#include "analyze/analyze.h"
+
+namespace ftdl::analyze {
+
+/// Serializes a scheduled network to its `ftdl-network v1` text form.
+std::string serialize_network(const ScheduledNetwork& sn);
+
+/// Parses a bundle and re-validates every embedded program against
+/// `config` (analytical model + per-stream verification — exactly what
+/// compiler::deserialize_program does). Throws ftdl::Error on format
+/// problems and ftdl::ConfigError on per-program semantic mismatches; does
+/// NOT run the network-level analyzer.
+ScheduledNetwork parse_network_bundle(const std::string& text,
+                                      const arch::OverlayConfig& config);
+
+/// parse_network_bundle + analyze_network: the full untrusted-load gate.
+/// Any network-level error diagnostic becomes a ftdl::ConfigError.
+ScheduledNetwork deserialize_network(const std::string& text,
+                                     const arch::OverlayConfig& config);
+
+/// File convenience wrappers (load_network = deserialize_network).
+void save_network(const ScheduledNetwork& sn, const std::string& path);
+ScheduledNetwork load_network(const std::string& path,
+                              const arch::OverlayConfig& config);
+
+}  // namespace ftdl::analyze

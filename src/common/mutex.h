@@ -1,0 +1,106 @@
+// Annotated mutex / lock / condition-variable wrappers (ftdl::Mutex).
+//
+// Thin, zero-overhead wrappers over the standard primitives that carry the
+// Clang thread-safety attributes from common/thread_annotations.h, so
+// `-Wthread-safety` can statically check FTDL_GUARDED_BY members.
+// libstdc++'s std::mutex is unannotated — the analysis cannot track
+// acquisitions made through it — which is the sole reason these exist
+// (same approach as Abseil's absl::Mutex annotations).
+//
+// Concurrency-bearing state in the framework (the compiler session cache,
+// the thread pool's batch queue, the obs registry, the serving runtime's
+// request queue) declares an ftdl::Mutex, tags the protected members with
+// FTDL_GUARDED_BY(mu), and holds the lock via MutexLock. CondVar wraps
+// std::condition_variable_any waiting directly on the Mutex; its wait
+// methods are annotated FTDL_REQUIRES(mu), so waiting without the lock is
+// a compile error under Clang.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace ftdl {
+
+/// std::mutex with capability annotations. Satisfies BasicLockable /
+/// Lockable, so it composes with standard facilities where needed.
+class FTDL_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() FTDL_ACQUIRE() { mu_.lock(); }
+  void unlock() FTDL_RELEASE() { mu_.unlock(); }
+  bool try_lock() FTDL_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Scoped lock over an ftdl::Mutex; the annotated counterpart of
+/// std::unique_lock for the common acquire-in-ctor case. Supports early
+/// release (unlock/relock) for the notify-outside-the-lock pattern; the
+/// destructor releases only if still held.
+class FTDL_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) FTDL_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() FTDL_RELEASE() {
+    if (held_) mu_.unlock();
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Releases the mutex before scope exit (to notify or do slow work
+  /// outside the critical section).
+  void unlock() FTDL_RELEASE() {
+    held_ = false;
+    mu_.unlock();
+  }
+
+  /// Re-acquires after an early unlock().
+  void lock() FTDL_ACQUIRE() {
+    mu_.lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex& mu_;
+  bool held_ = true;
+};
+
+/// Condition variable waiting directly on an ftdl::Mutex. Every wait
+/// requires the mutex held (enforced at compile time under Clang); the
+/// mutex is released while blocked and re-held on return, exactly like
+/// std::condition_variable, so GUARDED_BY members stay accessible across
+/// the wait.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+  void wait(Mutex& mu) FTDL_REQUIRES(mu) { cv_.wait(mu); }
+
+  template <typename Pred>
+  void wait(Mutex& mu, Pred pred) FTDL_REQUIRES(mu) {
+    while (!pred()) cv_.wait(mu);
+  }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(
+      Mutex& mu, const std::chrono::time_point<Clock, Duration>& deadline)
+      FTDL_REQUIRES(mu) {
+    return cv_.wait_until(mu, deadline);
+  }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace ftdl

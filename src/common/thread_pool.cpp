@@ -1,15 +1,15 @@
 #include "common/thread_pool.h"
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdlib>
 #include <deque>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/error.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace ftdl {
 
@@ -19,34 +19,37 @@ thread_local int t_worker_index = -1;
 
 /// One parallel_for invocation. Indices are claimed lock-free via `next`;
 /// completion bookkeeping (`done`, the first error, the waiter wake-up)
-/// goes through the owning pool's mutex.
+/// goes through the owning pool's mutex — Batch carries no mutex of its
+/// own, so `done` / `error` cannot be expressed as FTDL_GUARDED_BY and are
+/// guarded by convention (every access in Impl holds Impl::mu).
 struct Batch {
   std::size_t count = 0;
   const std::function<void(std::size_t)>* fn = nullptr;
   std::atomic<std::size_t> next{0};
   std::size_t done = 0;  ///< finished or skipped indices (pool mutex)
   std::exception_ptr error;  ///< first task exception (pool mutex)
-  std::condition_variable finished;
+  CondVar finished;
 };
 
 struct ThreadPool::Impl {
   int jobs = 1;
-  mutable std::mutex mu;
-  std::condition_variable work_ready;
-  std::deque<std::shared_ptr<Batch>> queue;  ///< batches with unclaimed work
+  mutable Mutex mu;
+  CondVar work_ready;
+  /// Batches with unclaimed work.
+  std::deque<std::shared_ptr<Batch>> queue FTDL_GUARDED_BY(mu);
   std::vector<std::thread> workers;
-  bool stopping = false;
+  bool stopping FTDL_GUARDED_BY(mu) = false;
 
   /// Claims and runs indices of `b` until none remain unclaimed. Returns
   /// with the batch possibly still having tasks in flight on other threads.
-  void drain(Batch& b) {
+  void drain(Batch& b) FTDL_EXCLUDES(mu) {
     for (;;) {
       const std::size_t i = b.next.fetch_add(1, std::memory_order_relaxed);
       if (i >= b.count) return;
       std::exception_ptr err;
       bool skip;
       {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(mu);
         skip = b.error != nullptr;
       }
       if (!skip) {
@@ -56,19 +59,19 @@ struct ThreadPool::Impl {
           err = std::current_exception();
         }
       }
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(mu);
       if (err && !b.error) b.error = err;
       if (++b.done == b.count) b.finished.notify_all();
     }
   }
 
-  void worker_loop(int index) {
+  void worker_loop(int index) FTDL_EXCLUDES(mu) {
     t_worker_index = index;
     for (;;) {
       std::shared_ptr<Batch> batch;
       {
-        std::unique_lock<std::mutex> lock(mu);
-        work_ready.wait(lock, [&] { return stopping || !queue.empty(); });
+        MutexLock lock(mu);
+        while (!stopping && queue.empty()) work_ready.wait(mu);
         if (stopping && queue.empty()) return;
         batch = queue.front();
         // A batch leaves the queue as soon as all indices are claimed; the
@@ -79,7 +82,7 @@ struct ThreadPool::Impl {
         }
       }
       drain(*batch);
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(mu);
       if (!queue.empty() && queue.front() == batch) queue.pop_front();
     }
   }
@@ -96,7 +99,7 @@ ThreadPool::ThreadPool(int jobs) : impl_(std::make_unique<Impl>()) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(impl_->mu);
+    MutexLock lock(impl_->mu);
     impl_->stopping = true;
   }
   impl_->work_ready.notify_all();
@@ -106,7 +109,7 @@ ThreadPool::~ThreadPool() {
 int ThreadPool::jobs() const { return impl_->jobs; }
 
 std::size_t ThreadPool::queue_depth() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   return impl_->queue.size();
 }
 
@@ -123,23 +126,26 @@ void ThreadPool::parallel_for(std::size_t count,
   batch->count = count;
   batch->fn = &fn;
   {
-    std::lock_guard<std::mutex> lock(impl_->mu);
+    MutexLock lock(impl_->mu);
     impl_->queue.push_back(batch);
   }
   impl_->work_ready.notify_all();
   impl_->drain(*batch);
-  std::unique_lock<std::mutex> lock(impl_->mu);
-  // All indices are claimed; retire the batch so queue_depth reflects only
-  // batches that still have work to hand out.
-  for (auto it = impl_->queue.begin(); it != impl_->queue.end(); ++it) {
-    if (*it == batch) {
-      impl_->queue.erase(it);
-      break;
+  std::exception_ptr err;
+  {
+    MutexLock lock(impl_->mu);
+    // All indices are claimed; retire the batch so queue_depth reflects
+    // only batches that still have work to hand out.
+    for (auto it = impl_->queue.begin(); it != impl_->queue.end(); ++it) {
+      if (*it == batch) {
+        impl_->queue.erase(it);
+        break;
+      }
     }
+    batch->finished.wait(impl_->mu,
+                         [&] { return batch->done == batch->count; });
+    err = batch->error;
   }
-  batch->finished.wait(lock, [&] { return batch->done == batch->count; });
-  const std::exception_ptr err = batch->error;
-  lock.unlock();
   if (err) std::rethrow_exception(err);
 }
 

@@ -98,7 +98,7 @@ ThreadPool& CompilerSession::pool() { return *pool_; }
 
 std::shared_ptr<const LayerProgram> CompilerSession::lookup(
     std::uint64_t key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = cache_.find(key);
   if (it == cache_.end()) return nullptr;
   ++stats_.hits;
@@ -108,7 +108,7 @@ std::shared_ptr<const LayerProgram> CompilerSession::lookup(
 const LayerProgram& CompilerSession::insert(std::uint64_t key,
                                             LayerProgram&& prog) {
   auto sp = std::make_shared<const LayerProgram>(std::move(prog));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++stats_.misses;
   auto [it, inserted] = cache_.try_emplace(key, sp);
   if (inserted) {
@@ -168,7 +168,7 @@ NetworkSchedule CompilerSession::schedule(const nn::Network& net,
 
   std::vector<Item> to_compile;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     std::unordered_set<std::uint64_t> claimed;
     for (const Item& item : items) {
       if (cache_.count(item.key) != 0 || !claimed.insert(item.key).second) {
@@ -223,7 +223,7 @@ NetworkSchedule CompilerSession::schedule(const nn::Network& net,
 
     std::shared_ptr<const LayerProgram> cached;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       cached = cache_.at(items[next_item].key);
     }
     ++next_item;
@@ -322,12 +322,12 @@ HwConfigChoice CompilerSession::best_hw_config(
 }
 
 SessionStats CompilerSession::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
 void CompilerSession::clear_cache() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   cache_.clear();
   stats_.entries = 0;
   stats_.program_bytes = 0;

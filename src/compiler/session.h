@@ -37,9 +37,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "compiler/scheduler.h"
 
@@ -124,12 +125,15 @@ class CompilerSession {
   void clear_cache();
 
  private:
-  std::shared_ptr<const LayerProgram> lookup(std::uint64_t key);
-  const LayerProgram& insert(std::uint64_t key, LayerProgram&& prog);
+  std::shared_ptr<const LayerProgram> lookup(std::uint64_t key)
+      FTDL_EXCLUDES(mu_);
+  const LayerProgram& insert(std::uint64_t key, LayerProgram&& prog)
+      FTDL_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::unordered_map<std::uint64_t, std::shared_ptr<const LayerProgram>> cache_;
-  SessionStats stats_;
+  mutable Mutex mu_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const LayerProgram>>
+      cache_ FTDL_GUARDED_BY(mu_);
+  SessionStats stats_ FTDL_GUARDED_BY(mu_);
   std::unique_ptr<ThreadPool> pool_;
 };
 

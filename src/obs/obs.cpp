@@ -79,30 +79,30 @@ Registry& Registry::global() {
 }
 
 void Registry::add(const std::string& name, std::int64_t delta) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   counters_[name] += delta;
 }
 
 void Registry::set_gauge(const std::string& name, double value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   gauges_[name] = value;
 }
 
 std::int64_t Registry::counter(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second;
 }
 
 double Registry::gauge(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = gauges_.find(name);
   return it == gauges_.end() ? 0.0 : it->second;
 }
 
 std::uint32_t Registry::track(const std::string& process,
                               const std::string& thread) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::uint32_t pid = 0;
   bool pid_found = false;
   std::uint32_t max_tid = 0;
@@ -132,7 +132,7 @@ std::uint32_t Registry::track(const std::string& process,
 
 void Registry::begin(std::uint32_t track, std::string name, double ts,
                      const char* cat, SpanArgs args) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   FTDL_ASSERT(track < tracks_.size());
   TrackInfo& t = tracks_[track];
   // +1 leaves room for the matching end() so exports stay balanced.
@@ -154,7 +154,7 @@ void Registry::begin(std::uint32_t track, std::string name, double ts,
 }
 
 void Registry::end(std::uint32_t track, double ts) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   FTDL_ASSERT(track < tracks_.size());
   TrackInfo& t = tracks_[track];
   if (t.open.empty()) {
@@ -176,7 +176,7 @@ double Registry::now_us() {
   const auto now = std::chrono::steady_clock::now().time_since_epoch();
   const std::int64_t ns =
       std::chrono::duration_cast<std::chrono::nanoseconds>(now).count();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!epoch_set_) {
     epoch_ns_ = ns;
     epoch_set_ = true;
@@ -185,17 +185,17 @@ double Registry::now_us() {
 }
 
 void Registry::set_capacity(std::size_t max_events) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   capacity_ = max_events;
 }
 
 Metrics Registry::metrics() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return Metrics{counters_, gauges_};
 }
 
 std::string Registry::chrome_trace_json() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out;
   out.reserve(events_.size() * 96 + 1024);
   out += "{\n\"otherData\": {\"schema\": \"ftdl-trace-v1\"},\n";
@@ -248,7 +248,7 @@ std::string Registry::chrome_trace_json() const {
 }
 
 std::string Registry::metrics_json() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out = "{\n\"schema\": \"ftdl-metrics-v1\",\n\"counters\": {\n";
   bool first = true;
   for (const auto& [name, value] : counters_) {
@@ -276,7 +276,7 @@ void Registry::write_metrics(const std::string& path) const {
 }
 
 void Registry::reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   events_.clear();
   tracks_.clear();
   counters_.clear();

@@ -33,10 +33,12 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace ftdl::obs {
 
@@ -115,9 +117,15 @@ class Registry {
 
   // Unsynchronized views for tests and exporters driven after parallel
   // regions have completed; do not call while spans may still be recorded
-  // on other threads.
-  std::size_t event_count() const { return events_.size(); }
-  const std::vector<TraceEvent>& events() const { return events_; }
+  // on other threads. Deliberately outside the thread-safety analysis —
+  // the safety argument is quiescence, not locking.
+  std::size_t event_count() const FTDL_NO_THREAD_SAFETY_ANALYSIS {
+    return events_.size();
+  }
+  const std::vector<TraceEvent>& events() const
+      FTDL_NO_THREAD_SAFETY_ANALYSIS {
+    return events_;
+  }
 
   Metrics metrics() const;
 
@@ -141,14 +149,14 @@ class Registry {
 
   // All state below is guarded by mu_ (one coarse lock; instrumentation
   // sites are far from any inner loop).
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> events_;
-  std::vector<TrackInfo> tracks_;
-  std::map<std::string, std::int64_t> counters_;
-  std::map<std::string, double> gauges_;
-  std::size_t capacity_ = 1u << 20;
-  bool epoch_set_ = false;
-  std::int64_t epoch_ns_ = 0;
+  mutable Mutex mu_;
+  std::vector<TraceEvent> events_ FTDL_GUARDED_BY(mu_);
+  std::vector<TrackInfo> tracks_ FTDL_GUARDED_BY(mu_);
+  std::map<std::string, std::int64_t> counters_ FTDL_GUARDED_BY(mu_);
+  std::map<std::string, double> gauges_ FTDL_GUARDED_BY(mu_);
+  std::size_t capacity_ FTDL_GUARDED_BY(mu_) = 1u << 20;
+  bool epoch_set_ FTDL_GUARDED_BY(mu_) = false;
+  std::int64_t epoch_ns_ FTDL_GUARDED_BY(mu_) = 0;
 };
 
 /// RAII wall-clock span on the given track of the "host" process. Samples

@@ -2,14 +2,15 @@
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
 #include <deque>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "analyze/analyze.h"
 #include "common/error.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "obs/obs.h"
 
 namespace ftdl::serve {
@@ -113,17 +114,17 @@ struct Server::Impl {
   runtime::WeightStore weights;
   ServerOptions opt;
 
-  mutable std::mutex mu;
-  std::condition_variable cv;  ///< queue / pause / stop transitions
-  std::deque<Request> queue;
-  bool accepting = true;
-  bool paused = false;
-  std::uint64_t next_id = 1;
-  std::uint64_t next_batch = 1;
-  ServerStats stats;
+  mutable Mutex mu;
+  CondVar cv;  ///< queue / pause / stop transitions
+  std::deque<Request> queue FTDL_GUARDED_BY(mu);
+  bool accepting FTDL_GUARDED_BY(mu) = true;
+  bool paused FTDL_GUARDED_BY(mu) = false;
+  std::uint64_t next_id FTDL_GUARDED_BY(mu) = 1;
+  std::uint64_t next_batch FTDL_GUARDED_BY(mu) = 1;
+  ServerStats stats FTDL_GUARDED_BY(mu);
 
-  std::mutex stop_mu;  ///< serializes stop() (idempotent join)
-  bool stopped = false;
+  Mutex stop_mu;  ///< serializes stop() (idempotent join)
+  bool stopped FTDL_GUARDED_BY(stop_mu) = false;
   std::vector<std::thread> workers;
 
   Impl(nn::Network n, runtime::WeightStore w, ServerOptions o)
@@ -153,11 +154,12 @@ struct Server::Impl {
       std::vector<Request> batch;
       std::uint64_t batch_id = 0;
       {
-        std::unique_lock<std::mutex> lock(mu);
+        MutexLock lock(mu);
         for (;;) {
-          cv.wait(lock, [&] {
-            return (!paused && !queue.empty()) || (!accepting && queue.empty());
-          });
+          while (!((!paused && !queue.empty()) ||
+                   (!accepting && queue.empty()))) {
+            cv.wait(mu);
+          }
           if (queue.empty()) return;  // stopped and drained
           // Dynamic batching: wait for batch-mates until the oldest pending
           // request has waited batch_timeout_us, the batch is full, or the
@@ -169,7 +171,7 @@ struct Server::Impl {
           bool timed_out = opt.batch_timeout_us == 0;
           while (!timed_out && accepting && !paused &&
                  queue.size() < static_cast<std::size_t>(opt.max_batch)) {
-            timed_out = cv.wait_until(lock, deadline) == std::cv_status::timeout;
+            timed_out = cv.wait_until(mu, deadline) == std::cv_status::timeout;
           }
           // Another worker may have drained the queue while this one
           // slept, and pause() suspends dispatch; re-enter the idle wait.
@@ -229,7 +231,7 @@ struct Server::Impl {
       res.execute_us = us_between(dispatch, done);
       res.latency_us = us_between(req.enqueue_time, done);
       {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(mu);
         if (err) {
           ++stats.failed;
         } else {
@@ -266,6 +268,15 @@ Server::Server(nn::Network net, runtime::WeightStore weights,
                       ": serving needs exactly one sink layer, found " +
                       std::to_string(sinks.size()));
   }
+  // Full graph-family static analysis (shape agreement, dead layers,
+  // cycles) before any worker starts; a long-lived server must not accept
+  // traffic for a network that cannot execute end to end.
+  const analyze::AnalysisResult ar =
+      analyze::analyze_graph(impl_->net, analyze::GraphStrictness::Serving);
+  if (!ar.ok()) {
+    throw ConfigError(impl_->net.name() + ": static analysis rejected: " +
+                      ar.first_error()->to_string());
+  }
   impl_->workers.reserve(static_cast<std::size_t>(opt.workers));
   for (int w = 0; w < opt.workers; ++w) {
     impl_->workers.emplace_back([this, w] { impl_->worker_loop(w); });
@@ -279,7 +290,7 @@ Submission Server::submit(nn::Tensor16 input) {
   Submission s;
   if (!im.shape_ok(input)) {
     s.reject_reason = RejectReason::BadRequest;
-    std::lock_guard<std::mutex> lock(im.mu);
+    MutexLock lock(im.mu);
     ++im.stats.rejected_bad_request;
     if (obs::enabled()) {
       obs::count("serve/requests_rejected");
@@ -288,7 +299,7 @@ Submission Server::submit(nn::Tensor16 input) {
     return s;
   }
   obs::ScopedSpan span("serve", "enqueue");
-  std::unique_lock<std::mutex> lock(im.mu);
+  MutexLock lock(im.mu);
   if (!im.accepting) {
     s.reject_reason = RejectReason::Stopped;
     ++im.stats.rejected_stopped;
@@ -330,10 +341,10 @@ Submission Server::submit(nn::Tensor16 input) {
 
 void Server::stop() {
   Impl& im = *impl_;
-  std::lock_guard<std::mutex> stop_lock(im.stop_mu);
+  MutexLock stop_lock(im.stop_mu);
   if (im.stopped) return;
   {
-    std::lock_guard<std::mutex> lock(im.mu);
+    MutexLock lock(im.mu);
     im.accepting = false;
     im.paused = false;  // draining must always complete
   }
@@ -341,7 +352,7 @@ void Server::stop() {
   for (std::thread& t : im.workers) t.join();
   im.stopped = true;
   if (obs::enabled()) {
-    std::lock_guard<std::mutex> lock(im.mu);
+    MutexLock lock(im.mu);
     const LatencyHistogram& h = im.stats.latency;
     obs::gauge("serve/latency_p50_us", h.percentile(50.0));
     obs::gauge("serve/latency_p95_us", h.percentile(95.0));
@@ -353,25 +364,25 @@ void Server::stop() {
 }
 
 void Server::pause() {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   impl_->paused = true;
 }
 
 void Server::resume() {
   {
-    std::lock_guard<std::mutex> lock(impl_->mu);
+    MutexLock lock(impl_->mu);
     impl_->paused = false;
   }
   impl_->cv.notify_all();
 }
 
 std::size_t Server::queue_depth() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   return impl_->queue.size();
 }
 
 ServerStats Server::stats() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   return impl_->stats;
 }
 

@@ -28,6 +28,7 @@
 #include <sstream>
 #include <string>
 
+#include "analyze/analyze.h"
 #include "arch/overlay_config.h"
 #include "common/error.h"
 #include "common/rng.h"
@@ -172,6 +173,14 @@ int main(int argc, char** argv) {
     const multifpga::MultiFpgaPlan plan = multifpga::partition_pipeline(sched, 2);
     std::printf("  2-FPGA plan: %.1f FPS, balance %.2f, resident=%s\n",
                 plan.fps, plan.balance, plan.weights_resident ? "yes" : "no");
+    const analyze::AnalysisResult part_check =
+        analyze::analyze_partition(sched, plan);
+    if (!part_check.diagnostics.empty()) {
+      std::fputs(part_check.to_string().c_str(), stdout);
+    }
+    std::printf("  partition check: %d error(s), %d warning(s)\n",
+                part_check.errors(), part_check.warnings());
+    if (!part_check.ok()) return 1;
 
     // Phase 3 — cycle-level execution on a scaled-down overlay.
     const std::int64_t macs = overlay_macs(net);

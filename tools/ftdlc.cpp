@@ -15,6 +15,7 @@
 //                          else the hardware thread count; output is
 //                          bit-identical for any value)
 //     --emit FILE          write instruction words (hex) to FILE
+//     --bundle FILE        write the whole-network ftdl-network bundle
 //     --verify             statically verify every emitted stream
 //     --timing             print the post-P&R style timing report
 //     --rtl DIR            generate the overlay's Verilog RTL into DIR
@@ -25,6 +26,8 @@
 #include <fstream>
 #include <string>
 
+#include "analyze/analyze.h"
+#include "analyze/network_io.h"
 #include "common/str_util.h"
 #include "common/table.h"
 #include "compiler/program_verify.h"
@@ -42,6 +45,7 @@ struct Args {
   std::string spec_path;
   FrameworkOptions fw;
   std::string emit_path;
+  std::string bundle_path;
   bool quiet = false;
   bool timing = false;
   bool verify = false;
@@ -53,8 +57,8 @@ struct Args {
   std::fprintf(stderr,
                "usage: ftdlc NETWORK.ftdl [--device NAME] [--d1 N --d2 N "
                "--d3 N]\n             [--clock MHZ] [--objective obj1|obj2] "
-               "[--budget N] [--jobs N]\n             [--emit FILE] [--verify] "
-               "[--quiet]\n");
+               "[--budget N] [--jobs N]\n             [--emit FILE] "
+               "[--bundle FILE] [--verify] [--quiet]\n");
   std::exit(2);
 }
 
@@ -85,6 +89,8 @@ Args parse_args(int argc, char** argv) {
       if (args.fw.jobs < 1) usage("--jobs must be >= 1");
     } else if (std::strcmp(a, "--emit") == 0) {
       args.emit_path = next(i);
+    } else if (std::strcmp(a, "--bundle") == 0) {
+      args.bundle_path = next(i);
     } else if (std::strcmp(a, "--quiet") == 0) {
       args.quiet = true;
     } else if (std::strcmp(a, "--verify") == 0) {
@@ -170,6 +176,25 @@ int main(int argc, char** argv) {
                   report.schedule.layers.size(), verify_errors,
                   verify_warnings);
       if (verify_errors) return 1;
+    }
+
+    // Whole-network static analysis over the compiled schedule: memory plan
+    // liveness/overlap, producer/consumer shape agreement, program coverage.
+    const analyze::ScheduledNetwork scheduled =
+        analyze::make_scheduled(net, report.schedule);
+    const analyze::AnalysisResult analysis =
+        analyze::analyze_network(scheduled);
+    if (!analysis.diagnostics.empty()) {
+      std::fputs(analysis.to_string().c_str(), stdout);
+    }
+    std::printf("analyze: %llu-word DRAM image, %d error(s), %d warning(s)\n",
+                static_cast<unsigned long long>(scheduled.memory.image_words),
+                analysis.errors(), analysis.warnings());
+    if (!analysis.ok()) return 1;
+
+    if (!args.bundle_path.empty()) {
+      analyze::save_network(scheduled, args.bundle_path);
+      std::printf("network bundle written to %s\n", args.bundle_path.c_str());
     }
 
     if (!args.rtl_dir.empty()) {
