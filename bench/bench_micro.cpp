@@ -8,6 +8,7 @@
 // file as a build artifact.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -21,6 +22,7 @@
 #include "sim/ftdl_sim.h"
 #include "frontend/spec_parser.h"
 #include "nn/model_zoo.h"
+#include "obs/stream_writer.h"
 #include "prune/channel_prune.h"
 #include "quant/quantize.h"
 #include "rtlgen/verilog_gen.h"
@@ -157,6 +159,31 @@ void BM_RtlGenerate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RtlGenerate);
+
+// Publish fast path of the streaming event-log backend: one span
+// (SpanBegin + SpanEnd group) per iteration into a per-thread chunk
+// buffer, serializer flushing in the background. Guards the "recording
+// never blocks a request path" claim of docs/obs-stream-format.md.
+void BM_ObsStreamPublish(benchmark::State& state) {
+  const std::string path = "bench_obs_stream.tmp";
+  obs::stream::StreamWriter writer(path);
+  obs::stream::Record r[2];
+  r[0].kind = static_cast<std::uint8_t>(obs::stream::RecordKind::SpanBegin);
+  r[0].name_id = writer.intern("bench_span");
+  r[0].aux_id = writer.intern("bench");
+  r[1].kind = static_cast<std::uint8_t>(obs::stream::RecordKind::SpanEnd);
+  double ts = 0.0;
+  for (auto _ : state) {
+    r[0].payload = obs::stream::double_bits(ts);
+    r[1].payload = obs::stream::double_bits(ts + 0.5);
+    ts += 1.0;
+    benchmark::DoNotOptimize(writer.publish(r, 2));
+  }
+  state.SetItemsProcessed(state.iterations());
+  writer.finish();
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_ObsStreamPublish);
 
 }  // namespace
 

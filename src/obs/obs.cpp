@@ -9,6 +9,8 @@
 #include <fstream>
 
 #include "common/error.h"
+#include "obs/stream_format.h"
+#include "obs/stream_writer.h"
 
 namespace ftdl::obs {
 
@@ -16,7 +18,18 @@ namespace detail {
 bool g_enabled = false;
 }  // namespace detail
 
-void set_enabled(bool on) { detail::g_enabled = on; }
+void set_enabled(bool on) {
+  if (!on) Registry::global().detach_stream();
+  detail::g_enabled = on;
+}
+
+void set_enabled(bool on, const std::string& stream_path) {
+  if (on && !stream_path.empty()) {
+    Registry::global().attach_stream(
+        std::make_shared<stream::StreamWriter>(stream_path));
+  }
+  set_enabled(on);
+}
 
 namespace {
 thread_local std::string t_track_name = "main";
@@ -78,14 +91,33 @@ Registry& Registry::global() {
   return r;
 }
 
+void Registry::bump_counter_locked(const std::string& name,
+                                   std::int64_t delta) {
+  counters_[name] += delta;
+  if (stream_) {
+    stream::Record r;
+    r.kind = static_cast<std::uint8_t>(stream::RecordKind::CounterAdd);
+    r.name_id = stream_->intern(name);
+    r.payload = stream::i64_bits(delta);
+    stream_->publish(&r, 1);
+  }
+}
+
 void Registry::add(const std::string& name, std::int64_t delta) {
   MutexLock lock(mu_);
-  counters_[name] += delta;
+  bump_counter_locked(name, delta);
 }
 
 void Registry::set_gauge(const std::string& name, double value) {
   MutexLock lock(mu_);
   gauges_[name] = value;
+  if (stream_) {
+    stream::Record r;
+    r.kind = static_cast<std::uint8_t>(stream::RecordKind::GaugeSet);
+    r.name_id = stream_->intern(name);
+    r.payload = stream::double_bits(value);
+    stream_->publish(&r, 1);
+  }
 }
 
 std::int64_t Registry::counter(const std::string& name) const {
@@ -127,7 +159,21 @@ std::uint32_t Registry::track(const std::string& process,
     t.tid = 1;
   }
   tracks_.push_back(std::move(t));
-  return static_cast<std::uint32_t>(tracks_.size() - 1);
+  const std::uint32_t index = static_cast<std::uint32_t>(tracks_.size() - 1);
+  publish_track_def_locked(index);
+  return index;
+}
+
+void Registry::publish_track_def_locked(std::uint32_t index) {
+  if (!stream_) return;
+  const TrackInfo& t = tracks_[index];
+  stream::Record r;
+  r.kind = static_cast<std::uint8_t>(stream::RecordKind::TrackDef);
+  r.track = index;
+  r.name_id = stream_->intern(t.process);
+  r.aux_id = stream_->intern(t.thread);
+  r.payload = (std::uint64_t(t.pid) << 32) | std::uint64_t(t.tid);
+  stream_->publish(&r, 1);
 }
 
 void Registry::begin(std::uint32_t track, std::string name, double ts,
@@ -135,10 +181,29 @@ void Registry::begin(std::uint32_t track, std::string name, double ts,
   MutexLock lock(mu_);
   FTDL_ASSERT(track < tracks_.size());
   TrackInfo& t = tracks_[track];
+  if (stream_) {
+    // The log records every span, including ones the in-memory store is
+    // about to drop at its capacity cap — that is the point of streaming.
+    std::vector<stream::Record> group(1 + args.size());
+    group[0].kind = static_cast<std::uint8_t>(stream::RecordKind::SpanBegin);
+    group[0].argc = static_cast<std::uint8_t>(
+        std::min<std::size_t>(args.size(), 255));
+    group[0].track = track;
+    group[0].payload = stream::double_bits(ts);
+    group[0].name_id = stream_->intern(name);
+    group[0].aux_id = stream_->intern(cat);
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      group[1 + i].kind = static_cast<std::uint8_t>(stream::RecordKind::SpanArg);
+      group[1 + i].track = track;
+      group[1 + i].name_id = stream_->intern(args[i].first);
+      group[1 + i].aux_id = stream_->intern(args[i].second);
+    }
+    stream_->publish(group.data(), group.size());
+  }
   // +1 leaves room for the matching end() so exports stay balanced.
   if (events_.size() + 1 >= capacity_) {
-    counters_["obs/dropped_events"] += 2;
-    t.open.push_back(0);
+    bump_counter_locked("obs/dropped_events", 2);
+    t.open.push_back(-1);
     return;
   }
   TraceEvent e;
@@ -149,8 +214,8 @@ void Registry::begin(std::uint32_t track, std::string name, double ts,
   e.pid = t.pid;
   e.tid = t.tid;
   e.args = std::move(args);
+  t.open.push_back(static_cast<std::int64_t>(events_.size()));
   events_.push_back(std::move(e));
-  t.open.push_back(1);
 }
 
 void Registry::end(std::uint32_t track, double ts) {
@@ -158,18 +223,47 @@ void Registry::end(std::uint32_t track, double ts) {
   FTDL_ASSERT(track < tracks_.size());
   TrackInfo& t = tracks_[track];
   if (t.open.empty()) {
-    counters_["obs/unbalanced_ends"] += 1;
+    bump_counter_locked("obs/unbalanced_ends", 1);
     return;
   }
-  const bool kept = t.open.back() != 0;
+  if (stream_) {
+    stream::Record r;
+    r.kind = static_cast<std::uint8_t>(stream::RecordKind::SpanEnd);
+    r.track = track;
+    r.payload = stream::double_bits(ts);
+    stream_->publish(&r, 1);
+  }
+  const std::int64_t kept = t.open.back();
   t.open.pop_back();
-  if (!kept) return;
+  if (kept < 0) return;
   TraceEvent e;
   e.ph = 'E';
   e.ts = ts;
   e.pid = t.pid;
   e.tid = t.tid;
   events_.push_back(std::move(e));
+}
+
+void Registry::annotate(std::uint32_t track, const std::string& key,
+                        const std::string& value) {
+  MutexLock lock(mu_);
+  FTDL_ASSERT(track < tracks_.size());
+  TrackInfo& t = tracks_[track];
+  if (t.open.empty()) {
+    bump_counter_locked("obs/unbalanced_annotations", 1);
+    return;
+  }
+  if (stream_) {
+    stream::Record r;
+    r.kind = static_cast<std::uint8_t>(stream::RecordKind::Annotate);
+    r.track = track;
+    r.name_id = stream_->intern(key);
+    r.aux_id = stream_->intern(value);
+    stream_->publish(&r, 1);
+  }
+  const std::int64_t open = t.open.back();
+  if (open < 0) return;  // span itself was dropped at the capacity cap
+  events_[static_cast<std::size_t>(open)].args.emplace_back(key, value);
 }
 
 double Registry::now_us() {
@@ -189,15 +283,72 @@ void Registry::set_capacity(std::size_t max_events) {
   capacity_ = max_events;
 }
 
+void Registry::attach_stream(std::shared_ptr<stream::StreamWriter> writer) {
+  std::shared_ptr<stream::StreamWriter> previous;
+  {
+    MutexLock lock(mu_);
+    previous = std::move(stream_);
+    stream_ = std::move(writer);
+    // Snapshot: tracks registered and scalar state accumulated before
+    // attachment, so every later record in the log resolves and the log's
+    // final counter/gauge state equals the registry's.
+    for (std::uint32_t i = 0; i < tracks_.size(); ++i)
+      publish_track_def_locked(i);
+    if (stream_) {
+      for (const auto& [name, value] : counters_) {
+        stream::Record r;
+        r.kind = static_cast<std::uint8_t>(stream::RecordKind::CounterAdd);
+        r.name_id = stream_->intern(name);
+        r.payload = stream::i64_bits(value);
+        stream_->publish(&r, 1);
+      }
+      for (const auto& [name, value] : gauges_) {
+        stream::Record r;
+        r.kind = static_cast<std::uint8_t>(stream::RecordKind::GaugeSet);
+        r.name_id = stream_->intern(name);
+        r.payload = stream::double_bits(value);
+        stream_->publish(&r, 1);
+      }
+    }
+  }
+  if (previous) previous->finish();
+}
+
+stream::StreamStats Registry::detach_stream() {
+  std::shared_ptr<stream::StreamWriter> writer;
+  {
+    MutexLock lock(mu_);
+    writer = std::move(stream_);
+  }
+  if (!writer) return stream::StreamStats{};
+  // All publishes happen under mu_, and stream_ is now null under mu_, so
+  // no publish can race the finish below.
+  writer->finish();
+  const stream::StreamStats s = writer->stats();
+  MutexLock lock(mu_);
+  counters_["obs/stream_records"] += static_cast<std::int64_t>(s.records);
+  counters_["obs/stream_chunks"] +=
+      static_cast<std::int64_t>(s.data_chunks + s.string_chunks);
+  counters_["obs/stream_strings"] += static_cast<std::int64_t>(s.strings);
+  counters_["obs/stream_bytes"] +=
+      static_cast<std::int64_t>(s.bytes_written);
+  return s;
+}
+
+bool Registry::stream_attached() const {
+  MutexLock lock(mu_);
+  return stream_ != nullptr;
+}
+
 Metrics Registry::metrics() const {
   MutexLock lock(mu_);
   return Metrics{counters_, gauges_};
 }
 
-std::string Registry::chrome_trace_json() const {
-  MutexLock lock(mu_);
+std::string render_chrome_trace(const std::vector<TrackNames>& tracks,
+                                const std::vector<TraceEvent>& events) {
   std::string out;
-  out.reserve(events_.size() * 96 + 1024);
+  out.reserve(events.size() * 96 + 1024);
   out += "{\n\"otherData\": {\"schema\": \"ftdl-trace-v1\"},\n";
   out += "\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
   bool first = true;
@@ -207,7 +358,7 @@ std::string Registry::chrome_trace_json() const {
   };
   // Metadata: process / thread names, deduplicated per pid.
   std::map<std::uint32_t, bool> named_pid;
-  for (const TrackInfo& t : tracks_) {
+  for (const TrackNames& t : tracks) {
     if (!named_pid[t.pid]) {
       named_pid[t.pid] = true;
       sep();
@@ -220,7 +371,7 @@ std::string Registry::chrome_trace_json() const {
            std::to_string(t.pid) + ",\"tid\":" + std::to_string(t.tid) +
            ",\"args\":{\"name\":\"" + json_escape(t.thread) + "\"}}";
   }
-  for (const TraceEvent& e : events_) {
+  for (const TraceEvent& e : events) {
     sep();
     out += "{\"ph\":\"";
     out += e.ph;
@@ -247,18 +398,17 @@ std::string Registry::chrome_trace_json() const {
   return out;
 }
 
-std::string Registry::metrics_json() const {
-  MutexLock lock(mu_);
+std::string render_metrics_json(const Metrics& m) {
   std::string out = "{\n\"schema\": \"ftdl-metrics-v1\",\n\"counters\": {\n";
   bool first = true;
-  for (const auto& [name, value] : counters_) {
+  for (const auto& [name, value] : m.counters) {
     if (!first) out += ",\n";
     first = false;
     out += "  \"" + json_escape(name) + "\": " + std::to_string(value);
   }
   out += "\n},\n\"gauges\": {\n";
   first = true;
-  for (const auto& [name, value] : gauges_) {
+  for (const auto& [name, value] : m.gauges) {
     if (!first) out += ",\n";
     first = false;
     out += "  \"" + json_escape(name) + "\": " + json_double(value);
@@ -266,6 +416,17 @@ std::string Registry::metrics_json() const {
   out += "\n}\n}\n";
   return out;
 }
+
+std::string Registry::chrome_trace_json() const {
+  MutexLock lock(mu_);
+  std::vector<TrackNames> tracks;
+  tracks.reserve(tracks_.size());
+  for (const TrackInfo& t : tracks_)
+    tracks.push_back(TrackNames{t.process, t.thread, t.pid, t.tid});
+  return render_chrome_trace(tracks, events_);
+}
+
+std::string Registry::metrics_json() const { return render_metrics_json(metrics()); }
 
 void Registry::write_chrome_trace(const std::string& path) const {
   write_file(path, chrome_trace_json());
@@ -276,6 +437,7 @@ void Registry::write_metrics(const std::string& path) const {
 }
 
 void Registry::reset() {
+  detach_stream();
   MutexLock lock(mu_);
   events_.clear();
   tracks_.clear();
@@ -297,6 +459,11 @@ ScopedSpan::~ScopedSpan() {
   if (!active_) return;
   Registry& r = Registry::global();
   r.end(track_, r.now_us());
+}
+
+void ScopedSpan::add_arg(const std::string& key, const std::string& value) {
+  if (!active_) return;
+  Registry::global().annotate(track_, key, value);
 }
 
 namespace {

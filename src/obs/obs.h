@@ -16,12 +16,29 @@
 // observability leaves compiler and simulator outputs bit-identical (pinned
 // by tests/test_obs.cpp).
 //
+// Backends. The registry records through one of two sinks, selected at
+// set_enabled() time:
+//   * in-memory (the fallback) — events buffer in one process-wide vector
+//     and whole spans are *dropped* past a capacity cap. Right for one
+//     bounded profiling run; wrong for a server under sustained traffic.
+//   * streaming — set_enabled(true, "run.stream") additionally attaches an
+//     append-only ftdl-stream-v1 binary event log (docs/obs-stream-format.md):
+//     instrumented threads publish fixed-size records into per-thread
+//     chunks and a background serializer flushes sealed chunks to disk, so
+//     no span is ever dropped regardless of run length. The in-memory
+//     store keeps recording alongside (same capacity rules) so live
+//     exports still work; the log is the durable, complete record.
+//
 // Exporters (schemas documented in docs/observability.md):
 //   * chrome_trace_json() — Chrome trace-event JSON ("JSON Object Format"
 //     with a traceEvents array of B/E pairs plus process/thread-name
 //     metadata), loadable in Perfetto / chrome://tracing;
 //   * metrics_json()      — flat {"counters": {...}, "gauges": {...}}
 //     snapshot, parseable back via parse_metrics_json().
+// Both are *renderings* of registry-shaped state (render_chrome_trace /
+// render_metrics_json below); the offline loader in obs/stream_reader.h
+// reconstructs that same shape from a recorded log, so exports derived
+// from the log are byte-identical to live ones for the same run.
 //
 // The registry is thread-safe: every mutating and reading operation takes
 // one internal mutex, so instrumentation from the compiler session's worker
@@ -33,6 +50,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -42,6 +60,11 @@
 
 namespace ftdl::obs {
 
+namespace stream {
+class StreamWriter;
+struct StreamStats;
+}  // namespace stream
+
 namespace detail {
 extern bool g_enabled;
 }  // namespace detail
@@ -50,6 +73,12 @@ extern bool g_enabled;
 /// test suite pay (almost) nothing.
 inline bool enabled() { return detail::g_enabled; }
 void set_enabled(bool on);
+
+/// Backend-selecting overload: enables collection and attaches a streaming
+/// ftdl-stream-v1 event log on `stream_path` (empty = in-memory fallback
+/// only, identical to set_enabled(on)). Disabling detaches and finishes
+/// any attached stream. Throws ftdl::Error when the file cannot be opened.
+void set_enabled(bool on, const std::string& stream_path);
 
 /// Sets the calling thread's default ScopedSpan track ("main" unless set).
 /// The compiler session names each pool worker ("jobs-0", "jobs-1", ...) so
@@ -79,6 +108,26 @@ struct Metrics {
   std::map<std::string, double> gauges;
 };
 
+/// Names + Chrome trace ids of one track, in registration order. The
+/// public shape shared by the live registry and the offline stream loader
+/// so both can drive the same renderers below.
+struct TrackNames {
+  std::string process;
+  std::string thread;
+  std::uint32_t pid = 0;
+  std::uint32_t tid = 0;
+};
+
+/// Renders the ftdl-trace-v1 Chrome trace-event document for the given
+/// tracks and event list. Registry::chrome_trace_json() and the offline
+/// log exporter both call this, which is what makes a log-derived export
+/// byte-identical to a live one for the same run.
+std::string render_chrome_trace(const std::vector<TrackNames>& tracks,
+                                const std::vector<TraceEvent>& events);
+
+/// Renders the ftdl-metrics-v1 document for a metrics snapshot.
+std::string render_metrics_json(const Metrics& m);
+
 class Registry {
  public:
   /// The process-wide registry every instrumentation site writes to.
@@ -106,6 +155,35 @@ class Registry {
   /// Closes the innermost open span of `track`. Unmatched end() calls are
   /// dropped and counted under "obs/unbalanced_ends".
   void end(std::uint32_t track, double ts);
+
+  /// Appends {key, value} to the args of the innermost *open* span of
+  /// `track` — for facts only known after the span began (the request id a
+  /// Server::submit admission assigns, the cycle count an execution
+  /// produced). With no open span the call is dropped and counted under
+  /// "obs/unbalanced_annotations".
+  void annotate(std::uint32_t track, const std::string& key,
+                const std::string& value);
+
+  // ---- streaming backend ----
+
+  /// Attaches `writer` as a streaming sink: from this call on, every track
+  /// definition, span begin/end/annotation, counter add and gauge set is
+  /// also published to the log. Attachment starts by snapshotting already-
+  /// registered tracks and current counter/gauge values into the log, so a
+  /// log attached at t reflects all scalar state from t on; events
+  /// recorded before attachment live only in the in-memory store. Replaces
+  /// (and finishes) any previously attached writer.
+  void attach_stream(std::shared_ptr<stream::StreamWriter> writer);
+
+  /// Detaches the streaming sink, finishes the log (flush + close) and
+  /// returns the writer's final stats; also accumulates them into the
+  /// in-memory counters as obs/stream_records, obs/stream_chunks,
+  /// obs/stream_strings and obs/stream_bytes (memory-only by construction
+  /// — the log is already closed when they are recorded). No-op returning
+  /// zeros when nothing is attached.
+  stream::StreamStats detach_stream();
+
+  bool stream_attached() const;
 
   /// Wall-clock microseconds since the registry's first use (steady clock).
   double now_us();
@@ -135,7 +213,8 @@ class Registry {
   void write_chrome_trace(const std::string& path) const;
   void write_metrics(const std::string& path) const;
 
-  /// Clears events, counters, gauges, tracks and the wall-clock epoch.
+  /// Clears events, counters, gauges, tracks and the wall-clock epoch,
+  /// detaching (and finishing) any attached stream first.
   void reset();
 
  private:
@@ -144,16 +223,28 @@ class Registry {
     std::string thread;
     std::uint32_t pid = 0;
     std::uint32_t tid = 0;
-    std::vector<char> open;  ///< stack; 1 = span recorded, 0 = dropped
+    /// Stack of open spans: index into events_ of the B record, or -1 when
+    /// the span was dropped at the capacity cap (annotations skip it and
+    /// the matching end() emits no E event).
+    std::vector<std::int64_t> open;
   };
 
+  void bump_counter_locked(const std::string& name, std::int64_t delta)
+      FTDL_REQUIRES(mu_);
+  void publish_track_def_locked(std::uint32_t index) FTDL_REQUIRES(mu_);
+
   // All state below is guarded by mu_ (one coarse lock; instrumentation
-  // sites are far from any inner loop).
+  // sites are far from any inner loop). Stream publication happens inside
+  // the same critical section that mutates the in-memory state, so record
+  // sequence numbers in the log reproduce the registry's event order
+  // exactly; the writer's fast path is one uncontended per-thread mutex,
+  // and all slow work (I/O, CRC, framing) lives on its serializer thread.
   mutable Mutex mu_;
   std::vector<TraceEvent> events_ FTDL_GUARDED_BY(mu_);
   std::vector<TrackInfo> tracks_ FTDL_GUARDED_BY(mu_);
   std::map<std::string, std::int64_t> counters_ FTDL_GUARDED_BY(mu_);
   std::map<std::string, double> gauges_ FTDL_GUARDED_BY(mu_);
+  std::shared_ptr<stream::StreamWriter> stream_ FTDL_GUARDED_BY(mu_);
   std::size_t capacity_ FTDL_GUARDED_BY(mu_) = 1u << 20;
   bool epoch_set_ FTDL_GUARDED_BY(mu_) = false;
   std::int64_t epoch_ns_ FTDL_GUARDED_BY(mu_) = 0;
@@ -170,6 +261,11 @@ class ScopedSpan {
   ~ScopedSpan();
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Attaches {key, value} to this (still open) span — for values that are
+  /// only known after construction, like an admission-assigned request id.
+  /// No-op when observability was off at construction.
+  void add_arg(const std::string& key, const std::string& value);
 
  private:
   bool active_ = false;

@@ -1,0 +1,205 @@
+// ftdl-stream-v1 — the on-disk byte layout of the streaming event log.
+//
+// This header is the single in-code source of truth for the format that
+// stream_writer.cpp emits and stream_reader.cpp parses. The normative,
+// prose specification lives in docs/obs-stream-format.md; the two cannot
+// drift because tests/test_obs_stream.cpp regenerates the spec's worked
+// hex dump byte-for-byte from these definitions.
+//
+// Layout summary (all integers little-endian, no implicit padding):
+//
+//   file      := FileHeader Chunk*
+//   Chunk     := ChunkHeader payload[payload_bytes]
+//   payload   := Record*32B * record_count          (kind = Data)
+//              | { u32 id, u32 len, byte[len] }*    (kind = Strings)
+//
+// Every chunk carries a CRC32 (IEEE 802.3 reflected, the zlib polynomial)
+// over its payload and a global chunk sequence number; every data record
+// carries a global record sequence number. Both sequences are contiguous
+// from 0 in a complete log, which is what lets an offline checker prove
+// "no event was lost" instead of assuming it.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace ftdl::obs::stream {
+
+// ---- file header (32 bytes) ----
+
+inline constexpr char kFileMagic[8] = {'F', 'T', 'D', 'L',
+                                       'S', 'T', 'R', 'M'};
+inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr std::size_t kFileHeaderBytes = 32;
+
+// ---- chunk header (32 bytes) ----
+
+/// "CHNK" read as a little-endian u32.
+inline constexpr std::uint32_t kChunkMagic = 0x4B4E4843u;
+inline constexpr std::size_t kChunkHeaderBytes = 32;
+
+enum class ChunkKind : std::uint32_t {
+  Data = 0,     ///< payload is record_count fixed 32-byte records
+  Strings = 1,  ///< payload is string-table entries {id, len, bytes}
+};
+
+struct ChunkHeader {
+  std::uint32_t magic = kChunkMagic;
+  std::uint32_t kind = 0;           ///< ChunkKind
+  std::uint32_t payload_bytes = 0;
+  std::uint32_t crc32 = 0;          ///< over the payload bytes only
+  std::uint64_t chunk_seq = 0;      ///< contiguous from 0 across both kinds
+  std::uint32_t writer_thread = 0;  ///< publisher channel id; 0 for strings
+  std::uint32_t count = 0;          ///< records (Data) / entries (Strings)
+};
+
+// ---- data records (32 bytes each) ----
+
+enum class RecordKind : std::uint8_t {
+  Invalid = 0,
+  TrackDef = 1,   ///< track: index; name_id: process; aux_id: thread;
+                  ///< payload: (pid << 32) | tid
+  SpanBegin = 2,  ///< track, payload: ts bits, name_id, aux_id: category;
+                  ///< argc following SpanArg records
+  SpanArg = 3,    ///< name_id: key string, aux_id: value string
+  SpanEnd = 4,    ///< track, payload: ts bits
+  CounterAdd = 5, ///< name_id, payload: int64 delta bits
+  GaugeSet = 6,   ///< name_id, payload: double bits
+  Annotate = 7,   ///< innermost open span of `track` gains {name_id: aux_id}
+};
+
+/// One fixed-size event record. The in-memory struct mirrors the wire
+/// layout field-for-field; encode_record/decode_record are still explicit
+/// per-field little-endian copies so the format never depends on host
+/// struct padding or byte order.
+struct Record {
+  std::uint8_t kind = 0;      ///< RecordKind
+  std::uint8_t argc = 0;      ///< SpanBegin: number of following SpanArgs
+  std::uint16_t reserved = 0; ///< must be written 0, ignored on read
+  std::uint32_t track = 0;
+  std::uint64_t seq = 0;      ///< global record sequence, contiguous from 0
+  std::uint64_t payload = 0;  ///< ts / delta / gauge double (bit patterns)
+  std::uint32_t name_id = 0;  ///< interned string id (0 = none)
+  std::uint32_t aux_id = 0;   ///< second interned string id (0 = none)
+};
+
+inline constexpr std::size_t kRecordBytes = 32;
+
+// ---- little-endian codec helpers ----
+
+inline void put_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+}
+inline void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+inline void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+inline std::uint16_t get_u16(const unsigned char* p) {
+  return static_cast<std::uint16_t>(p[0] | (std::uint16_t(p[1]) << 8));
+}
+inline std::uint32_t get_u32(const unsigned char* p) {
+  return std::uint32_t(p[0]) | (std::uint32_t(p[1]) << 8) |
+         (std::uint32_t(p[2]) << 16) | (std::uint32_t(p[3]) << 24);
+}
+inline std::uint64_t get_u64(const unsigned char* p) {
+  return std::uint64_t(get_u32(p)) | (std::uint64_t(get_u32(p + 4)) << 32);
+}
+
+inline std::uint64_t double_bits(double v) {
+  std::uint64_t b;
+  std::memcpy(&b, &v, sizeof(b));
+  return b;
+}
+inline double bits_double(std::uint64_t b) {
+  double v;
+  std::memcpy(&v, &b, sizeof(v));
+  return v;
+}
+inline std::uint64_t i64_bits(std::int64_t v) {
+  std::uint64_t b;
+  std::memcpy(&b, &v, sizeof(b));
+  return b;
+}
+inline std::int64_t bits_i64(std::uint64_t b) {
+  std::int64_t v;
+  std::memcpy(&v, &b, sizeof(v));
+  return v;
+}
+
+inline void encode_record(std::string& out, const Record& r) {
+  out.push_back(static_cast<char>(r.kind));
+  out.push_back(static_cast<char>(r.argc));
+  put_u16(out, r.reserved);
+  put_u32(out, r.track);
+  put_u64(out, r.seq);
+  put_u64(out, r.payload);
+  put_u32(out, r.name_id);
+  put_u32(out, r.aux_id);
+}
+
+inline Record decode_record(const unsigned char* p) {
+  Record r;
+  r.kind = p[0];
+  r.argc = p[1];
+  r.reserved = get_u16(p + 2);
+  r.track = get_u32(p + 4);
+  r.seq = get_u64(p + 8);
+  r.payload = get_u64(p + 16);
+  r.name_id = get_u32(p + 24);
+  r.aux_id = get_u32(p + 28);
+  return r;
+}
+
+inline void encode_chunk_header(std::string& out, const ChunkHeader& h) {
+  put_u32(out, h.magic);
+  put_u32(out, h.kind);
+  put_u32(out, h.payload_bytes);
+  put_u32(out, h.crc32);
+  put_u64(out, h.chunk_seq);
+  put_u32(out, h.writer_thread);
+  put_u32(out, h.count);
+}
+
+inline ChunkHeader decode_chunk_header(const unsigned char* p) {
+  ChunkHeader h;
+  h.magic = get_u32(p);
+  h.kind = get_u32(p + 4);
+  h.payload_bytes = get_u32(p + 8);
+  h.crc32 = get_u32(p + 12);
+  h.chunk_seq = get_u64(p + 16);
+  h.writer_thread = get_u32(p + 24);
+  h.count = get_u32(p + 28);
+  return h;
+}
+
+/// CRC-32 (IEEE 802.3): reflected, polynomial 0xEDB88320, initial value
+/// 0xFFFFFFFF, final XOR 0xFFFFFFFF — bit-compatible with zlib's crc32(),
+/// so recorded logs can be cross-checked with standard tooling.
+inline std::uint32_t crc32(const void* data, std::size_t n,
+                           std::uint32_t seed = 0) {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = ~seed;
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i)
+    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  return ~crc;
+}
+
+}  // namespace ftdl::obs::stream

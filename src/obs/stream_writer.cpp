@@ -1,0 +1,241 @@
+#include "obs/stream_writer.h"
+
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+#include "common/error.h"
+
+namespace ftdl::obs::stream {
+
+namespace {
+
+/// Monotonic id source for writers; lets the thread-local channel cache
+/// detect that it belongs to a dead writer without dereferencing it.
+std::atomic<std::uint64_t> g_next_writer_id{1};
+
+struct ChannelCache {
+  std::uint64_t writer_id = 0;
+  void* channel = nullptr;
+};
+thread_local ChannelCache t_channel_cache;
+
+}  // namespace
+
+StreamWriter::StreamWriter(std::string path, StreamWriterOptions opt)
+    : path_(std::move(path)),
+      opt_(opt),
+      writer_id_(g_next_writer_id.fetch_add(1)) {
+  if (opt_.chunk_records < 2)
+    throw Error("stream writer: chunk_records must be >= 2");
+  file_ = std::fopen(path_.c_str(), "wb");
+  if (!file_) throw Error("cannot open " + path_ + " for writing");
+  std::string header;
+  header.append(kFileMagic, sizeof(kFileMagic));
+  put_u32(header, kFormatVersion);
+  put_u32(header, static_cast<std::uint32_t>(kFileHeaderBytes));
+  put_u64(header, 0);  // flags
+  put_u64(header, 0);  // reserved
+  append(header);
+  serializer_ = std::thread([this] { serializer_loop(); });
+}
+
+StreamWriter::~StreamWriter() { finish(); }
+
+std::uint32_t StreamWriter::intern(const std::string& s) {
+  MutexLock lock(strings_mu_);
+  auto it = interned_.find(s);
+  if (it != interned_.end()) return it->second;
+  const std::uint32_t id = static_cast<std::uint32_t>(interned_.size() + 1);
+  interned_.emplace(s, id);
+  pending_strings_.emplace_back(id, s);
+  return id;
+}
+
+StreamWriter::Channel* StreamWriter::channel_for_this_thread() {
+  ChannelCache& cache = t_channel_cache;
+  if (cache.writer_id == writer_id_)
+    return static_cast<Channel*>(cache.channel);
+  MutexLock lock(channels_mu_);
+  auto ch = std::make_unique<Channel>();
+  ch->id = static_cast<std::uint32_t>(channels_.size() + 1);
+  {
+    MutexLock chlock(ch->mu);
+    ch->buf.reserve(opt_.chunk_records);
+  }
+  Channel* raw = ch.get();
+  channels_.push_back(std::move(ch));
+  cache.writer_id = writer_id_;
+  cache.channel = raw;
+  return raw;
+}
+
+void StreamWriter::seal_locked(Channel& ch) {
+  if (ch.buf.empty()) return;
+  SealedChunk sealed;
+  sealed.writer_thread = ch.id;
+  sealed.records.swap(ch.buf);
+  ch.buf.reserve(opt_.chunk_records);
+  {
+    MutexLock qlock(queue_mu_);
+    queue_.push_back(std::move(sealed));
+  }
+  queue_cv_.notify_one();
+}
+
+std::uint64_t StreamWriter::publish(const Record* records, std::size_t n) {
+  if (n == 0) return next_seq_.load();
+  if (finished_.load(std::memory_order_acquire)) {
+    dropped_after_finish_.fetch_add(n, std::memory_order_relaxed);
+    return 0;
+  }
+  const std::uint64_t first = next_seq_.fetch_add(n);
+  Channel* ch = channel_for_this_thread();
+  MutexLock lock(ch->mu);
+  if (ch->buf.size() + n > opt_.chunk_records) seal_locked(*ch);
+  for (std::size_t i = 0; i < n; ++i) {
+    Record r = records[i];
+    r.seq = first + i;
+    ch->buf.push_back(r);
+  }
+  if (ch->buf.size() >= opt_.chunk_records) seal_locked(*ch);
+  return first;
+}
+
+void StreamWriter::append(const std::string& bytes) {
+  if (std::fwrite(bytes.data(), 1, bytes.size(), file_) != bytes.size())
+    throw Error("stream writer: write to " + path_ + " failed");
+  MutexLock lock(stats_mu_);
+  stats_.bytes_written += bytes.size();
+}
+
+void StreamWriter::write_pending_strings() {
+  std::vector<std::pair<std::uint32_t, std::string>> batch;
+  {
+    MutexLock lock(strings_mu_);
+    if (pending_strings_.empty()) return;
+    batch.swap(pending_strings_);
+  }
+  std::string payload;
+  for (const auto& [id, s] : batch) {
+    put_u32(payload, id);
+    put_u32(payload, static_cast<std::uint32_t>(s.size()));
+    payload.append(s);
+  }
+  ChunkHeader h;
+  h.kind = static_cast<std::uint32_t>(ChunkKind::Strings);
+  h.payload_bytes = static_cast<std::uint32_t>(payload.size());
+  h.crc32 = crc32(payload.data(), payload.size());
+  h.chunk_seq = chunk_seq_++;
+  h.writer_thread = 0;
+  h.count = static_cast<std::uint32_t>(batch.size());
+  std::string bytes;
+  bytes.reserve(kChunkHeaderBytes + payload.size());
+  encode_chunk_header(bytes, h);
+  bytes.append(payload);
+  append(bytes);
+  MutexLock lock(stats_mu_);
+  ++stats_.string_chunks;
+  stats_.strings += batch.size();
+}
+
+void StreamWriter::write_data_chunk(const SealedChunk& c) {
+  // Any string a record references was interned before its publish
+  // completed, so flushing the intern delta first guarantees the reader
+  // never sees a dangling id.
+  write_pending_strings();
+  std::string payload;
+  payload.reserve(c.records.size() * kRecordBytes);
+  for (const Record& r : c.records) encode_record(payload, r);
+  ChunkHeader h;
+  h.kind = static_cast<std::uint32_t>(ChunkKind::Data);
+  h.payload_bytes = static_cast<std::uint32_t>(payload.size());
+  h.crc32 = crc32(payload.data(), payload.size());
+  h.chunk_seq = chunk_seq_++;
+  h.writer_thread = c.writer_thread;
+  h.count = static_cast<std::uint32_t>(c.records.size());
+  std::string bytes;
+  bytes.reserve(kChunkHeaderBytes + payload.size());
+  encode_chunk_header(bytes, h);
+  bytes.append(payload);
+  append(bytes);
+  MutexLock lock(stats_mu_);
+  ++stats_.data_chunks;
+  stats_.records += c.records.size();
+}
+
+void StreamWriter::serializer_loop() {
+  const auto period = std::chrono::milliseconds(
+      opt_.flush_period_ms > 0 ? opt_.flush_period_ms : 0);
+  for (;;) {
+    std::vector<SealedChunk> work;
+    bool stop = false;
+    {
+      MutexLock lock(queue_mu_);
+      if (opt_.flush_period_ms > 0) {
+        const auto deadline = std::chrono::steady_clock::now() + period;
+        while (queue_.empty() && !stopping_) {
+          if (queue_cv_.wait_until(queue_mu_, deadline) ==
+              std::cv_status::timeout)
+            break;
+        }
+      } else {
+        while (queue_.empty() && !stopping_) queue_cv_.wait(queue_mu_);
+      }
+      work.swap(queue_);
+      stop = stopping_;
+    }
+    if (work.empty() && !stop && opt_.flush_period_ms > 0) {
+      // Periodic sweep: seal partial chunks so the log tail stays fresh
+      // even when no channel fills up (an idle or low-rate server).
+      MutexLock lock(channels_mu_);
+      for (const auto& ch : channels_) {
+        MutexLock chlock(ch->mu);
+        seal_locked(*ch);
+      }
+      {
+        MutexLock qlock(queue_mu_);
+        work.swap(queue_);
+      }
+    }
+    for (const SealedChunk& c : work) write_data_chunk(c);
+    if (!work.empty()) std::fflush(file_);
+    if (stop) {
+      MutexLock lock(queue_mu_);
+      if (queue_.empty()) return;
+    }
+  }
+}
+
+void StreamWriter::finish() {
+  bool expected = false;
+  if (!finished_.compare_exchange_strong(expected, true)) return;
+  // No publish() can begin past this point; ones already inside observe
+  // their channel mutex, so the sweep below sees a consistent buffer.
+  {
+    MutexLock lock(channels_mu_);
+    for (const auto& ch : channels_) {
+      MutexLock chlock(ch->mu);
+      seal_locked(*ch);
+    }
+  }
+  {
+    MutexLock lock(queue_mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  serializer_.join();
+  write_pending_strings();  // strings interned but never referenced
+  std::fflush(file_);
+  std::fclose(file_);
+  file_ = nullptr;
+}
+
+StreamStats StreamWriter::stats() const {
+  MutexLock lock(stats_mu_);
+  StreamStats s = stats_;
+  s.dropped_after_finish = dropped_after_finish_.load();
+  return s;
+}
+
+}  // namespace ftdl::obs::stream

@@ -155,6 +155,8 @@ class Executor {
                              {{"layer", layer.name},
                               {"kind", nn::to_string(layer.kind)}});
         out = execute_layer(layer, net_.resolved_inputs(i), run);
+        if (run.sim_cycles > 0)
+          span.add_arg("cycles", std::to_string(run.sim_cycles));
       }
       if (obs::enabled()) {
         obs::count("runtime/layers_executed");

@@ -307,6 +307,7 @@ Submission Server::submit(nn::Tensor16 input) {
       obs::count("serve/requests_rejected");
       obs::count("serve/rejected_stopped");
     }
+    span.add_arg("rejected", "stopped");
     return s;
   }
   if (im.queue.size() >= im.opt.queue_depth) {
@@ -316,6 +317,7 @@ Submission Server::submit(nn::Tensor16 input) {
       obs::count("serve/requests_rejected");
       obs::count("serve/rejected_queue_full");
     }
+    span.add_arg("rejected", "queue_full");
     return s;
   }
   Request req;
@@ -324,6 +326,7 @@ Submission Server::submit(nn::Tensor16 input) {
   req.enqueue_time = Clock::now();
   s.accepted = true;
   s.request_id = req.id;
+  span.add_arg("request", std::to_string(req.id));
   s.result = req.promise.get_future();
   im.queue.push_back(std::move(req));
   ++im.stats.accepted;

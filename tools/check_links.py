@@ -2,9 +2,12 @@
 """Markdown link checker for README.md and docs/.
 
 Verifies that every relative link target in the repository's markdown
-pages exists on disk (anchors-only links and external URLs are skipped).
-Stdlib-only so CI needs nothing beyond python3. Exit code 0 when every
-link resolves, 1 otherwise, listing each broken link as file:line.
+pages exists on disk, and that every `#fragment` — same-file (`#anchor`)
+or cross-file (`page.md#anchor`) — names a real heading in the target
+page, using GitHub's heading-to-anchor slug rules (including `-N`
+suffixes for duplicate headings). External URLs are skipped. Stdlib-only
+so CI needs nothing beyond python3. Exit code 0 when every link
+resolves, 1 otherwise, listing each broken link as file:line.
 
 Usage: check_links.py [REPO_ROOT]   (default: parent of this script's dir)
 """
@@ -18,6 +21,7 @@ INLINE_LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 IMAGE_LINK = re.compile(r"\!\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 REF_DEF = re.compile(r"^\s{0,3}\[[^\]]+\]:\s+(\S+)")
 FENCE = re.compile(r"^\s*(```|~~~)")
+HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
 
 
 def markdown_files(root):
@@ -29,21 +33,55 @@ def markdown_files(root):
                 yield os.path.join(docs, name)
 
 
-def targets_in(path):
-    """Yield (lineno, target) for every link in one markdown file."""
+def non_fence_lines(path):
+    """Yield (lineno, line) for every line outside code fences."""
     in_fence = False
     with open(path, encoding="utf-8") as f:
         for lineno, line in enumerate(f, 1):
             if FENCE.match(line):
                 in_fence = not in_fence
                 continue
-            if in_fence:
-                continue
-            # Strip inline code spans so `[x](y)` examples don't count.
-            stripped = re.sub(r"`[^`]*`", "", line)
-            for rx in (INLINE_LINK, IMAGE_LINK, REF_DEF):
-                for m in rx.finditer(stripped):
-                    yield lineno, m.group(1)
+            if not in_fence:
+                yield lineno, line
+
+
+def targets_in(path):
+    """Yield (lineno, target) for every link in one markdown file."""
+    for lineno, line in non_fence_lines(path):
+        # Strip inline code spans so `[x](y)` examples don't count.
+        stripped = re.sub(r"`[^`]*`", "", line)
+        for rx in (INLINE_LINK, IMAGE_LINK, REF_DEF):
+            for m in rx.finditer(stripped):
+                yield lineno, m.group(1)
+
+
+def github_slug(text, seen):
+    """GitHub's heading-to-anchor rule: drop markup, lowercase, strip
+    everything but word chars / spaces / hyphens, hyphenate spaces, and
+    suffix -1, -2, ... on repeats (`seen` tracks prior occurrences)."""
+    text = re.sub(r"\[([^\]]*)\]\([^)\s]*\)", r"\1", text)  # links -> text
+    text = text.replace("`", "").replace("*", "")
+    slug = re.sub(r"[^\w\- ]", "", text.strip().lower()).replace(" ", "-")
+    if slug in seen:
+        seen[slug] += 1
+        return f"{slug}-{seen[slug]}"
+    seen[slug] = 0
+    return slug
+
+
+def heading_anchors(path, cache={}):
+    """The set of valid fragment anchors of one markdown file (cached)."""
+    if path not in cache:
+        anchors, seen = set(), {}
+        for _, line in non_fence_lines(path):
+            m = HEADING.match(line)
+            if m:
+                anchors.add(github_slug(m.group(2), seen))
+        # Explicit HTML anchors (<a name="..."> / id="...") also count.
+        with open(path, encoding="utf-8") as f:
+            anchors.update(re.findall(r"<a\s+(?:name|id)=\"([^\"]+)\"", f.read()))
+        cache[path] = anchors
+    return cache[path]
 
 
 def is_external(target):
@@ -64,15 +102,20 @@ def main():
             continue
         base = os.path.dirname(md)
         for lineno, target in targets_in(md):
-            if is_external(target) or target.startswith("#"):
+            if is_external(target):
                 continue
-            path = target.split("#", 1)[0]
-            if not path:
-                continue
-            checked += 1
-            resolved = os.path.normpath(os.path.join(base, path))
-            if not os.path.exists(resolved):
-                broken.append((md, lineno, target))
+            path, _, frag = target.partition("#")
+            resolved = md if not path else os.path.normpath(
+                os.path.join(base, path))
+            if path:
+                checked += 1
+                if not os.path.exists(resolved):
+                    broken.append((md, lineno, target))
+                    continue
+            if frag and resolved.endswith(".md"):
+                checked += 1
+                if frag not in heading_anchors(resolved):
+                    broken.append((md, lineno, target))
     if broken:
         for md, lineno, target in broken:
             rel = os.path.relpath(md, root)

@@ -15,6 +15,8 @@
 //     --list              list the model zoo and exit
 //     --trace FILE        trace output path    (default trace.json)
 //     --metrics FILE      metrics output path  (default metrics.json)
+//     --stream FILE       also record an ftdl-stream-v1 binary event log
+//                         (docs/obs-stream-format.md; query with ftdl-obsq)
 //     --budget N          mapping-search budget per layer (default 8000)
 //     --jobs N            compiler parallelism (default: FTDL_JOBS env, else
 //                         the hardware thread count; results bit-identical)
@@ -38,6 +40,7 @@
 #include "multifpga/partition.h"
 #include "nn/model_zoo.h"
 #include "obs/obs.h"
+#include "obs/stream_writer.h"
 #include "runtime/executor.h"
 
 namespace {
@@ -48,6 +51,7 @@ struct Args {
   std::string model = "Sentimental-seqCNN";
   std::string trace_path = "trace.json";
   std::string metrics_path = "metrics.json";
+  std::string stream_path;  ///< empty = no binary event log
   std::int64_t budget = 8'000;
   std::int64_t sim_macs_limit = 500'000'000;
   int jobs = 0;  ///< 0 = session default (FTDL_JOBS env / hardware threads)
@@ -59,7 +63,8 @@ struct Args {
   if (msg) std::fprintf(stderr, "ftdl-prof: %s\n", msg);
   std::fprintf(stderr,
                "usage: ftdl-prof [MODEL|SPEC.ftdl] [--trace FILE] "
-               "[--metrics FILE]\n                 [--budget N] [--jobs N] "
+               "[--metrics FILE] [--stream FILE]\n                 "
+               "[--budget N] [--jobs N] "
                "[--no-sim] [--sim-macs-limit N] [--list]\n");
   std::exit(2);
 }
@@ -74,6 +79,7 @@ Args parse_args(int argc, char** argv) {
     const char* a = argv[i];
     if (std::strcmp(a, "--trace") == 0) args.trace_path = next(i);
     else if (std::strcmp(a, "--metrics") == 0) args.metrics_path = next(i);
+    else if (std::strcmp(a, "--stream") == 0) args.stream_path = next(i);
     else if (std::strcmp(a, "--budget") == 0) args.budget = std::atoll(next(i));
     else if (std::strcmp(a, "--jobs") == 0) {
       args.jobs = std::atoi(next(i));
@@ -146,9 +152,11 @@ int main(int argc, char** argv) {
   }
 
   try {
-    obs::set_enabled(true);
     obs::Registry& reg = obs::Registry::global();
     reg.reset();
+    // Attach the streaming backend (when requested) after the reset so the
+    // log sees the run from its first event.
+    obs::set_enabled(true, args.stream_path);
 
     compiler::CompilerSession& session = compiler::CompilerSession::global();
     if (args.jobs > 0) session.set_jobs(args.jobs);
@@ -231,6 +239,15 @@ int main(int argc, char** argv) {
                 args.trace_path.c_str(), reg.event_count(),
                 args.metrics_path.c_str(), reg.metrics().counters.size(),
                 reg.metrics().gauges.size());
+    if (reg.stream_attached()) {
+      const obs::stream::StreamStats ss = reg.detach_stream();
+      std::printf("wrote %s (%llu records, %llu chunks, %llu bytes)\n",
+                  args.stream_path.c_str(),
+                  static_cast<unsigned long long>(ss.records),
+                  static_cast<unsigned long long>(
+                      ss.data_chunks + ss.string_chunks),
+                  static_cast<unsigned long long>(ss.bytes_written));
+    }
     return 0;
   } catch (const Error& e) {
     std::fprintf(stderr, "ftdl-prof: %s\n", e.what());

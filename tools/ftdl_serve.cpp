@@ -23,6 +23,9 @@
 //     --check          verify outputs bit-identical to a workers=1 rerun
 //     --trace FILE     trace output path               (default trace.json)
 //     --metrics FILE   metrics output path             (default metrics.json)
+//     --stream FILE    also record an ftdl-stream-v1 binary event log
+//                      (docs/obs-stream-format.md); replay/verify it with
+//                      ftdl-obsq (docs/operations.md)
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -39,6 +42,7 @@
 #include "frontend/spec_parser.h"
 #include "nn/model_zoo.h"
 #include "obs/obs.h"
+#include "obs/stream_writer.h"
 #include "serve/serve.h"
 
 namespace {
@@ -49,6 +53,7 @@ struct Args {
   std::string model = "Sentimental-seqCNN";
   std::string trace_path = "trace.json";
   std::string metrics_path = "metrics.json";
+  std::string stream_path;  ///< empty = no binary event log
   int requests = 16;
   int clients = 4;
   int workers = 2;
@@ -70,7 +75,8 @@ struct Args {
                "                  [--batch N] [--timeout-us N] [--depth N] "
                "[--rate R] [--path ref|sim]\n"
                "                  [--seed N] [--check] [--trace FILE] "
-               "[--metrics FILE] [--list]\n");
+               "[--metrics FILE] [--stream FILE]\n"
+               "                  [--list]\n");
   std::exit(2);
 }
 
@@ -101,6 +107,7 @@ Args parse_args(int argc, char** argv) {
     else if (std::strcmp(a, "--check") == 0) args.check = true;
     else if (std::strcmp(a, "--trace") == 0) args.trace_path = next(i);
     else if (std::strcmp(a, "--metrics") == 0) args.metrics_path = next(i);
+    else if (std::strcmp(a, "--stream") == 0) args.stream_path = next(i);
     else if (std::strcmp(a, "--list") == 0) args.list = true;
     else if (a[0] == '-') usage(("unknown option " + std::string(a)).c_str());
     else args.model = a;
@@ -223,9 +230,11 @@ int main(int argc, char** argv) {
   }
 
   try {
-    obs::set_enabled(true);
     obs::Registry& reg = obs::Registry::global();
     reg.reset();
+    // Attach the streaming backend (when requested) after the reset so the
+    // log sees the run from its first event.
+    obs::set_enabled(true, args.stream_path);
 
     const nn::Network net = load_network(args.model);
     const runtime::WeightStore weights =
@@ -282,6 +291,15 @@ int main(int argc, char** argv) {
     reg.write_metrics(args.metrics_path);
     std::printf("wrote %s (%zu events) and %s\n", args.trace_path.c_str(),
                 reg.event_count(), args.metrics_path.c_str());
+    if (reg.stream_attached()) {
+      const obs::stream::StreamStats ss = reg.detach_stream();
+      std::printf("wrote %s (%llu records, %llu chunks, %llu bytes)\n",
+                  args.stream_path.c_str(),
+                  static_cast<unsigned long long>(ss.records),
+                  static_cast<unsigned long long>(
+                      ss.data_chunks + ss.string_chunks),
+                  static_cast<unsigned long long>(ss.bytes_written));
+    }
     return 0;
   } catch (const Error& e) {
     std::fprintf(stderr, "ftdl-serve: %s\n", e.what());
