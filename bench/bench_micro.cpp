@@ -15,7 +15,9 @@
 
 #include "arch/isa.h"
 #include "arch/overlay_config.h"
+#include "common/arena.h"
 #include "common/rng.h"
+#include "common/simd.h"
 #include "compiler/codegen.h"
 #include "compiler/search.h"
 #include "fpga/device_zoo.h"
@@ -91,6 +93,67 @@ void BM_SimulateConvLayer(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * layer.macs());
 }
 BENCHMARK(BM_SimulateConvLayer);
+
+// The SIMD tentpole's before/after pair: the same dense-burst-heavy conv
+// simulated with the vector dispatch forced off (scalar oracles) and on.
+// The ratio of the two MACC rates is the kernel-level speedup; the
+// BENCH_sim sweep reports the end-to-end layer numbers.
+void bench_dense_burst(benchmark::State& state, bool simd_on) {
+  const arch::OverlayConfig cfg = arch::paper_config();
+  // A fully-connected layer (fc1000-shaped): its 2048-deep reduction
+  // columns are the longest contiguous dot/axpy sweeps in the ResNet50
+  // sweep, so this pair isolates the vector-dispatch win with the least
+  // non-kernel engine overhead (BENCH_sim covers the conv shapes).
+  const nn::Layer layer = nn::make_matmul("burst_fc", 2048, 1000, 1);
+  // Budget matches bench_sim's: the 4k-candidate mapping routes the layer
+  // through long Dot-plan columns, which is the shape being measured.
+  const auto prog = compiler::compile_layer(layer, cfg,
+                                            compiler::Objective::Performance,
+                                            4'000);
+  Rng rng(5);
+  nn::Tensor16 input({2048, 1});
+  nn::Tensor16 weights({1000, 2048});
+  input.fill_random(rng);
+  weights.fill_random(rng);
+  sim::SimOptions opt;
+  opt.collect_trace = false;
+  opt.jobs = 1;
+  simd::set_enabled(simd_on);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim::simulate_layer(prog, cfg, weights, input, opt));
+  }
+  simd::set_enabled(true);
+  state.SetItemsProcessed(state.iterations() * layer.macs());
+  state.SetLabel(simd_on ? simd::isa_name() : "scalar");
+}
+
+void BM_DenseBurstScalar(benchmark::State& state) {
+  bench_dense_burst(state, /*simd_on=*/false);
+}
+BENCHMARK(BM_DenseBurstScalar);
+
+void BM_DenseBurstSimd(benchmark::State& state) {
+  bench_dense_burst(state, /*simd_on=*/true);
+}
+BENCHMARK(BM_DenseBurstSimd);
+
+// Pool round-trip cost for a steady-state tensor shape: after the first
+// (warm-up) iteration every acquire is a free-list pop, so this measures
+// the mutex + size-class arithmetic the serving runtime pays per tensor.
+void BM_ArenaAcquireRelease(benchmark::State& state) {
+  TensorArena arena;
+  TensorArena::Scope scope(arena);
+  const std::int64_t n = state.range(0);
+  for (auto _ : state) {
+    ArenaVec<acc_t> v(n);
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["fallback_allocs"] =
+      static_cast<double>(arena.stats().fallback_allocs);
+}
+BENCHMARK(BM_ArenaAcquireRelease)->Arg(128)->Arg(4096)->Arg(65536);
 
 void BM_TimingScalingStudy(benchmark::State& state) {
   const fpga::Device dev = fpga::ultrascale_vu125();

@@ -1,0 +1,62 @@
+// ftdl::alloc_stats — a scoped heap-allocation counter for zero-alloc tests.
+//
+// The serving runtime promises zero heap allocations per inference once its
+// arenas are warm. That claim is pinned by counting operator new calls on
+// the worker thread while a request executes:
+//
+//   * the worker wraps each request in an ArmScope (two thread-local
+//     increments — negligible in production);
+//   * a test translation unit may replace the global operator new/delete to
+//     call note_alloc() and flag installed(); armed allocations then land in
+//     the process-wide counter;
+//   * without that TU (production binaries, sanitizer builds that own the
+//     allocator) nothing is counted and armed() stays 0 — tests check
+//     installed() and skip.
+//
+// Counting is per-thread armed but globally accumulated, so concurrent
+// workers all contribute to the same counter.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace ftdl::alloc_stats {
+
+namespace detail {
+inline std::atomic<std::int64_t> g_armed_allocs{0};   // NOLINT(cppcoreguidelines-avoid-non-const-global-variables)
+inline std::atomic<bool> g_hook_installed{false};     // NOLINT(cppcoreguidelines-avoid-non-const-global-variables)
+inline thread_local int t_arm_depth = 0;              // NOLINT(cppcoreguidelines-avoid-non-const-global-variables)
+}  // namespace detail
+
+/// Counts allocations made by the calling thread while any ArmScope lives.
+class ArmScope {
+ public:
+  ArmScope() { ++detail::t_arm_depth; }
+  ~ArmScope() { --detail::t_arm_depth; }
+  ArmScope(const ArmScope&) = delete;
+  ArmScope& operator=(const ArmScope&) = delete;
+};
+
+/// Called by a replaced operator new (tests/alloc_hook.cpp). Must be
+/// async-signal-free and allocation-free.
+inline void note_alloc() {
+  if (detail::t_arm_depth > 0)
+    detail::g_armed_allocs.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Marks the operator-new replacement as linked into this binary.
+inline void set_hook_installed() {
+  detail::g_hook_installed.store(true, std::memory_order_relaxed);
+}
+
+/// True when a counting operator new is linked in (armed() is meaningful).
+inline bool hook_installed() {
+  return detail::g_hook_installed.load(std::memory_order_relaxed);
+}
+
+/// Total armed allocations so far, across all threads.
+inline std::int64_t armed() {
+  return detail::g_armed_allocs.load(std::memory_order_relaxed);
+}
+
+}  // namespace ftdl::alloc_stats

@@ -2,19 +2,67 @@
 //
 // Tensor16 holds int16 data (weights / activations); AccTensor holds the
 // wide accumulators a CONV/MM produces before host-side requantization.
+//
+// Storage discipline: element data lives in an ArenaVec (common/arena.h),
+// so tensors created on a thread with an installed TensorArena draw from
+// and return to its pool — the zero-copy memory path of the serving
+// runtime. Shape metadata is an inline fixed-capacity Dims (rank <= 6), so
+// constructing, copying or comparing tensor shapes never touches the heap.
+// Code that never installs an arena sees plain heap-backed tensors.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <initializer_list>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/error.h"
 #include "common/fixed_point.h"
 #include "common/rng.h"
 
 namespace ftdl::nn {
 
+/// Inline tensor shape: a fixed-capacity array of extents. Comparable
+/// against std::vector<int> (both directions, via rewritten operator==) so
+/// existing `t.dims() == std::vector<int>{...}` call sites keep working;
+/// allocation-free call sites compare against a Dims literal instead.
+class Dims {
+ public:
+  static constexpr int kMaxRank = 6;
+
+  Dims() = default;
+  Dims(std::initializer_list<int> d) {
+    FTDL_ASSERT(d.size() <= kMaxRank);
+    for (int v : d) d_[static_cast<std::size_t>(n_++)] = v;
+  }
+  // Implicit: lets the many std::vector<int>-shaped call sites convert.
+  Dims(const std::vector<int>& d) {  // NOLINT(google-explicit-constructor)
+    FTDL_ASSERT(d.size() <= kMaxRank);
+    for (int v : d) d_[static_cast<std::size_t>(n_++)] = v;
+  }
+
+  std::size_t size() const { return static_cast<std::size_t>(n_); }
+  bool empty() const { return n_ == 0; }
+  int operator[](std::size_t i) const { return d_[i]; }
+  const int* begin() const { return d_.data(); }
+  const int* end() const { return d_.data() + n_; }
+
+  bool operator==(const Dims&) const = default;
+  bool operator==(const std::vector<int>& v) const {
+    if (v.size() != size()) return false;
+    for (std::size_t i = 0; i < size(); ++i)
+      if (v[i] != d_[i]) return false;
+    return true;
+  }
+
+ private:
+  std::array<int, kMaxRank> d_{};
+  int n_ = 0;
+};
+
 namespace detail {
-inline std::int64_t shape_size(const std::vector<int>& dims) {
+inline std::int64_t shape_size(const Dims& dims) {
   std::int64_t n = 1;
   for (int d : dims) {
     FTDL_ASSERT(d > 0);
@@ -28,11 +76,11 @@ template <typename T>
 class TensorT {
  public:
   TensorT() = default;
-  explicit TensorT(std::vector<int> dims)
-      : dims_(std::move(dims)), data_(detail::shape_size(dims_), T{}) {}
+  explicit TensorT(const Dims& dims)
+      : dims_(dims), data_(detail::shape_size(dims_)) {}
 
-  const std::vector<int>& dims() const { return dims_; }
-  std::int64_t size() const { return static_cast<std::int64_t>(data_.size()); }
+  const Dims& dims() const { return dims_; }
+  std::int64_t size() const { return data_.size(); }
 
   T* data() { return data_.data(); }
   const T* data() const { return data_.data(); }
@@ -82,8 +130,8 @@ class TensorT {
            w;
   }
 
-  std::vector<int> dims_;
-  std::vector<T> data_;
+  Dims dims_;
+  ArenaVec<T> data_;
 };
 
 using Tensor16 = TensorT<std::int16_t>;

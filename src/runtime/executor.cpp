@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <bit>
+#include <optional>
+#include <unordered_map>
+#include <utility>
 
 #include "common/error.h"
 #include "common/math_util.h"
+#include "common/thread_pool.h"
 #include "compiler/session.h"
 #include "nn/reference.h"
 #include "obs/obs.h"
@@ -110,183 +114,256 @@ void note_host_kernel(const Layer& layer) {
   obs::count("host/ewop_ops", layer.ewop_ops());
 }
 
-class Executor {
- public:
-  Executor(const nn::Network& net, const WeightStore& weights,
-           const ExecOptions& options)
-      : net_(net), weights_(weights), opt_(options) {}
+}  // namespace
 
-  ExecResult run(const Tensor16& input) {
-    net_.validate_graph();
-    if (net_.layers().empty())
-      throw ConfigError(net_.name() + ": cannot execute an empty network");
+/// All state the context reuses across run() calls. Warm-up happens in the
+/// constructor; run() touches only the caches and the arena.
+struct ExecContext::Impl {
+  /// One weight-group slice with its sliced weights, cached runner and a
+  /// persistent output slot (reshaped once, then zero-filled in place).
+  struct Group {
+    Layer layer;
+    Tensor16 weights;  ///< sliced once at warm-up — weight-tile reuse
+    int offset = 0;
+    std::optional<sim::CachedLayerSim> sim;
+    AccTensor out;
+  };
+
+  struct LayerCtx {
+    const Layer* layer = nullptr;
+    std::vector<std::string> inputs;       ///< resolved dataflow inputs
+    const Tensor16* weights = nullptr;     ///< overlay layers only
+    int weight_groups = 1;
+    std::vector<Group> groups;             ///< CycleSim overlay layers only
+  };
+
+  const nn::Network& net;
+  const WeightStore& wstore;
+  const ExecOptions opt;
+  TensorArena arena;
+  std::unique_ptr<ThreadPool> own_pool;  ///< sim_jobs > 1: one pool, reused
+  std::string sink;
+  const std::string input_key{nn::kNetworkInput};
+  std::vector<LayerCtx> layers;
+  /// Persistent name -> tensor map: keys are inserted during warm-up and
+  /// overwritten (move-assigned) on later runs, so steady-state execution
+  /// never allocates map nodes or key strings.
+  std::unordered_map<std::string, Tensor16> tensors;
+
+  Impl(const nn::Network& n, const WeightStore& w, const ExecOptions& o)
+      : net(n), wstore(w), opt(o) {
+    net.validate_graph();
+    if (net.layers().empty())
+      throw ConfigError(net.name() + ": cannot execute an empty network");
     // Resolve the true output before running anything: the last-declared
     // layer is always *a* sink, but branching graphs can leave several
     // layers unconsumed (multi-output heads) and silently returning one of
     // them would drop the rest.
-    const std::vector<std::string> sinks = net_.sink_names();
+    const std::vector<std::string> sinks = net.sink_names();
     if (sinks.size() != 1) {
       std::string names;
       for (const std::string& s : sinks) {
         if (!names.empty()) names += ", ";
         names += s;
       }
-      throw ConfigError(net_.name() +
+      throw ConfigError(net.name() +
                         ": ambiguous network output — feed-forward execution "
                         "needs exactly one sink layer, found " +
                         std::to_string(sinks.size()) + " (" + names + ")");
     }
-    tensors_.clear();
-    tensors_.emplace(nn::kNetworkInput, input);
+    sink = sinks.front();
+    if (opt.sim_jobs > 1) own_pool = std::make_unique<ThreadPool>(opt.sim_jobs);
 
-    ExecResult result;
-    for (std::size_t i = 0; i < net_.layers().size(); ++i) {
-      const Layer& layer = net_.layers()[i];
+    layers.reserve(net.layers().size());
+    for (std::size_t i = 0; i < net.layers().size(); ++i) {
+      const Layer& layer = net.layers()[i];
       if (layer.repeat != 1)
         throw ConfigError(layer.name +
                           ": recurrent (repeat>1) layers are not executable "
                           "feed-forward");
-      LayerRun run;
-      run.name = layer.name;
-      run.kind = layer.kind;
-      Tensor16 out;
-      {
-        obs::ScopedSpan span("runtime", "execute_layer",
-                             {{"layer", layer.name},
-                              {"kind", nn::to_string(layer.kind)}});
-        out = execute_layer(layer, net_.resolved_inputs(i), run);
-        if (run.sim_cycles > 0)
-          span.add_arg("cycles", std::to_string(run.sim_cycles));
+      LayerCtx lc;
+      lc.layer = &layer;
+      lc.inputs = net.resolved_inputs(i);
+      if (layer.kind == LayerKind::Conv || layer.kind == LayerKind::Depthwise ||
+          layer.kind == LayerKind::MatMul) {
+        lc.weights = &wstore.get(layer);
+        if (opt.path == OverlayPath::CycleSim) warm_overlay(lc);
       }
-      if (obs::enabled()) {
-        obs::count("runtime/layers_executed");
-        if (run.sim_cycles > 0) obs::count("runtime/sim_cycles", run.sim_cycles);
-      }
-      result.total_sim_cycles += run.sim_cycles;
-      result.runs.push_back(std::move(run));
-      tensors_[layer.name] = std::move(out);
+      layers.push_back(std::move(lc));
     }
-    result.output = tensors_.at(sinks.front());
-    return result;
   }
 
- private:
+  /// CycleSim warm-up for one overlay layer: compile through the shared
+  /// session (repeated shapes reuse one search), slice the weight groups
+  /// once, and build a cached runner per group.
+  void warm_overlay(LayerCtx& lc) {
+    const Layer& layer = *lc.layer;
+    compiler::CompilerSession& session = compiler::CompilerSession::global();
+    const compiler::LayerProgram master = session.compile(
+        layer, opt.config, compiler::Objective::Performance,
+        opt.search_budget_per_layer);
+    lc.weight_groups = master.weight_groups;
+    for (GroupSlice& gs : slice_groups(layer, *lc.weights,
+                                       master.weight_groups)) {
+      const compiler::LayerProgram prog = session.compile(
+          gs.layer, opt.config, compiler::Objective::Performance,
+          opt.search_budget_per_layer);
+      Group g;
+      g.layer = std::move(gs.layer);
+      g.weights = std::move(gs.weights);
+      g.offset = gs.offset;
+      // The context only consumes output accumulators and cycle counts;
+      // never collect a DRAM trace.
+      sim::SimOptions sim_opt;
+      sim_opt.collect_trace = false;
+      g.sim.emplace(prog, opt.config, sim_opt);
+      lc.groups.push_back(std::move(g));
+    }
+  }
+
+  ThreadPool* pool() {
+    if (opt.sim_jobs == 1) return nullptr;
+    if (opt.sim_jobs == 0) return &compiler::CompilerSession::global().pool();
+    return own_pool.get();
+  }
+
   const Tensor16& tensor(const std::string& name) const {
-    auto it = tensors_.find(name);
-    if (it == tensors_.end())
+    auto it = tensors.find(name);
+    if (it == tensors.end())
       throw ConfigError("no tensor produced for " + name);
     return it->second;
   }
 
-  Tensor16 execute_layer(const Layer& layer,
-                         const std::vector<std::string>& inputs,
-                         LayerRun& run) {
+  ExecResult run(const Tensor16& input) {
+    // Every tensor built below draws from the pool for the rest of the call
+    // (and frees back into it, even from tensors that escape in the result).
+    TensorArena::Scope scope(arena);
+    tensors[input_key] = input;
+
+    ExecResult result;
+    for (LayerCtx& lc : layers) {
+      const Layer& layer = *lc.layer;
+      LayerRun run;
+      run.kind = layer.kind;
+      if (opt.collect_runs) run.name = layer.name;
+      Tensor16 out;
+      if (obs::enabled()) {
+        obs::ScopedSpan span("runtime", "execute_layer",
+                             {{"layer", layer.name},
+                              {"kind", nn::to_string(layer.kind)}});
+        out = execute_layer(lc, run);
+        if (run.sim_cycles > 0)
+          span.add_arg("cycles", std::to_string(run.sim_cycles));
+        obs::count("runtime/layers_executed");
+        if (run.sim_cycles > 0) obs::count("runtime/sim_cycles", run.sim_cycles);
+      } else {
+        out = execute_layer(lc, run);
+      }
+      result.total_sim_cycles += run.sim_cycles;
+      if (opt.collect_runs) result.runs.push_back(std::move(run));
+      tensors[layer.name] = std::move(out);
+    }
+    result.output = tensors.at(sink);
+    return result;
+  }
+
+  Tensor16 execute_layer(LayerCtx& lc, LayerRun& run) {
+    const Layer& layer = *lc.layer;
     switch (layer.kind) {
       case LayerKind::Conv:
       case LayerKind::Depthwise:
       case LayerKind::MatMul:
-        return execute_overlay(layer, tensor(inputs.at(0)), run);
+        return execute_overlay(lc, tensor(lc.inputs.at(0)), run);
       case LayerKind::Pool: {
         note_host_kernel(layer);
-        const Tensor16& in = tensor(inputs.at(0));
+        const Tensor16& in = tensor(lc.inputs.at(0));
         return layer.pool_op == nn::PoolOp::Max
                    ? nn::maxpool_reference(layer, in)
                    : nn::avgpool_reference(layer, in);
       }
       case LayerKind::Concat:
         note_host_kernel(layer);
-        return concat(layer, inputs);
+        return concat(layer, lc.inputs);
       case LayerKind::Ewop:
         note_host_kernel(layer);
-        return ewop(layer, inputs);
+        return ewop(layer, lc.inputs);
     }
     throw InternalError("unhandled layer kind");
   }
 
-  Tensor16 execute_overlay(const Layer& layer, const Tensor16& input,
+  Tensor16 execute_overlay(LayerCtx& lc, const Tensor16& input,
                            LayerRun& run) {
-    const Tensor16& w = weights_.get(layer);
+    const Layer& layer = *lc.layer;
+    const Tensor16& w = *lc.weights;
     if ((layer.kind == LayerKind::Conv || layer.kind == LayerKind::Depthwise) &&
-        input.dims() != std::vector<int>{layer.in_c, layer.in_h, layer.in_w}) {
+        input.dims() != nn::Dims{layer.in_c, layer.in_h, layer.in_w}) {
       throw ConfigError(layer.name + ": input tensor shape mismatch");
     }
-    const Tensor16 act = layer.kind == LayerKind::MatMul
-                             ? flatten_for_mm(input, layer)
-                             : input;
-
-    AccTensor acc;
-    if (opt_.path == OverlayPath::Reference) {
-      switch (layer.kind) {
-        case LayerKind::Conv:
-          acc = nn::conv2d_reference(layer, act, w);
-          break;
-        case LayerKind::Depthwise:
-          acc = nn::depthwise_reference(layer, act, w);
-          break;
-        default:
-          acc = nn::matmul_reference(layer, act, w);
-      }
-    } else {
-      acc = simulate(layer, act, w, run);
+    const Tensor16* act = &input;
+    Tensor16 flat;
+    if (layer.kind == LayerKind::MatMul && input.dims().size() != 2) {
+      flat = flatten_for_mm(input, layer);
+      act = &flat;
     }
 
-    run.requant_shift = calibrate_shift(acc, opt_.target_magnitude_bits);
+    AccTensor acc;
+    if (opt.path == OverlayPath::Reference) {
+      switch (layer.kind) {
+        case LayerKind::Conv:
+          acc = nn::conv2d_reference(layer, *act, w);
+          break;
+        case LayerKind::Depthwise:
+          acc = nn::depthwise_reference(layer, *act, w);
+          break;
+        default:
+          acc = nn::matmul_reference(layer, *act, w);
+      }
+    } else {
+      acc = simulate(lc, *act, run);
+    }
+
+    run.requant_shift = calibrate_shift(acc, opt.target_magnitude_bits);
     return nn::requantize_output(layer, acc, run.requant_shift);
   }
 
-  /// Cycle-level path: compile through the shared session (so repeated
-  /// frames and repeated shapes reuse one search), simulate each weight
-  /// group, and stitch the output slices.
-  AccTensor simulate(const Layer& layer, const Tensor16& act,
-                     const Tensor16& w, LayerRun& run) {
-    compiler::CompilerSession& session = compiler::CompilerSession::global();
-    const compiler::LayerProgram master = session.compile(
-        layer, opt_.config, compiler::Objective::Performance,
-        opt_.search_budget_per_layer);
-    run.weight_groups = master.weight_groups;
+  /// Cycle-level path over the warm caches: run each group's cached runner
+  /// and stitch the output slices.
+  AccTensor simulate(LayerCtx& lc, const Tensor16& act, LayerRun& run) {
+    const Layer& layer = *lc.layer;
+    run.weight_groups = lc.weight_groups;
 
     AccTensor acc = layer.kind == LayerKind::MatMul
                         ? AccTensor({static_cast<int>(layer.mm_n),
                                      static_cast<int>(layer.mm_p)})
                         : AccTensor({layer.out_c, layer.out_h(), layer.out_w()});
 
-    for (const GroupSlice& gs : slice_groups(layer, w, master.weight_groups)) {
-      const compiler::LayerProgram prog = session.compile(
-          gs.layer, opt_.config, compiler::Objective::Performance,
-          opt_.search_budget_per_layer);
+    for (Group& g : lc.groups) {
       // Depthwise groups split the channel dimension of the *activations*
       // too; slice the input accordingly.
       const Tensor16* group_act = &act;
       Tensor16 act_slice;
-      if (layer.kind == LayerKind::Depthwise && master.weight_groups > 1) {
-        act_slice = Tensor16({gs.layer.in_c, layer.in_h, layer.in_w});
-        for (int c = 0; c < gs.layer.in_c; ++c)
+      if (layer.kind == LayerKind::Depthwise && lc.weight_groups > 1) {
+        act_slice = Tensor16({g.layer.in_c, layer.in_h, layer.in_w});
+        for (int c = 0; c < g.layer.in_c; ++c)
           for (int y = 0; y < layer.in_h; ++y)
             for (int x = 0; x < layer.in_w; ++x)
-              act_slice.at(c, y, x) = act.at(gs.offset + c, y, x);
+              act_slice.at(c, y, x) = act.at(g.offset + c, y, x);
         group_act = &act_slice;
       }
-      // The executor only consumes the output accumulators and cycle count;
-      // skip the trace allocation and fan the bursts across sim_jobs.
-      sim::SimOptions sim_opt;
-      sim_opt.collect_trace = false;
-      sim_opt.jobs = opt_.sim_jobs;
-      const sim::SimResult r = sim::simulate_layer(prog, opt_.config,
-                                                   gs.weights, *group_act,
-                                                   sim_opt);
-      run.sim_cycles += r.stats.cycles;
+      g.sim->run(g.weights, *group_act, g.out, pool());
+      run.sim_cycles += g.sim->stats().cycles;
       // Stitch the group's output slice into the full tensor.
       if (layer.kind == LayerKind::MatMul) {
-        for (int o = 0; o < static_cast<int>(gs.layer.mm_n); ++o)
+        for (int o = 0; o < static_cast<int>(g.layer.mm_n); ++o)
           for (int p = 0; p < static_cast<int>(layer.mm_p); ++p)
-            acc.at(gs.offset + o, p) = r.output.at(o, p);
+            acc.at(g.offset + o, p) = g.out.at(o, p);
       } else {
-        const int oc = layer.kind == LayerKind::Depthwise ? gs.layer.in_c
-                                                          : gs.layer.out_c;
+        const int oc = layer.kind == LayerKind::Depthwise ? g.layer.in_c
+                                                          : g.layer.out_c;
         for (int o = 0; o < oc; ++o)
           for (int y = 0; y < layer.out_h(); ++y)
             for (int x = 0; x < layer.out_w(); ++x)
-              acc.at(gs.offset + o, y, x) = r.output.at(o, y, x);
+              acc.at(g.offset + o, y, x) = g.out.at(o, y, x);
       }
     }
     return acc;
@@ -338,19 +415,26 @@ class Executor {
     }
     throw InternalError("unhandled ewop op");
   }
-
-  const nn::Network& net_;
-  const WeightStore& weights_;
-  const ExecOptions& opt_;
-  std::unordered_map<std::string, Tensor16> tensors_;
 };
 
-}  // namespace
+ExecContext::ExecContext(const nn::Network& net, const WeightStore& weights,
+                         const ExecOptions& options)
+    : impl_(std::make_unique<Impl>(net, weights, options)) {}
+
+ExecContext::~ExecContext() = default;
+ExecContext::ExecContext(ExecContext&&) noexcept = default;
+ExecContext& ExecContext::operator=(ExecContext&&) noexcept = default;
+
+ExecResult ExecContext::run(const nn::Tensor16& input) {
+  return impl_->run(input);
+}
+
+ArenaStats ExecContext::arena_stats() const { return impl_->arena.stats(); }
 
 ExecResult run_network(const nn::Network& net, const Tensor16& input,
                        const WeightStore& weights, const ExecOptions& options) {
-  Executor exec(net, weights, options);
-  return exec.run(input);
+  ExecContext ctx(net, weights, options);
+  return ctx.run(input);
 }
 
 }  // namespace ftdl::runtime

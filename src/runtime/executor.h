@@ -12,10 +12,12 @@
 // rejected with ConfigError.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "arch/overlay_config.h"
+#include "common/arena.h"
 #include "nn/network.h"
 #include "nn/tensor.h"
 #include "runtime/weight_store.h"
@@ -38,8 +40,13 @@ struct ExecOptions {
   int target_magnitude_bits = 7;
   /// Worker parallelism of each CycleSim functional burst, forwarded to
   /// sim::SimOptions::jobs (0 = the shared CompilerSession pool, 1 = serial,
-  /// N > 1 = a transient pool). Outputs are bit-identical at every value.
+  /// N > 1 = a dedicated pool). Outputs are bit-identical at every value.
   int sim_jobs = 0;
+  /// Record a LayerRun per layer into ExecResult::runs. The serving runtime
+  /// turns this off: the per-layer name strings would be the last heap
+  /// allocations on its steady-state path. total_sim_cycles and the output
+  /// are unaffected.
+  bool collect_runs = true;
 };
 
 struct LayerRun {
@@ -67,11 +74,52 @@ struct ExecResult {
 ///   maxabs == 2^(target_bits+1)  -> 1
 int calibrate_shift(const nn::AccTensor& acc, int target_bits);
 
+/// Reusable execution context for repeated inference over one network — the
+/// steady-state engine behind run_network and serve::Server.
+///
+/// Construction is the warm-up: the graph is validated, the sink and
+/// per-layer dataflow inputs are resolved, weights are looked up, and (on
+/// the CycleSim path) every layer is compiled, its weight-group slices
+/// materialized once (weight-tile reuse across requests) and wrapped in a
+/// sim::CachedLayerSim. run() then re-executes the network with all tensor
+/// storage drawn from an owned TensorArena, so a warm context performs zero
+/// heap allocations per request on the CycleSim path with collect_runs off
+/// and observability disabled (pinned by the allocation-counter test in
+/// tests/test_serve.cpp).
+///
+/// `net` and `weights` must outlive the context and not be mutated while it
+/// exists. A context is not thread-safe; create one per worker thread.
+class ExecContext {
+ public:
+  /// Warm-up. Throws the same ftdl::ConfigError / ftdl::Error diagnostics
+  /// run_network would (empty network, ambiguous sinks, recurrent layers,
+  /// missing weights, compile failures).
+  ExecContext(const nn::Network& net, const WeightStore& weights,
+              const ExecOptions& options);
+  ~ExecContext();
+  ExecContext(ExecContext&&) noexcept;
+  ExecContext& operator=(ExecContext&&) noexcept;
+
+  /// Executes the network. Bit-identical to run_network with the same
+  /// options on every call.
+  ExecResult run(const nn::Tensor16& input);
+
+  /// Counters of the owned tensor arena (serve publishes these as
+  /// runtime/arena_* observability counters).
+  ArenaStats arena_stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
 /// Executes `net` on `input` (dims {C,H,W} for vision nets, {M,P} when the
 /// first layer is MM). The network output is the graph's unique sink layer
 /// (resolved from the dataflow edges, not declaration order); graphs with
 /// several sinks (multi-output heads) are rejected with ftdl::ConfigError
 /// naming the sinks. Throws ftdl::ConfigError on graph/shape problems.
+/// One-shot convenience over ExecContext: constructs a context and runs it
+/// once.
 ExecResult run_network(const nn::Network& net, const nn::Tensor16& input,
                        const WeightStore& weights, const ExecOptions& options);
 

@@ -4,14 +4,18 @@
 #include <chrono>
 #include <deque>
 #include <exception>
+#include <optional>
 #include <thread>
 #include <vector>
 
 #include "analyze/analyze.h"
+#include "common/alloc_stats.h"
+#include "common/arena.h"
 #include "common/error.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "obs/obs.h"
+#include "runtime/executor.h"
 
 namespace ftdl::serve {
 
@@ -139,8 +143,7 @@ struct Server::Impl {
       case nn::LayerKind::Conv:
       case nn::LayerKind::Depthwise:
       case nn::LayerKind::Pool:
-        return t.dims() ==
-               std::vector<int>{first.in_c, first.in_h, first.in_w};
+        return t.dims() == nn::Dims{first.in_c, first.in_h, first.in_w};
       case nn::LayerKind::MatMul:
         return t.size() == first.mm_m * first.mm_p;
       default:
@@ -150,8 +153,27 @@ struct Server::Impl {
 
   void worker_loop(int w) {
     obs::set_thread_track_name("serve-" + std::to_string(w));
+    // Per-worker execution context: graph analysis, compiled programs,
+    // weight-group slices and the tensor arena warm up once per worker;
+    // steady-state requests then run without heap allocations (LayerRun
+    // records are skipped — serve only consumes output and cycle totals).
+    runtime::ExecOptions eopt = opt.exec;
+    eopt.collect_runs = false;
+    std::optional<runtime::ExecContext> exec;
+    std::exception_ptr init_err;
+    try {
+      exec.emplace(net, weights, eopt);
+    } catch (...) {
+      // Warm-up rejected the network (recurrent layers, missing weights,
+      // compile failure). The worker still drains the queue, failing each
+      // request with this error through its future — admission-time checks
+      // cannot catch everything, and a wedged worker would hang stop().
+      init_err = std::current_exception();
+    }
+    ArenaStats last_arena;  // previous snapshot, for per-batch count deltas
+    std::vector<Request> batch;  // capacity reused across batches
     for (;;) {
-      std::vector<Request> batch;
+      batch.clear();
       std::uint64_t batch_id = 0;
       {
         MutexLock lock(mu);
@@ -196,17 +218,22 @@ struct Server::Impl {
           obs::gauge("serve/queue_depth", double(queue.size()));
         }
       }
-      execute_batch(w, batch_id, batch);
+      execute_batch(w, batch_id, batch, exec ? &*exec : nullptr, init_err,
+                    last_arena);
     }
   }
 
   void execute_batch(int w, std::uint64_t batch_id,
-                     std::vector<Request>& batch) {
+                     std::vector<Request>& batch, runtime::ExecContext* exec,
+                     const std::exception_ptr& init_err,
+                     ArenaStats& last_arena) {
     const Clock::time_point dispatch = Clock::now();
-    obs::ScopedSpan batch_span(
-        "serve", "batch",
-        {{"batch", std::to_string(batch_id)},
-         {"size", std::to_string(batch.size())}});
+    std::optional<obs::ScopedSpan> batch_span;
+    if (obs::enabled()) {
+      batch_span.emplace("serve", "batch",
+                         obs::SpanArgs{{"batch", std::to_string(batch_id)},
+                                       {"size", std::to_string(batch.size())}});
+    }
     for (Request& req : batch) {
       InferenceResult res;
       res.request_id = req.id;
@@ -216,15 +243,25 @@ struct Server::Impl {
       res.queue_us = us_between(req.enqueue_time, dispatch);
       std::exception_ptr err;
       {
-        obs::ScopedSpan span("serve", "execute",
-                             {{"request", std::to_string(req.id)}});
-        try {
-          runtime::ExecResult er =
-              runtime::run_network(net, req.input, weights, opt.exec);
-          res.output = std::move(er.output);
-          res.total_sim_cycles = er.total_sim_cycles;
-        } catch (...) {
-          err = std::current_exception();
+        std::optional<obs::ScopedSpan> span;
+        if (obs::enabled()) {
+          span.emplace("serve", "execute",
+                       obs::SpanArgs{{"request", std::to_string(req.id)}});
+        }
+        // Count heap allocations while the request executes: the zero-alloc
+        // steady-state contract of tests/test_serve.cpp. Two thread-local
+        // increments when no counting allocator is linked in.
+        alloc_stats::ArmScope arm;
+        if (exec == nullptr) {
+          err = init_err;
+        } else {
+          try {
+            runtime::ExecResult er = exec->run(req.input);
+            res.output = std::move(er.output);
+            res.total_sim_cycles = er.total_sim_cycles;
+          } catch (...) {
+            err = std::current_exception();
+          }
         }
       }
       const Clock::time_point done = Clock::now();
@@ -245,6 +282,18 @@ struct Server::Impl {
       } else {
         req.promise.set_value(std::move(res));
       }
+    }
+    // Arena activity of this batch, as counter deltas against the previous
+    // snapshot (counts are monotonic; the pool itself reports totals), plus
+    // the pool's high-water mark.
+    if (exec != nullptr && obs::enabled()) {
+      const ArenaStats a = exec->arena_stats();
+      obs::count("runtime/arena_bytes", a.bytes_allocated - last_arena.bytes_allocated);
+      obs::count("runtime/arena_reuses", a.reuses - last_arena.reuses);
+      obs::count("runtime/arena_fallback_allocs",
+                 a.fallback_allocs - last_arena.fallback_allocs);
+      obs::gauge("runtime/arena_high_water_bytes", double(a.high_water_bytes));
+      last_arena = a;
     }
   }
 };

@@ -224,9 +224,13 @@ void run_timing(const Timing& tm, const SimOptions& options,
   if (obs_on) {
     obs::Registry& reg = obs::Registry::global();
     // A fresh process per simulation instance: re-simulating a layer (weight
-    // groups, repeated runs) must not append earlier-than-last timestamps to
-    // an existing track.
-    const std::int64_t inst = reg.counter("sim/layers_simulated");
+    // groups, repeated runs, cached warm-up passes) must not append
+    // earlier-than-last timestamps to an existing track. The disambiguator
+    // is a dedicated counter this function owns — tying it to a caller-side
+    // counter breaks as soon as a caller (CachedLayerSim warm-up) runs
+    // several timing passes before any of its own counts.
+    const std::int64_t inst = reg.counter("sim/timing_passes");
+    obs::count("sim/timing_passes");
     std::string proc = "sim:" + layer_name;
     if (inst > 0) proc += " #" + std::to_string(inst);
     tr_burst = reg.track(proc, "LoopT bursts");
@@ -576,6 +580,107 @@ SimResult simulate_layer_stats(const compiler::LayerProgram& program,
   opt.functional = false;
   opt.check_buffers = false;
   return simulate_impl(program, config, nullptr, nullptr, opt);
+}
+
+// ---------------------------------------------------------------------------
+// CachedLayerSim
+// ---------------------------------------------------------------------------
+
+struct CachedLayerSim::Impl {
+  detail::EngineTables tables;
+  SimStats stats;
+  std::string name;
+  nn::Dims w_dims, in_dims, out_dims;
+};
+
+CachedLayerSim::CachedLayerSim(const compiler::LayerProgram& program,
+                               const arch::OverlayConfig& config,
+                               const SimOptions& options)
+    : impl_(std::make_unique<Impl>()) {
+  const Workload& w = program.workload;
+  const Mapping& m = program.mapping;
+  FTDL_ASSERT(m.k() == w.k());
+  if (m.padded_macs() > options.max_padded_macs)
+    throw Error(w.name + ": padded iteration space too large to simulate (" +
+                std::to_string(m.padded_macs()) + " padded MACCs > " +
+                "max_padded_macs = " +
+                std::to_string(options.max_padded_macs) + ")");
+
+  // Same controller-stream cross-check as simulate_layer: the cached runner
+  // must refuse exactly the programs the one-shot path refuses.
+  const arch::ControllerState ctrl =
+      arch::interpret_stream(arch::decode_stream(program.encoded_stream()));
+  if (ctrl.x_trip != static_cast<std::uint64_t>(m.level_product(HwLevel::X)) ||
+      ctrl.l_trip != static_cast<std::uint64_t>(m.level_product(HwLevel::L)) ||
+      ctrl.t_trip != static_cast<std::uint64_t>(m.level_product(HwLevel::T))) {
+    throw Error(w.name + ": instruction stream disagrees with the mapping");
+  }
+
+  impl_->name = program.layer.name;
+  const Shape s = shape_from_layer(program.layer);
+  if (program.layer.kind == nn::LayerKind::Depthwise) {
+    impl_->in_dims = nn::Dims{s.in_c, s.in_h, s.in_w};
+    impl_->w_dims = nn::Dims{s.in_c, s.kh, s.kw};
+    impl_->out_dims = nn::Dims{s.out_c, s.oh, s.ow};
+  } else if (program.layer.kind == nn::LayerKind::Conv) {
+    impl_->in_dims = nn::Dims{s.in_c, s.in_h, s.in_w};
+    impl_->w_dims = nn::Dims{s.out_c, s.in_c, s.kh, s.kw};
+    impl_->out_dims = nn::Dims{s.out_c, s.oh, s.ow};
+  } else {
+    impl_->in_dims = nn::Dims{s.mm_m, s.mm_p};
+    impl_->w_dims = nn::Dims{s.mm_n, s.mm_m};
+    impl_->out_dims = nn::Dims{s.mm_n, s.mm_p};
+  }
+
+  impl_->tables = detail::build_tables(program);
+  impl_->stats.valid_maccs = detail::count_valid_maccs(impl_->tables);
+  impl_->stats.padded_maccs = m.padded_macs();
+
+  // Timing is input-independent: simulate the schedule once and cache it.
+  SimOptions topt = options;
+  topt.collect_trace = false;
+  dram::AccessTrace trace;
+  run_timing(make_timing(program, config), topt, impl_->name, impl_->stats,
+             trace);
+}
+
+CachedLayerSim::~CachedLayerSim() = default;
+CachedLayerSim::CachedLayerSim(CachedLayerSim&&) noexcept = default;
+CachedLayerSim& CachedLayerSim::operator=(CachedLayerSim&&) noexcept = default;
+
+const SimStats& CachedLayerSim::stats() const { return impl_->stats; }
+
+void CachedLayerSim::run(const nn::Tensor16& weights, const nn::Tensor16& input,
+                         nn::AccTensor& out, ThreadPool* pool) const {
+  const Impl& im = *impl_;
+  // Layout checks against the cached Dims: allocation-free on success.
+  if (input.dims() != im.in_dims)
+    throw ConfigError(im.name + ": input tensor layout mismatch");
+  if (weights.dims() != im.w_dims)
+    throw ConfigError(im.name + ": weight tensor layout mismatch");
+
+  if (out.dims() != im.out_dims)
+    out = nn::AccTensor(im.out_dims);  // pooled under an installed arena
+  else
+    std::fill(out.data(), out.data() + out.size(), acc_t{0});
+
+  const std::int64_t valid =
+      detail::run_functional(im.tables, weights.data(), input.data(),
+                             out.data(), pool);
+  FTDL_ASSERT(valid == im.stats.valid_maccs);
+
+  if (obs::enabled()) {
+    const SimStats& st = im.stats;
+    obs::count("sim/layers_simulated");
+    obs::count("sim/cycles", st.cycles);
+    obs::count("sim/compute_cycles", st.compute_cycles);
+    obs::count("sim/act_stall_cycles", st.act_stall_cycles);
+    obs::count("sim/psum_stall_cycles", st.psum_stall_cycles);
+    obs::count("sim/valid_maccs", st.valid_maccs);
+    obs::count("sim/padded_maccs", st.padded_maccs);
+    obs::count("sim/act_refills", st.act_refills);
+    obs::count("sim/psum_drains", st.psum_drains);
+  }
 }
 
 }  // namespace ftdl::sim

@@ -15,10 +15,16 @@
 // nn::matmul_reference in the test suite.
 #pragma once
 
+#include <memory>
+
 #include "arch/overlay_config.h"
 #include "compiler/codegen.h"
 #include "dram/trace.h"
 #include "nn/tensor.h"
+
+namespace ftdl {
+class ThreadPool;
+}
 
 namespace ftdl::sim {
 
@@ -138,5 +144,40 @@ SimResult simulate_layer(const compiler::LayerProgram& program,
 SimResult simulate_layer_stats(const compiler::LayerProgram& program,
                                const arch::OverlayConfig& config,
                                const SimOptions& options = {});
+
+/// Reusable functional runner for one compiled layer — the steady-state
+/// path of the serving runtime. All input-independent work (instruction
+/// stream decode and cross-check, engine tables, the timing pass, the
+/// valid-MACC count) happens once at construction; run() executes only the
+/// functional bursts, so a warm runner performs no heap allocations of its
+/// own. SimStats are input-independent, hence cached and identical to what
+/// simulate_layer would report on every call.
+class CachedLayerSim {
+ public:
+  /// Analyses `program` as simulate_layer would (same validation and
+  /// throwing behaviour). `options.functional` / `check_buffers` are
+  /// ignored; the runner always executes the Fast functional engine.
+  CachedLayerSim(const compiler::LayerProgram& program,
+                 const arch::OverlayConfig& config,
+                 const SimOptions& options = {});
+  ~CachedLayerSim();
+  CachedLayerSim(CachedLayerSim&&) noexcept;
+  CachedLayerSim& operator=(CachedLayerSim&&) noexcept;
+
+  /// The cached per-run statistics (cycles, MACC counts, refills/drains).
+  const SimStats& stats() const;
+
+  /// Functional pass: validates layouts, reshapes `out` to the layer's
+  /// output shape if it does not already match (the only potential
+  /// allocation — pooled under an installed TensorArena), zeroes it and
+  /// accumulates the layer. `pool` as in SimOptions::jobs: nullptr runs
+  /// serially on the caller. Bit-identical to simulate_layer's output.
+  void run(const nn::Tensor16& weights, const nn::Tensor16& input,
+           nn::AccTensor& out, ThreadPool* pool = nullptr) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 }  // namespace ftdl::sim

@@ -6,6 +6,7 @@
 
 #include "common/error.h"
 #include "common/math_util.h"
+#include "common/simd.h"
 
 // The dense kernel reads four precomputed int64 offset arrays and writes
 // int64 accumulators; telling the compiler the tables never alias the
@@ -250,28 +251,84 @@ EngineTables build_tables(const compiler::LayerProgram& program,
     tb.dry = cry[jf];
     tb.dcx = ccx[jf];
   }
+  tb.c_in = cin;
+  tb.c_w = cw;
+  tb.c_out = cout;
+  if (tb.conv) {
+    tb.c_ry = cry;
+    tb.c_cx = ccx;
+  }
+
+  // ---- vector-plan selection -------------------------------------------
+  // Pick the unit-coefficient loop with the longest contiguous sweep (see
+  // the header): its T tile, times its spatial extent when the spatial
+  // digits are gidx-contiguous (sp_stride == t_ext <=> X/L tiles are 1).
+  for (int i = 0; i < k; ++i) {
+    const auto iu = static_cast<std::size_t>(i);
+    EngineTables::PlanKind kind = EngineTables::PlanKind::None;
+    if (cin[iu] == 1 && cw[iu] == 1 && cout[iu] == 0) {
+      kind = EngineTables::PlanKind::Dot;
+    } else if (cin[iu] == 1 && cw[iu] == 0 && cout[iu] == 1) {
+      kind = EngineTables::PlanKind::Axpy;
+    }
+    if (kind == EngineTables::PlanKind::None) continue;
+    const std::int64_t nb =
+        (tb.sp_ext[iu] > 1 && tb.sp_stride[iu] == tb.t_ext[iu]) ? tb.sp_ext[iu]
+                                                                : 1;
+    const std::int64_t cols = nb * tb.t_ext[iu];
+    if (cols < 2) continue;  // nothing to sweep; legacy kernels are fine
+    if (tb.plan_kind == EngineTables::PlanKind::None || cols > tb.cols) {
+      tb.plan_kind = kind;
+      tb.col_loop = i;
+      tb.block = nb;
+      tb.cols = cols;
+    }
+  }
 
   // ---- group-reordered spatial tables ----------------------------------
   // Group key: mixed radix over the OUTPUT-mapped loops' spatial digits.
   // Two valid iterations can only write the same output accumulator when
   // their output loops' digits agree at every level; grouping by the
   // spatial digits therefore makes groups pairwise write-disjoint within
-  // any burst — the safety argument for the parallel fan-out.
+  // any burst — the safety argument for the parallel fan-out. The column
+  // loop is excluded from the group key (its sweep stays inside one burst
+  // slice, and for Axpy its digit only offsets the output within the
+  // group's disjoint range), and the sort key is extended to a total mixed
+  // radix with the column digit innermost so fused spatial states land
+  // adjacent and in sweep order.
   std::vector<std::int64_t> key(static_cast<std::size_t>(tb.S), 0);
   for (int i = 0; i < k; ++i) {
-    if (cout[static_cast<std::size_t>(i)] == 0) continue;
+    if (cout[static_cast<std::size_t>(i)] == 0 || i == tb.col_loop) continue;
     const std::int64_t* dig =
         sp_dig.data() + static_cast<std::size_t>(i) * static_cast<std::size_t>(tb.S);
     const std::int64_t ext = tb.sp_ext[static_cast<std::size_t>(i)];
     for (std::int64_t s = 0; s < tb.S; ++s)
       key[static_cast<std::size_t>(s)] = key[static_cast<std::size_t>(s)] * ext + dig[s];
   }
+  std::vector<std::int64_t> sort_key = key;
+  if (tb.col_loop >= 0) {
+    for (int i = 0; i < k; ++i) {
+      if (cout[static_cast<std::size_t>(i)] != 0 || i == tb.col_loop) continue;
+      const std::int64_t* dig =
+          sp_dig.data() + static_cast<std::size_t>(i) * static_cast<std::size_t>(tb.S);
+      const std::int64_t ext = tb.sp_ext[static_cast<std::size_t>(i)];
+      for (std::int64_t s = 0; s < tb.S; ++s)
+        sort_key[static_cast<std::size_t>(s)] =
+            sort_key[static_cast<std::size_t>(s)] * ext + dig[s];
+    }
+    const auto lcu = static_cast<std::size_t>(tb.col_loop);
+    const std::int64_t* dig =
+        sp_dig.data() + lcu * static_cast<std::size_t>(tb.S);
+    for (std::int64_t s = 0; s < tb.S; ++s)
+      sort_key[static_cast<std::size_t>(s)] =
+          sort_key[static_cast<std::size_t>(s)] * tb.sp_ext[lcu] + dig[s];
+  }
   std::vector<std::int64_t> perm(static_cast<std::size_t>(tb.S));
   std::iota(perm.begin(), perm.end(), std::int64_t{0});
   std::stable_sort(perm.begin(), perm.end(),
                    [&](std::int64_t a, std::int64_t b) {
-                     return key[static_cast<std::size_t>(a)] <
-                            key[static_cast<std::size_t>(b)];
+                     return sort_key[static_cast<std::size_t>(a)] <
+                            sort_key[static_cast<std::size_t>(b)];
                    });
 
   // Weighted spatial contributions, in permuted (group-major) order.
@@ -325,6 +382,87 @@ EngineTables build_tables(const compiler::LayerProgram& program,
     tb.cx_t = project(tb.td, ccx, tb.T);
     tb.ry_t_max = *std::max_element(tb.ry_t.begin(), tb.ry_t.end());
     tb.cx_t_max = *std::max_element(tb.cx_t.begin(), tb.cx_t.end());
+  }
+
+  // ---- vector-plan verification and completion -------------------------
+  if (tb.plan_kind != EngineTables::PlanKind::None) {
+    const auto lcu = static_cast<std::size_t>(tb.col_loop);
+    if (tb.block > 1) {
+      // Verify the fused layout the innermost-ℓc sort was meant to produce:
+      // every aligned block holds a single group-key value, constant digits
+      // on every other loop, and ℓc's weighted digit sweeping 0, stride,
+      // 2*stride, ... — exactly the precondition for gidx_ℓc advancing by 1
+      // per column across the whole fused sweep.
+      bool ok = tb.S % tb.block == 0;
+      const std::int64_t* lcd = tb.spd.data() + lcu * static_cast<std::size_t>(tb.S);
+      for (std::int64_t s0 = 0; ok && s0 < tb.S; s0 += tb.block) {
+        for (std::int64_t j = 0; ok && j < tb.block; ++j) {
+          const auto s = static_cast<std::size_t>(s0 + j);
+          ok &= key[static_cast<std::size_t>(perm[s])] ==
+                key[static_cast<std::size_t>(
+                    perm[static_cast<std::size_t>(s0)])];
+          ok &= lcd[s0 + j] == j * tb.sp_stride[lcu];
+          for (int i = 0; ok && i < k; ++i) {
+            if (i == tb.col_loop) continue;
+            const std::int64_t* src =
+                tb.spd.data() +
+                static_cast<std::size_t>(i) * static_cast<std::size_t>(tb.S);
+            ok &= src[s0 + j] == src[s0];
+          }
+        }
+      }
+      if (!ok) {
+        tb.block = 1;
+        tb.cols = tb.t_ext[lcu];
+      }
+    }
+    if (tb.cols < 2) {
+      // Nothing left to sweep; the legacy kernels handle any permutation.
+      tb.plan_kind = EngineTables::PlanKind::None;
+      tb.col_loop = -1;
+      tb.block = 1;
+      tb.cols = 1;
+    }
+  }
+  if (tb.plan_kind != EngineTables::PlanKind::None) {
+    const auto lcu = static_cast<std::size_t>(tb.col_loop);
+    // Row loop: the largest remaining T tile, hoisted above the sweep with
+    // constant per-row offset deltas.
+    for (int i = 0; i < k; ++i) {
+      const auto iu = static_cast<std::size_t>(i);
+      if (i == tb.col_loop || tb.t_ext[iu] <= 1) continue;
+      if (tb.row_loop < 0 || tb.t_ext[iu] > tb.rows) {
+        tb.row_loop = i;
+        tb.rows = tb.t_ext[iu];
+      }
+    }
+    if (tb.row_loop >= 0) {
+      const auto lru = static_cast<std::size_t>(tb.row_loop);
+      tb.row_din = cin[lru];
+      tb.row_dw = cw[lru];
+      tb.row_dout = cout[lru];
+      if (tb.conv) {
+        tb.row_dry = cry[lru];
+        tb.row_dcx = ccx[lru];
+      }
+    }
+    if (tb.conv) {
+      tb.col_dry = cry[lcu];
+      tb.col_dcx = ccx[lcu];
+    }
+    // T states with the ℓc/ℓr digits zero: (t0, row, col) then enumerates
+    // every (spatial-in-block, t) iteration exactly once.
+    for (std::int64_t t = 0; t < tb.T; ++t) {
+      if (tb.td[lcu * static_cast<std::size_t>(tb.T) +
+                static_cast<std::size_t>(t)] != 0)
+        continue;
+      if (tb.row_loop >= 0 &&
+          tb.td[static_cast<std::size_t>(tb.row_loop) *
+                    static_cast<std::size_t>(tb.T) +
+                static_cast<std::size_t>(t)] != 0)
+        continue;
+      tb.plan_t0.push_back(t);
+    }
   }
 
   // ---- chunks: contiguous runs of whole groups -------------------------
@@ -541,14 +679,141 @@ std::int64_t guarded_burst(const EngineTables& tb, const BurstBases& b,
   return valid;
 }
 
+/// Interior kernel when a vector plan is set: every (block, t0, row) slice
+/// is one contiguous sweep of tb.cols MACCs handed to the runtime-dispatched
+/// SIMD kernels — a single dot reduction (kDot) or weight-broadcast axpy.
+template <bool kDot>
+void dense_burst_plan(const EngineTables& tb, const BurstBases& b,
+                      std::int64_t begin, std::int64_t end,
+                      const std::int16_t* FTDL_RESTRICT weights,
+                      const std::int16_t* FTDL_RESTRICT input, acc_t* out) {
+  const std::int64_t* FTDL_RESTRICT in_sp = tb.in_sp.data();
+  const std::int64_t* FTDL_RESTRICT w_sp = tb.w_sp.data();
+  const std::int64_t* FTDL_RESTRICT out_sp = tb.out_sp.data();
+  const std::int64_t* FTDL_RESTRICT in_t = tb.in_t.data();
+  const std::int64_t* FTDL_RESTRICT w_t = tb.w_t.data();
+  const std::int64_t* FTDL_RESTRICT out_t = tb.out_t.data();
+  const std::int64_t cols = tb.cols;
+  const std::int64_t rows = tb.rows;
+  for (std::int64_t s0 = begin; s0 < end; s0 += tb.block) {
+    const std::int64_t in_s = b.in_b + in_sp[s0];
+    const std::int64_t w_s = b.w_b + w_sp[s0];
+    const std::int64_t out_s = b.out_b + out_sp[s0];
+    for (const std::int64_t t0 : tb.plan_t0) {
+      const auto t0u = static_cast<std::size_t>(t0);
+      std::int64_t i0 = in_s + in_t[t0u];
+      std::int64_t w0 = w_s + w_t[t0u];
+      std::int64_t o0 = out_s + out_t[t0u];
+      for (std::int64_t r = 0; r < rows;
+           ++r, i0 += tb.row_din, w0 += tb.row_dw, o0 += tb.row_dout) {
+        if constexpr (kDot) {
+          out[o0] += simd::dot_i16(weights + w0, input + i0, cols);
+        } else {
+          simd::axpy_i16(out + o0, input + i0, weights[w0], cols);
+        }
+      }
+    }
+  }
+}
+
+/// Guarded edge kernel under a vector plan: the trip clip on ℓc is one
+/// contiguous [clo, chi) slice of the column sweep (gidx_ℓc advances by 1
+/// per column), the row clip bounds ℓr, and the conv image clips stay
+/// integer divisions — so even edge bursts feed long SIMD sweeps. Returns
+/// the number of valid MACCs executed.
+template <bool kDot>
+std::int64_t guarded_burst_plan(const EngineTables& tb, const BurstBases& b,
+                                std::int64_t begin, std::int64_t end,
+                                const std::int16_t* weights,
+                                const std::int16_t* input, acc_t* out) {
+  const int k = tb.k;
+  const std::int64_t S = tb.S;
+  const auto lcu = static_cast<std::size_t>(tb.col_loop);
+  std::int64_t valid = 0;
+  std::array<std::int64_t, kMaxLoops> slack{};
+  for (std::int64_t s0 = begin; s0 < end; s0 += tb.block) {
+    // Per-loop digit headroom at the block start; within the block only
+    // ℓc's digit varies and its sweep is clipped by chi_all below.
+    bool dead = false;
+    for (int i = 0; i < k; ++i) {
+      const auto iu = static_cast<std::size_t>(i);
+      slack[iu] =
+          tb.trip[iu] - b.base[iu] -
+          tb.spd[iu * static_cast<std::size_t>(S) + static_cast<std::size_t>(s0)];
+      if (i != tb.col_loop) dead |= slack[iu] <= 0;
+    }
+    const std::int64_t chi_all = std::min(tb.cols, slack[lcu]);
+    if (dead || chi_all <= 0) continue;
+    const std::int64_t in_s = b.in_b + tb.in_sp[static_cast<std::size_t>(s0)];
+    const std::int64_t w_s = b.w_b + tb.w_sp[static_cast<std::size_t>(s0)];
+    const std::int64_t out_s = b.out_b + tb.out_sp[static_cast<std::size_t>(s0)];
+    const std::int64_t ry_s =
+        tb.conv ? b.ry_b + tb.ry_sp[static_cast<std::size_t>(s0)] : 0;
+    const std::int64_t cx_s =
+        tb.conv ? b.cx_b + tb.cx_sp[static_cast<std::size_t>(s0)] : 0;
+    for (const std::int64_t t0 : tb.plan_t0) {
+      const auto t0u = static_cast<std::size_t>(t0);
+      // Constant digits of this t0 (the ℓc/ℓr digits are 0 by plan_t0
+      // construction, so their checks are vacuous given slack > 0).
+      bool ok = true;
+      for (int i = 0; i < k; ++i) {
+        const auto iu = static_cast<std::size_t>(i);
+        ok &= tb.td[iu * static_cast<std::size_t>(tb.T) + t0u] <
+              slack[iu];
+      }
+      if (!ok) continue;
+      std::int64_t rhi = tb.rows;
+      if (tb.row_loop >= 0)
+        rhi = std::min(rhi, slack[static_cast<std::size_t>(tb.row_loop)]);
+      std::int64_t i0 = in_s + tb.in_t[t0u];
+      std::int64_t w0 = w_s + tb.w_t[t0u];
+      std::int64_t o0 = out_s + tb.out_t[t0u];
+      std::int64_t ry0 = tb.conv ? ry_s + tb.ry_t[t0u] : 0;
+      std::int64_t cx0 = tb.conv ? cx_s + tb.cx_t[t0u] : 0;
+      for (std::int64_t r = 0; r < rhi;
+           ++r, i0 += tb.row_din, w0 += tb.row_dw, o0 += tb.row_dout,
+                ry0 += tb.row_dry, cx0 += tb.row_dcx) {
+        std::int64_t clo = 0;
+        std::int64_t chi = chi_all;
+        if (tb.conv) {
+          // Image clipping: per column at most one of ry/cx varies (ℓc is a
+          // single workload loop); the other is row-constant and checked
+          // outright.
+          if (tb.col_dry == 0) {
+            if (ry0 < 0 || ry0 >= tb.in_h) continue;
+          } else {
+            if (ry0 < 0) clo = std::max(clo, ceil_div(-ry0, tb.col_dry));
+            chi = std::min(chi, ceil_div(tb.in_h - ry0, tb.col_dry));
+          }
+          if (tb.col_dcx == 0) {
+            if (cx0 < 0 || cx0 >= tb.in_w) continue;
+          } else {
+            if (cx0 < 0) clo = std::max(clo, ceil_div(-cx0, tb.col_dcx));
+            chi = std::min(chi, ceil_div(tb.in_w - cx0, tb.col_dcx));
+          }
+        }
+        if (chi <= clo) continue;
+        if constexpr (kDot) {
+          out[o0] += simd::dot_i16(weights + w0 + clo, input + i0 + clo,
+                                   chi - clo);
+        } else {
+          simd::axpy_i16(out + o0 + clo, input + i0 + clo, weights[w0],
+                         chi - clo);
+        }
+        valid += chi - clo;
+      }
+    }
+  }
+  return valid;
+}
+
 }  // namespace
 
 std::int64_t run_functional(const EngineTables& tb, const std::int16_t* weights,
                             const std::int16_t* input, acc_t* out,
                             ThreadPool* pool) {
   const std::size_t n_chunks = tb.chunks.size();
-  std::vector<std::int64_t> valid(n_chunks, 0);
-  auto run_chunk = [&](std::size_t ci) {
+  auto run_chunk = [&](std::size_t ci) -> std::int64_t {
     const EngineTables::Chunk& c = tb.chunks[ci];
     std::int64_t v = 0;
     for (std::int64_t x = 0; x < tb.X; ++x) {
@@ -556,23 +821,52 @@ std::int64_t run_functional(const EngineTables& tb, const std::int16_t* weights,
         const BurstBases b = burst_bases(tb, x, l);
         if (burst_is_dense(tb, b, c.sp_max.data(), c.ry_sp_min, c.ry_sp_max,
                            c.cx_sp_min, c.cx_sp_max)) {
-          dense_burst(tb, b, c.begin, c.end, weights, input, out);
+          switch (tb.plan_kind) {
+            case EngineTables::PlanKind::Dot:
+              dense_burst_plan<true>(tb, b, c.begin, c.end, weights, input,
+                                     out);
+              break;
+            case EngineTables::PlanKind::Axpy:
+              dense_burst_plan<false>(tb, b, c.begin, c.end, weights, input,
+                                      out);
+              break;
+            case EngineTables::PlanKind::None:
+              dense_burst(tb, b, c.begin, c.end, weights, input, out);
+              break;
+          }
           v += (c.end - c.begin) * tb.T;
         } else {
-          v += guarded_burst(tb, b, c.begin, c.end, weights, input, out);
+          switch (tb.plan_kind) {
+            case EngineTables::PlanKind::Dot:
+              v += guarded_burst_plan<true>(tb, b, c.begin, c.end, weights,
+                                            input, out);
+              break;
+            case EngineTables::PlanKind::Axpy:
+              v += guarded_burst_plan<false>(tb, b, c.begin, c.end, weights,
+                                             input, out);
+              break;
+            case EngineTables::PlanKind::None:
+              v += guarded_burst(tb, b, c.begin, c.end, weights, input, out);
+              break;
+          }
         }
       }
     }
-    valid[ci] = v;
+    return v;
   };
   if (pool != nullptr && pool->jobs() > 1 && n_chunks > 1) {
-    pool->parallel_for(n_chunks, run_chunk);
-  } else {
-    for (std::size_t ci = 0; ci < n_chunks; ++ci) run_chunk(ci);
+    std::vector<std::int64_t> valid(n_chunks, 0);
+    pool->parallel_for(n_chunks,
+                       [&](std::size_t ci) { valid[ci] = run_chunk(ci); });
+    // Deterministic (and associative-integer) merge.
+    std::int64_t total = 0;
+    for (std::int64_t v : valid) total += v;
+    return total;
   }
-  // Deterministic (and associative-integer) merge.
+  // Serial path stays heap-free: it runs inside the serving steady state,
+  // where per-request allocations are pinned to zero.
   std::int64_t total = 0;
-  for (std::int64_t v : valid) total += v;
+  for (std::size_t ci = 0; ci < n_chunks; ++ci) total += run_chunk(ci);
   return total;
 }
 

@@ -16,6 +16,11 @@
 //     clipping are detected by interval arithmetic on the precomputed
 //     digit ranges and run through a branch-free dense MACC kernel; edge
 //     bursts fall back to a guarded (but still table-driven) loop;
+//   * both kernels restructure around a *vector plan* (EngineTables docs
+//     below): a unit-coefficient column loop — fused with its contiguous
+//     spatial digits when possible — turns the inner sweep into one long
+//     contiguous dot/axpy fed to the runtime-dispatched SIMD kernels of
+//     common/simd.h, with the scalar oracles as the exactness baseline;
 //   * the spatial states are regrouped by their output-projection digits
 //     (the loops with a non-zero output-offset coefficient), so each group
 //     writes a disjoint set of output accumulators — the unit of parallel
@@ -72,10 +77,50 @@ struct EngineTables {
   // so every tensor offset advances by a constant delta inside a run —
   // in_t[r*len + j] = in_t[r*len] + j*din, and likewise dw/dout/dry/dcx.
   // The kernels iterate (spatial, run, j) with the j loop branch-free.
+  // (Used by the legacy kernels when no vector plan applies.)
   std::int64_t t_run_len = 1;
   int t_run_loop = 0;
   std::int64_t din = 0, dw = 0, dout = 0;
   std::int64_t dry = 0, dcx = 0;  ///< conv only
+
+  // Tensor-offset coefficients per workload loop, in gidx space: one unit
+  // step of gidx_k moves the input / weight / output offsets by
+  // c_in/c_w/c_out[k] (and the conv image row/col by c_ry/c_cx[k]).
+  std::vector<std::int64_t> c_in, c_w, c_out;
+  std::vector<std::int64_t> c_ry, c_cx;  ///< conv only
+
+  // ---- vector plan ------------------------------------------------------
+  // The kernels pick one *column loop* ℓc whose unit coefficients make
+  // consecutive gidx steps contiguous in memory, so a whole sweep feeds one
+  // SIMD kernel (common/simd.h):
+  //   Dot  (c_in=1, c_w=1, c_out=0): reduction — the sweep folds into a
+  //        single accumulator via simd::dot_i16;
+  //   Axpy (c_in=1, c_w=0, c_out=1): broadcast weight — the sweep streams
+  //        into consecutive accumulators via simd::axpy_i16.
+  // The column sweep is ℓc's T tile, and when ℓc's spatial digits are
+  // contiguous in gidx too (sp_stride == t_ext, i.e. its X/L tiles are 1),
+  // `block` whole spatial states fuse into one sweep of `cols` steps. The
+  // group permutation sorts ℓc's spatial digit innermost (full mixed-radix
+  // key) to make those states adjacent; build_tables verifies the fused
+  // digit layout and falls back to block=1 — or no plan — if it does not
+  // hold. The *row loop* ℓr (largest remaining T tile) is hoisted above the
+  // sweep with constant per-row deltas; plan_t0 lists the T states where
+  // both ℓc's and ℓr's digits are zero, so (t0, row, col) enumerates every
+  // T state exactly once. Integer accumulation is exact and associative, so
+  // the reordered/reassociated sums stay bit-identical to the reference
+  // interpreter (and the SIMD kernels are bit-identical to their scalar
+  // oracles by construction).
+  enum class PlanKind : std::uint8_t { None, Dot, Axpy };
+  PlanKind plan_kind = PlanKind::None;
+  int col_loop = -1;       ///< ℓc (-1: no plan, legacy kernels)
+  std::int64_t block = 1;  ///< spatial states fused into one column sweep
+  std::int64_t cols = 1;   ///< sweep length = block * t_ext[col_loop]
+  int row_loop = -1;       ///< ℓr (-1: single row)
+  std::int64_t rows = 1;
+  std::int64_t row_din = 0, row_dw = 0, row_dout = 0;
+  std::int64_t row_dry = 0, row_dcx = 0;  ///< conv only
+  std::int64_t col_dry = 0, col_dcx = 0;  ///< conv only
+  std::vector<std::int64_t> plan_t0;  ///< T states with ℓc/ℓr digits zero
 
   // Conv-only: input row/col indices, y = stride*E + R - pad and
   // xc = stride*F + S - pad, decomposed the same way. Empty for MM.

@@ -7,8 +7,10 @@
 
 #include <atomic>
 #include <numeric>
+#include <thread>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/csv.h"
 #include "common/error.h"
 #include "common/fixed_point.h"
@@ -271,6 +273,94 @@ TEST(ThreadPool, DefaultJobsHonorsFtdlJobsEnv) {
   EXPECT_GE(default_jobs(), 1);  // unparseable values fall back
   ::unsetenv("FTDL_JOBS");
   EXPECT_GE(default_jobs(), 1);
+}
+
+// ---- TensorArena ----------------------------------------------------------
+
+TEST(TensorArena, OutsideScopeFallsBackToHeap) {
+  // With no arena installed, ArenaVec is a plain heap vector: its blocks
+  // carry no owner and no arena counters move.
+  TensorArena arena;
+  {
+    ArenaVec<std::int64_t> v(32);
+    EXPECT_EQ(v.size(), 32);
+    for (std::int64_t i = 0; i < 32; ++i) EXPECT_EQ(v[i], 0);
+  }
+  const ArenaStats s = arena.stats();
+  EXPECT_EQ(s.fallback_allocs, 0);
+  EXPECT_EQ(s.reuses, 0);
+  EXPECT_EQ(s.bytes_allocated, 0);
+}
+
+TEST(TensorArena, BlocksRecycleWithinScope) {
+  TensorArena arena;
+  TensorArena::Scope scope(arena);
+  { ArenaVec<std::int64_t> warm(100); }  // first acquire: heap fallback
+  const ArenaStats after_warm = arena.stats();
+  EXPECT_EQ(after_warm.fallback_allocs, 1);
+  EXPECT_EQ(after_warm.bytes_in_use, 0);  // released back to the pool
+
+  for (int round = 0; round < 5; ++round) {
+    ArenaVec<std::int64_t> v(100);  // same size class: pooled reuse
+    EXPECT_EQ(v[99], 0) << "pooled blocks must be re-zeroed";
+    v[99] = 7;
+  }
+  const ArenaStats s = arena.stats();
+  EXPECT_EQ(s.fallback_allocs, 1) << "steady-state rounds must not allocate";
+  EXPECT_EQ(s.reuses, 5);
+  EXPECT_EQ(s.bytes_allocated, after_warm.bytes_allocated);
+  EXPECT_EQ(s.bytes_in_use, 0);
+  EXPECT_GT(s.high_water_bytes, 0);
+}
+
+TEST(TensorArena, CopyAssignReusesCapacity) {
+  TensorArena arena;
+  TensorArena::Scope scope(arena);
+  ArenaVec<std::int64_t> dst(64);
+  const ArenaStats before = arena.stats();
+  ArenaVec<std::int64_t> src(48);
+  for (std::int64_t i = 0; i < 48; ++i) src[i] = i;
+  dst = src;  // 48 <= capacity(64): block reused in place
+  EXPECT_EQ(dst.size(), 48);
+  EXPECT_EQ(dst[47], 47);
+  EXPECT_EQ(arena.stats().fallback_allocs - before.fallback_allocs, 1)
+      << "only src's own block may allocate";
+}
+
+TEST(TensorArena, BlocksEscapeScopeAndReturnFromOtherThreads) {
+  TensorArena arena;
+  ArenaVec<std::int64_t> escaped;
+  {
+    TensorArena::Scope scope(arena);
+    escaped = ArenaVec<std::int64_t>(200);
+  }
+  // The scope is gone but the block still belongs to the arena.
+  EXPECT_EQ(arena.stats().bytes_in_use, arena.stats().bytes_allocated);
+
+  std::thread([v = std::move(escaped)]() mutable {
+    v = ArenaVec<std::int64_t>();  // release on a foreign thread
+  }).join();
+  const ArenaStats s = arena.stats();
+  EXPECT_EQ(s.bytes_in_use, 0) << "cross-thread release must reach the pool";
+
+  // And the returned block is reusable from a fresh scope.
+  TensorArena::Scope scope(arena);
+  ArenaVec<std::int64_t> again(200);
+  EXPECT_EQ(arena.stats().reuses, 1);
+}
+
+TEST(TensorArena, ScopesNestAndRestore) {
+  TensorArena outer, inner;
+  TensorArena::Scope outer_scope(outer);
+  {
+    TensorArena::Scope inner_scope(inner);
+    ArenaVec<std::int64_t> v(16);
+  }
+  EXPECT_EQ(inner.stats().fallback_allocs, 1);
+  EXPECT_EQ(outer.stats().fallback_allocs, 0);
+  ArenaVec<std::int64_t> v(16);  // back on the outer arena
+  EXPECT_EQ(outer.stats().fallback_allocs, 1);
+  EXPECT_EQ(inner.stats().fallback_allocs, 1);
 }
 
 }  // namespace

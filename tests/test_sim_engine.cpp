@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "common/simd.h"
 #include "compiler/codegen.h"
 #include "nn/reference.h"
 #include "sim/ftdl_sim.h"
@@ -144,6 +145,103 @@ TEST_P(EngineSweep, EngineMatchesReferenceBitExactly) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, EngineSweep, ::testing::Range(0, 48));
+
+/// Forces the scalar oracles for its lifetime; restores the vector path on
+/// exit (set_enabled(true) is a no-op where no vector path exists).
+struct ScopedScalarOnly {
+  ScopedScalarOnly() { simd::set_enabled(false); }
+  ~ScopedScalarOnly() { simd::set_enabled(true); }
+};
+
+/// Runs the fast engine twice — vector dispatch vs forced-scalar — and once
+/// on the reference interpreter; all three must agree bit-exactly.
+void expect_simd_scalar_reference_agree(const compiler::LayerProgram& prog,
+                                        const arch::OverlayConfig& cfg,
+                                        const LayerData& data, int jobs) {
+  sim::SimOptions fast_opt;
+  fast_opt.jobs = jobs;
+  const sim::SimResult vec =
+      sim::simulate_layer(prog, cfg, data.weights, data.input, fast_opt);
+
+  sim::SimResult sca;
+  {
+    ScopedScalarOnly scalar_only;
+    sca = sim::simulate_layer(prog, cfg, data.weights, data.input, fast_opt);
+  }
+  EXPECT_EQ(vec.output, sca.output)
+      << "SIMD vs scalar, jobs=" << jobs << ": "
+      << prog.mapping.to_string(prog.workload);
+  expect_same_stats(vec.stats, sca.stats, "SIMD vs scalar");
+
+  sim::SimOptions ref_opt;
+  ref_opt.engine = sim::SimEngine::Reference;
+  const sim::SimResult ref =
+      sim::simulate_layer(prog, cfg, data.weights, data.input, ref_opt);
+  EXPECT_EQ(vec.output, ref.output)
+      << "SIMD vs reference, jobs=" << jobs;
+}
+
+// The randomized sweep again, now pinning the vector dispatch against the
+// forced-scalar engine (simd::set_enabled test hook). One extra seed past
+// the Fast≡Reference sweep keeps the two suites from sharing every case.
+class SimdSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimdSweep, SimdMatchesScalarBitExactly) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 7);
+  const arch::OverlayConfig cfg = random_config(rng);
+  const nn::Layer layer = random_layer(rng, GetParam());
+  const compiler::LayerProgram prog =
+      compiler::compile_layer(layer, cfg, Objective::Performance, 4'000);
+  if (prog.weight_groups != 1) return;
+  const LayerData data =
+      make_data(layer, static_cast<std::uint64_t>(GetParam()) + 11);
+  expect_simd_scalar_reference_agree(prog, cfg, data, /*jobs=*/1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SimdSweep, ::testing::Range(0, 49));
+
+// Kernel edge geometry: burst/tail widths that straddle the inline cutoff
+// and every vector tail length (1..2*lanes for the widest 16-lane AVX2
+// path), at jobs = 1 and jobs = 8. MatMul column length m is the dot/axpy
+// sweep width, so it is the direct lever on kernel width.
+TEST(SimEngine, EdgeTailWidthsSimdMatchesScalar) {
+  const arch::OverlayConfig cfg = arch::paper_config();
+  for (int m : {1, 2, 3, 7, 8, 9, 15, 16, 17, 31, 32, 33}) {
+    const nn::Layer layer =
+        nn::make_matmul("eng_tail_mm_" + std::to_string(m), 5, m, 3);
+    const compiler::LayerProgram prog =
+        compiler::compile_layer(layer, cfg, Objective::Performance, 4'000);
+    ASSERT_EQ(prog.weight_groups, 1) << "m=" << m;
+    const LayerData data = make_data(layer, static_cast<std::uint64_t>(m));
+    for (int jobs : {1, 8})
+      expect_simd_scalar_reference_agree(prog, cfg, data, jobs);
+  }
+}
+
+// Single-element temporal runs (1x1 outputs, unit matmuls) and narrow
+// bursts (single-column images, 1-wide kernels): the degenerate loop trips
+// where a vector path must fall through to scalar tails cleanly.
+TEST(SimEngine, SingleElementRunsAndNarrowBursts) {
+  const arch::OverlayConfig cfg = arch::paper_config();
+  const nn::Layer cases[] = {
+      // k == hw, pad 0: exactly one output pixel per channel.
+      nn::make_conv("eng_edge_1x1out", 4, 3, 3, 6, 3, 1, 0),
+      // 1x1 kernel on a single-column image: narrow burst per row.
+      nn::make_conv("eng_edge_col", 5, 9, 1, 7, 1, 1, 0),
+      // Depthwise with k == hw: one output element per channel.
+      nn::make_depthwise("eng_edge_dw", 6, 4, 4, 4, 1, 0),
+      // Fully degenerate matmul.
+      nn::make_matmul("eng_edge_unit_mm", 1, 1, 1),
+  };
+  for (const nn::Layer& layer : cases) {
+    const compiler::LayerProgram prog =
+        compiler::compile_layer(layer, cfg, Objective::Performance, 4'000);
+    ASSERT_EQ(prog.weight_groups, 1) << layer.name;
+    const LayerData data = make_data(layer, 31);
+    for (int jobs : {1, 8})
+      expect_simd_scalar_reference_agree(prog, cfg, data, jobs);
+  }
+}
 
 TEST(SimEngine, SharedPoolAndTransientPoolAgree) {
   Rng rng(2026);
