@@ -1,7 +1,10 @@
 #include "common/str_util.h"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 
 namespace ftdl {
 
@@ -42,6 +45,28 @@ std::string format_count(double n) {
 
 std::string format_percent(double ratio, int decimals) {
   return strformat("%.*f%%", decimals, ratio * 100.0);
+}
+
+bool parse_int_strict(const char* s, std::int64_t min_v, std::int64_t max_v,
+                      std::int64_t* out) {
+  if (s == nullptr || *s == '\0') return false;
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(s, &end, 10);
+  if (end == s || *end != '\0' || errno == ERANGE) return false;
+  if (v < min_v || v > max_v) return false;
+  *out = v;
+  return true;
+}
+
+bool parse_double_strict(const char* s, double* out) {
+  if (s == nullptr || *s == '\0') return false;
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0' || !std::isfinite(v)) return false;
+  *out = v;
+  return true;
 }
 
 std::string join_x(const std::vector<std::int64_t>& v) {

@@ -25,4 +25,15 @@ std::string format_percent(double ratio, int decimals = 1);
 /// Join a vector of int64 as "a x b x c".
 std::string join_x(const std::vector<std::int64_t>& v);
 
+/// Strict base-10 integer parsing for CLI flags: the whole string must be a
+/// number in [min_v, max_v] — garbage, trailing text, empty input and
+/// overflow all return false (std::atoi silently returns 0 for all four).
+/// `*out` is written only on success.
+bool parse_int_strict(const char* s, std::int64_t min_v, std::int64_t max_v,
+                      std::int64_t* out);
+
+/// Strict decimal parsing for CLI flags: the whole string must be a finite
+/// number. `*out` is written only on success.
+bool parse_double_strict(const char* s, double* out);
+
 }  // namespace ftdl

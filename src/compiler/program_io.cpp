@@ -214,6 +214,14 @@ void save_program(const LayerProgram& program, const std::string& path) {
   std::ofstream out(path);
   if (!out) throw Error("cannot write program file " + path);
   out << serialize_program(program);
+  // A full disk or I/O error only shows up on the stream state; without this
+  // check a truncated artifact is published silently and fails much later,
+  // at load time, with a confusing parse error.
+  out.flush();
+  if (!out) {
+    throw Error("error writing program file " + path +
+                " (disk full or I/O error)");
+  }
 }
 
 LayerProgram load_program(const std::string& path,

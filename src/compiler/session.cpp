@@ -1,5 +1,6 @@
 #include "compiler/session.h"
 
+#include <optional>
 #include <string>
 #include <unordered_set>
 #include <utility>
@@ -9,6 +10,7 @@
 #include "common/hash.h"
 #include "common/logging.h"
 #include "common/str_util.h"
+#include "compiler/program_store.h"
 #include "obs/obs.h"
 
 namespace ftdl::compiler {
@@ -54,15 +56,10 @@ std::uint64_t program_cache_key(const Workload& w,
 
   // Every OverlayConfig field: the session cache is shared across config
   // sweeps (Objective 3, DSE, ablations), so any field the analytical model
-  // or codegen can read must be part of the key.
-  h.i32(config.d1).i32(config.d2).i32(config.d3);
-  h.i64(config.actbuf_words).i64(config.wbuf_words).i64(config.psumbuf_words);
-  h.i32(config.actbus_words_per_cycle).i32(config.psumbus_words_per_cycle);
-  h.f64(config.dram_rd_bytes_per_sec).f64(config.dram_wr_bytes_per_sec);
-  h.i32(config.psum_bytes);
-  h.f64(config.clocks.clk_l_hz).f64(config.clocks.clk_h_hz);
-  h.boolean(config.double_pump);
-  h.boolean(config.charge_weight_reload);
+  // or codegen can read must be part of the key. The field walk lives in
+  // program_store.cpp so the key and the store's entry-header config digest
+  // can never drift apart.
+  hash_overlay_config(h, config);
 
   h.i32(static_cast<int>(objective));
   h.i64(max_candidates);
@@ -96,31 +93,90 @@ int CompilerSession::jobs() const { return pool_->jobs(); }
 
 ThreadPool& CompilerSession::pool() { return *pool_; }
 
-std::shared_ptr<const LayerProgram> CompilerSession::lookup(
-    std::uint64_t key) {
+void CompilerSession::set_store(std::shared_ptr<ProgramStore> store) {
   MutexLock lock(mu_);
-  auto it = cache_.find(key);
-  if (it == cache_.end()) return nullptr;
-  ++stats_.hits;
-  return it->second;
+  store_ = std::move(store);
 }
 
-const LayerProgram& CompilerSession::insert(std::uint64_t key,
-                                            LayerProgram&& prog) {
-  auto sp = std::make_shared<const LayerProgram>(std::move(prog));
+std::shared_ptr<ProgramStore> CompilerSession::store() const {
   MutexLock lock(mu_);
-  ++stats_.misses;
-  auto [it, inserted] = cache_.try_emplace(key, sp);
+  return store_;
+}
+
+std::shared_ptr<const LayerProgram> CompilerSession::obtain(
+    std::uint64_t key, const nn::Layer& layer,
+    const arch::OverlayConfig& config, Objective objective,
+    std::int64_t max_candidates) {
+  std::shared_ptr<ProgramStore> store;
+  {
+    MutexLock lock(mu_);
+    for (;;) {
+      auto it = cache_.find(key);
+      if (it != cache_.end()) {
+        ++stats_.hits;
+        if (obs::enabled()) obs::Registry::global().add("session/cache_hits");
+        return it->second;
+      }
+      if (inflight_.insert(key).second) break;  // this thread produces it
+      // Single-flight: another thread is already compiling (or disk-loading)
+      // this key. Wait for it instead of duplicating the mapping search —
+      // the owner runs on its own thread, so waiting cannot deadlock.
+      inflight_cv_.wait(mu_);
+    }
+    store = store_;
+  }
+
+  // Owner path, no lock held: disk probe, then compile + write-through.
+  std::shared_ptr<const LayerProgram> prog;
+  bool compiled = false;
+  try {
+    if (store) {
+      if (std::optional<LayerProgram> disk = store->load(key, config)) {
+        prog = std::make_shared<const LayerProgram>(*std::move(disk));
+      }
+    }
+    if (!prog) {
+      prog = std::make_shared<const LayerProgram>(
+          compile_layer(layer, config, objective, max_candidates));
+      compiled = true;
+      if (store) {
+        // Write-through failure (disk full, permissions) must not take down
+        // a compile that already succeeded — log and count, never silent.
+        try {
+          store->put(key, config, *prog);
+        } catch (const Error& e) {
+          log_warn(std::string("program cache write-through failed: ") +
+                   e.what());
+          obs::count("session/disk_write_failures");
+        }
+      }
+    }
+  } catch (...) {
+    // Release the claim so waiters can retry (and observe their own
+    // exception) instead of blocking forever.
+    MutexLock lock(mu_);
+    inflight_.erase(key);
+    inflight_cv_.notify_all();
+    throw;
+  }
+
+  MutexLock lock(mu_);
+  inflight_.erase(key);
+  if (compiled) {
+    ++stats_.misses;
+    if (obs::enabled()) obs::Registry::global().add("session/cache_misses");
+  }
+  auto [it, inserted] = cache_.try_emplace(key, prog);
   if (inserted) {
     ++stats_.entries;
-    stats_.program_bytes += approx_program_bytes(*sp);
+    stats_.program_bytes += approx_program_bytes(*prog);
     if (obs::enabled()) {
       obs::Registry::global().add("session/cache_bytes",
-                                  approx_program_bytes(*sp));
+                                  approx_program_bytes(*prog));
     }
   }
-  obs::count("session/cache_misses");
-  return *it->second;
+  inflight_cv_.notify_all();
+  return it->second;
 }
 
 LayerProgram CompilerSession::compile(const nn::Layer& layer,
@@ -130,15 +186,8 @@ LayerProgram CompilerSession::compile(const nn::Layer& layer,
   const std::uint64_t key = program_cache_key(Workload::from_layer(layer),
                                               config, objective,
                                               max_candidates);
-  if (auto hit = lookup(key)) {
-    obs::count("session/cache_hits");
-    LayerProgram prog = *hit;
-    prog.layer = layer;  // restore this instance's identity
-    return prog;
-  }
-  LayerProgram prog = insert(key, compile_layer(layer, config, objective,
-                                                max_candidates));
-  prog.layer = layer;
+  LayerProgram prog = *obtain(key, layer, config, objective, max_candidates);
+  prog.layer = layer;  // restore this instance's identity
   return prog;
 }
 
@@ -183,9 +232,11 @@ NetworkSchedule CompilerSession::schedule(const nn::Network& net,
     }
   }
 
-  // Pass 2 (parallel): compile the distinct misses across the pool. Each
-  // task is a pure function of its (layer, config) pair; a failure (no
-  // feasible mapping) is rethrown here after the batch drains.
+  // Pass 2 (parallel): produce the distinct misses across the pool via
+  // obtain() — disk probe first when a store is attached, else the mapping
+  // search; single-flight dedups against concurrent schedules on other
+  // threads. Each task is a pure function of its (layer, config) pair; a
+  // failure (no feasible mapping) is rethrown here after the batch drains.
   if (!to_compile.empty()) {
     obs::gauge("session/pool_queue_depth", double(pool_->queue_depth() + 1));
     pool_->parallel_for(to_compile.size(), [&](std::size_t i) {
@@ -193,15 +244,15 @@ NetworkSchedule CompilerSession::schedule(const nn::Network& net,
       const nn::Layer& layer = *to_compile[i].layer;
       obs::ScopedSpan task_span("session", "compile_task",
                                 {{"layer", layer.name}});
-      LayerProgram prog = compile_layer(layer, config, objective,
-                                        max_candidates_per_layer);
+      const std::shared_ptr<const LayerProgram> prog =
+          obtain(to_compile[i].key, layer, config, objective,
+                 max_candidates_per_layer);
       log_debug(strformat("%s: C_exe=%lld x%d eff=%.1f%% E_WBUF=%.2f",
                           layer.name.c_str(),
-                          static_cast<long long>(prog.perf.c_exe),
-                          prog.weight_groups,
-                          100.0 * prog.perf.hardware_efficiency,
-                          prog.perf.e_wbuf));
-      insert(to_compile[i].key, std::move(prog));
+                          static_cast<long long>(prog->perf.c_exe),
+                          prog->weight_groups,
+                          100.0 * prog->perf.hardware_efficiency,
+                          prog->perf.e_wbuf));
     });
     obs::gauge("session/pool_queue_depth", double(pool_->queue_depth()));
   }
@@ -323,7 +374,15 @@ HwConfigChoice CompilerSession::best_hw_config(
 
 SessionStats CompilerSession::stats() const {
   MutexLock lock(mu_);
-  return stats_;
+  SessionStats s = stats_;
+  if (store_) {
+    const StoreStats d = store_->stats();
+    s.disk_hits = d.hits;
+    s.disk_misses = d.misses;
+    s.disk_evictions = d.evictions;
+    s.disk_bytes = d.bytes_written;
+  }
+  return s;
 }
 
 void CompilerSession::clear_cache() {

@@ -21,6 +21,22 @@
 //     shapes of one network in parallel and evaluates (D1,D2,D3) split
 //     candidates concurrently.
 //
+// Two refinements on top of the memory cache:
+//
+//   * SINGLE-FLIGHT: concurrent compilations of one uncached key run the
+//     mapping search exactly once — the first thread to claim the key
+//     compiles while the others wait for its result, so neither the work
+//     nor the miss/byte accounting is duplicated (previously both threads
+//     searched and both counted a miss).
+//   * an optional PERSISTENT second tier (compiler/program_store.h),
+//     attached with set_store(): a memory miss probes the on-disk
+//     content-addressed store before compiling, and every fresh compile is
+//     written through, so a new process — or a fleet of them sharing one
+//     --cache-dir — warm-starts from disk in milliseconds. Disk hits are
+//     fully re-validated on load (analytical-model re-evaluation plus the
+//     static stream verifier); a corrupted or stale entry is evicted and
+//     recompiled, never trusted.
+//
 // Determinism guarantee: compile_layer is a deterministic function of
 // (layer shape, config, objective, budget) — the search is seeded and the
 // generators are ordered — and every parallel region here merges results
@@ -38,6 +54,7 @@
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
@@ -46,12 +63,21 @@
 
 namespace ftdl::compiler {
 
-/// Cumulative cache traffic of one session (obs mirrors: session/*).
+class ProgramStore;
+
+/// Cumulative cache traffic of one session (obs mirrors: session/*). The
+/// disk_* fields mirror the attached ProgramStore (zero when none is
+/// attached); they cover every session sharing that store instance.
 struct SessionStats {
-  std::int64_t hits = 0;           ///< compiles served from the cache
+  std::int64_t hits = 0;           ///< compiles served from the memory cache
   std::int64_t misses = 0;         ///< compiles that ran the mapping search
   std::int64_t entries = 0;        ///< programs currently resident
   std::int64_t program_bytes = 0;  ///< approximate resident bytes
+
+  std::int64_t disk_hits = 0;       ///< memory misses served from disk
+  std::int64_t disk_misses = 0;     ///< disk probes that found no entry
+  std::int64_t disk_evictions = 0;  ///< corrupt/stale entries evicted on load
+  std::int64_t disk_bytes = 0;      ///< entry bytes written through to disk
 };
 
 /// Content-addressed cache key of one layer compilation: a Hash64 digest of
@@ -91,6 +117,14 @@ class CompilerSession {
   /// share one set of threads with the compiler.
   ThreadPool& pool();
 
+  /// Attaches a persistent on-disk tier (compiler/program_store.h): memory
+  /// miss -> disk probe -> compile -> write-through. Several sessions (or
+  /// processes) may share one store directory. nullptr detaches. Write
+  /// failures during write-through are logged and counted
+  /// (session/disk_write_failures), never fatal and never silent.
+  void set_store(std::shared_ptr<ProgramStore> store);
+  std::shared_ptr<ProgramStore> store() const;
+
   /// Cached equivalent of compile_layer(): returns the cached program for
   /// the content key when present (with `layer`'s identity restored),
   /// otherwise compiles and caches. Throws exactly like compile_layer.
@@ -125,15 +159,28 @@ class CompilerSession {
   void clear_cache();
 
  private:
-  std::shared_ptr<const LayerProgram> lookup(std::uint64_t key)
-      FTDL_EXCLUDES(mu_);
-  const LayerProgram& insert(std::uint64_t key, LayerProgram&& prog)
+  /// The single entry point for producing a program: memory lookup ->
+  /// single-flight claim -> disk probe -> compile -> write-through ->
+  /// insert. Concurrent callers of one uncached key compile exactly once;
+  /// the losers wait and are accounted as hits. Throws exactly like
+  /// compile_layer (every waiter retries after a failed owner, so each
+  /// caller observes its own exception).
+  std::shared_ptr<const LayerProgram> obtain(std::uint64_t key,
+                                             const nn::Layer& layer,
+                                             const arch::OverlayConfig& config,
+                                             Objective objective,
+                                             std::int64_t max_candidates)
       FTDL_EXCLUDES(mu_);
 
   mutable Mutex mu_;
   std::unordered_map<std::uint64_t, std::shared_ptr<const LayerProgram>>
       cache_ FTDL_GUARDED_BY(mu_);
+  /// Keys whose compile (or disk load) is in flight; owners never wait, so
+  /// every waiter waits on a thread that is making progress.
+  std::unordered_set<std::uint64_t> inflight_ FTDL_GUARDED_BY(mu_);
+  CondVar inflight_cv_;
   SessionStats stats_ FTDL_GUARDED_BY(mu_);
+  std::shared_ptr<ProgramStore> store_ FTDL_GUARDED_BY(mu_);
   std::unique_ptr<ThreadPool> pool_;
 };
 

@@ -6,6 +6,7 @@
 #include <fstream>
 
 #include <atomic>
+#include <limits>
 #include <numeric>
 #include <thread>
 #include <vector>
@@ -126,6 +127,51 @@ TEST(StrUtil, Formatters) {
   EXPECT_EQ(format_percent(0.811), "81.1%");
   EXPECT_EQ(join_x({12, 5, 20}), "12 x 5 x 20");
   EXPECT_EQ(strformat("%d-%s", 7, "x"), "7-x");
+}
+
+// The strict CLI-flag parsers: everything std::atoi silently turns into 0
+// must be a parse failure here (the tools hoisted onto these in PR 10).
+TEST(StrUtil, ParseIntStrict) {
+  std::int64_t v = -1;
+  EXPECT_TRUE(parse_int_strict("8", 1, 100, &v));
+  EXPECT_EQ(v, 8);
+  EXPECT_TRUE(parse_int_strict("100", 1, 100, &v));
+  EXPECT_EQ(v, 100);
+  EXPECT_TRUE(parse_int_strict("-3", -10, 10, &v));
+  EXPECT_EQ(v, -3);
+
+  v = 42;
+  EXPECT_FALSE(parse_int_strict("x8", 1, 100, &v));    // garbage prefix
+  EXPECT_FALSE(parse_int_strict("8x", 1, 100, &v));    // trailing text
+  EXPECT_FALSE(parse_int_strict("8 ", 1, 100, &v));    // trailing space
+  EXPECT_FALSE(parse_int_strict("", 1, 100, &v));      // empty
+  EXPECT_FALSE(parse_int_strict(nullptr, 1, 100, &v)); // absent
+  EXPECT_FALSE(parse_int_strict("0", 1, 100, &v));     // below min
+  EXPECT_FALSE(parse_int_strict("101", 1, 100, &v));   // above max
+  EXPECT_FALSE(parse_int_strict("3.5", 1, 100, &v));   // not an integer
+  EXPECT_FALSE(parse_int_strict("99999999999999999999", 1,
+                                std::numeric_limits<std::int64_t>::max(),
+                                &v));  // overflow
+  EXPECT_EQ(v, 42) << "out must be untouched on failure";
+}
+
+TEST(StrUtil, ParseDoubleStrict) {
+  double v = -1.0;
+  EXPECT_TRUE(parse_double_strict("650", &v));
+  EXPECT_EQ(v, 650.0);
+  EXPECT_TRUE(parse_double_strict("0.5", &v));
+  EXPECT_EQ(v, 0.5);
+  EXPECT_TRUE(parse_double_strict("-2e3", &v));
+  EXPECT_EQ(v, -2000.0);
+
+  v = 42.0;
+  EXPECT_FALSE(parse_double_strict("fast", &v));
+  EXPECT_FALSE(parse_double_strict("1.5x", &v));
+  EXPECT_FALSE(parse_double_strict("", &v));
+  EXPECT_FALSE(parse_double_strict(nullptr, &v));
+  EXPECT_FALSE(parse_double_strict("inf", &v));  // finite only
+  EXPECT_FALSE(parse_double_strict("nan", &v));
+  EXPECT_EQ(v, 42.0) << "out must be untouched on failure";
 }
 
 TEST(Csv, WritesEscapedRows) {

@@ -67,6 +67,20 @@ TEST(ProgramIo, FileRoundTrip) {
   EXPECT_THROW(compiler::load_program("missing.ftdlprog", cfg()), Error);
 }
 
+// Regression: save_program never checked the stream after writing, so a
+// disk-full or I/O error published a silently truncated artifact.
+TEST(ProgramIo, SaveToUnwritablePathThrows) {
+  const LayerProgram orig = example_program();
+  // A path under a file can never be opened for writing.
+  EXPECT_THROW(compiler::save_program(orig, "/proc/self/cmdline/x.ftdlprog"),
+               Error);
+  // /dev/full opens fine but every write fails with ENOSPC — exactly the
+  // silent-truncation case: without the flush+check the call "succeeds".
+  if (std::filesystem::exists("/dev/full")) {
+    EXPECT_THROW(compiler::save_program(orig, "/dev/full"), Error);
+  }
+}
+
 TEST(ProgramIo, WrongConfigIsDetected) {
   const LayerProgram orig = example_program();
   const std::string text = compiler::serialize_program(orig);

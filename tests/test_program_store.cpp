@@ -1,0 +1,340 @@
+// ProgramStore tests: the persistent content-addressed tier must round-trip
+// programs byte-exactly, never trust a damaged entry (truncated, corrupted,
+// wrong version, wrong config → evict and recompile), publish atomically
+// under concurrent multi-session writers, and keep the session's determinism
+// guarantee — warm-disk schedules bit-identical for any jobs value.
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "compiler/program_store.h"
+#include "compiler/session.h"
+#include "nn/model_zoo.h"
+
+namespace ftdl::compiler {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::int64_t kBudget = 3'000;
+
+/// Unique scratch directory per test, removed on scope exit (ctest runs
+/// these binaries in parallel, so a fixed path would collide).
+struct TempDir {
+  std::string path;
+  TempDir() {
+    std::string tmpl =
+        (fs::temp_directory_path() / "ftdl_store_XXXXXX").string();
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    if (mkdtemp(buf.data()) == nullptr) throw Error("mkdtemp failed");
+    path = buf.data();
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+};
+
+nn::Layer small_conv() { return nn::make_conv("c", 8, 16, 16, 16, 3, 1, 1); }
+
+/// Same network as test_session's fixture: every overlay kind, one repeated
+/// shape.
+nn::Network mixed_net() {
+  nn::Network net("store-mix");
+  net.add(nn::make_conv("conv1", 8, 16, 16, 16, 3, 1, 1));
+  net.add(nn::make_conv("conv2", 16, 16, 16, 16, 3, 1, 1));
+  net.add(nn::make_conv("conv3", 16, 16, 16, 16, 3, 1, 1));  // repeats conv2
+  net.add(nn::make_conv("reduce", 16, 16, 16, 8, 1, 1, 0));
+  net.add(nn::make_matmul("fc", 2048, 64, 1));
+  return net;
+}
+
+void expect_identical(const NetworkSchedule& a, const NetworkSchedule& b) {
+  EXPECT_EQ(a.total_cycles, b.total_cycles);
+  EXPECT_EQ(a.hardware_efficiency, b.hardware_efficiency);  // bit-exact
+  EXPECT_EQ(a.mean_e_wbuf, b.mean_e_wbuf);
+  ASSERT_EQ(a.layers.size(), b.layers.size());
+  for (std::size_t i = 0; i < a.layers.size(); ++i) {
+    EXPECT_EQ(a.layers[i].layer.name, b.layers[i].layer.name);
+    EXPECT_EQ(a.layers[i].weight_groups, b.layers[i].weight_groups);
+    EXPECT_EQ(a.layers[i].encoded_stream(), b.layers[i].encoded_stream());
+  }
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::string s((std::istreambuf_iterator<char>(in)),
+                std::istreambuf_iterator<char>());
+  return s;
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+}
+
+TEST(ProgramStore, RoundTripsAProgramByteExactly) {
+  TempDir dir;
+  ProgramStore store(dir.path);
+  const arch::OverlayConfig cfg = arch::paper_config();
+  const nn::Layer layer = small_conv();
+  const std::uint64_t key = program_cache_key(
+      Workload::from_layer(layer), cfg, Objective::Performance, kBudget);
+
+  const LayerProgram prog =
+      compile_layer(layer, cfg, Objective::Performance, kBudget);
+  store.put(key, cfg, prog);
+  EXPECT_EQ(store.entry_count(), 1);
+  EXPECT_TRUE(fs::exists(store.entry_path(key)));
+
+  const auto loaded = store.load(key, cfg);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(serialize_program(*loaded), serialize_program(prog));
+
+  const StoreStats st = store.stats();
+  EXPECT_EQ(st.hits, 1);
+  EXPECT_EQ(st.misses, 0);
+  EXPECT_EQ(st.evictions, 0);
+  EXPECT_GT(st.bytes_written, 0);
+  EXPECT_GT(st.bytes_read, 0);
+}
+
+TEST(ProgramStore, MissingEntryIsAMiss) {
+  TempDir dir;
+  ProgramStore store(dir.path);
+  EXPECT_FALSE(store.load(0xdeadbeef, arch::paper_config()).has_value());
+  EXPECT_EQ(store.stats().misses, 1);
+  EXPECT_EQ(store.stats().evictions, 0);
+}
+
+TEST(ProgramStore, ThrowsWhenDirectoryCannotBeCreated) {
+  // /proc/self/cmdline is a file, so nothing can be created under it.
+  EXPECT_THROW(ProgramStore("/proc/self/cmdline/sub"), Error);
+}
+
+class ProgramStoreDamage : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cfg_ = arch::paper_config();
+    const nn::Layer layer = small_conv();
+    key_ = program_cache_key(Workload::from_layer(layer), cfg_,
+                             Objective::Performance, kBudget);
+    store_ = std::make_unique<ProgramStore>(dir_.path);
+    store_->put(key_, cfg_,
+                compile_layer(layer, cfg_, Objective::Performance, kBudget));
+    entry_ = store_->entry_path(key_);
+  }
+
+  /// The damaged entry must never be returned: the load misses, the file is
+  /// evicted, and a subsequent put + load works again.
+  void expect_evicted() {
+    EXPECT_FALSE(store_->load(key_, cfg_).has_value());
+    EXPECT_EQ(store_->stats().evictions, 1);
+    EXPECT_FALSE(fs::exists(entry_)) << "evicted entry must be removed";
+  }
+
+  TempDir dir_;
+  arch::OverlayConfig cfg_;
+  std::uint64_t key_ = 0;
+  std::unique_ptr<ProgramStore> store_;
+  std::string entry_;
+};
+
+TEST_F(ProgramStoreDamage, TruncatedEntryIsEvicted) {
+  const std::string text = read_file(entry_);
+  write_file(entry_, text.substr(0, text.size() / 2));
+  expect_evicted();
+}
+
+TEST_F(ProgramStoreDamage, CorruptedPayloadByteIsEvicted) {
+  std::string text = read_file(entry_);
+  text[text.size() / 2] ^= 0x20;  // flip a payload bit, length unchanged
+  write_file(entry_, text);
+  expect_evicted();
+}
+
+TEST_F(ProgramStoreDamage, WrongStoreVersionIsEvicted) {
+  std::string text = read_file(entry_);
+  const std::string v1 = "ftdl-store v1 ";
+  ASSERT_EQ(text.rfind(v1, 0), 0u);
+  text.replace(0, v1.size(), "ftdl-store v9 ");
+  write_file(entry_, text);
+  expect_evicted();
+}
+
+TEST_F(ProgramStoreDamage, ConfigMismatchIsEvicted) {
+  // Same key on disk, but the probing process runs a different overlay: the
+  // header's config digest disagrees and the entry must not be trusted.
+  arch::OverlayConfig other = cfg_;
+  other.actbuf_words *= 2;
+  EXPECT_FALSE(store_->load(key_, other).has_value());
+  EXPECT_EQ(store_->stats().evictions, 1);
+}
+
+TEST_F(ProgramStoreDamage, TamperedPayloadFailsRevalidationAndIsEvicted) {
+  // A consistently re-framed entry (valid header, footer recomputed over the
+  // tampered payload) passes every integrity check — only the semantic
+  // re-validation inside deserialize_program (analytical-model re-evaluation
+  // against the stored check.c_exe) can catch it.
+  std::string payload = serialize_program(
+      compile_layer(small_conv(), cfg_, Objective::Performance, kBudget));
+  const std::size_t pos = payload.find("check.c_exe=");
+  ASSERT_NE(pos, std::string::npos);
+  payload.insert(pos + std::string("check.c_exe=").size(), "9");
+  const std::string text = read_file(entry_);
+  const std::size_t header_end = text.find('\n');
+  Hash64 h;
+  h.bytes(payload.data(), payload.size());
+  char footer[128];
+  std::snprintf(footer, sizeof(footer), "footer bytes=%llu checksum=%016llx\n",
+                static_cast<unsigned long long>(payload.size()),
+                static_cast<unsigned long long>(h.digest()));
+  write_file(entry_, text.substr(0, header_end + 1) + payload + footer);
+  expect_evicted();
+}
+
+TEST(ProgramStoreSession, WriteThroughThenWarmStartsAFreshSession) {
+  TempDir dir;
+  const nn::Network net = mixed_net();
+  const arch::OverlayConfig cfg = arch::paper_config();
+
+  // Golden: no store anywhere near it.
+  CompilerSession golden_session(2);
+  const NetworkSchedule golden =
+      golden_session.schedule(net, cfg, Objective::Performance, kBudget);
+
+  CompilerSession writer(2);
+  writer.set_store(std::make_shared<ProgramStore>(dir.path));
+  writer.schedule(net, cfg, Objective::Performance, kBudget);
+  const SessionStats ws = writer.stats();
+  EXPECT_EQ(ws.misses, 4);            // distinct shapes compiled
+  EXPECT_EQ(ws.disk_misses, 4);       // all probed the empty store first
+  EXPECT_EQ(ws.disk_hits, 0);
+  EXPECT_GT(ws.disk_bytes, 0);        // written through
+  EXPECT_EQ(writer.store()->entry_count(), 4);
+
+  // A fresh session (fresh memory cache, own store instance on the same
+  // directory — the cross-process situation) compiles nothing.
+  CompilerSession reader(2);
+  reader.set_store(std::make_shared<ProgramStore>(dir.path));
+  const NetworkSchedule warm =
+      reader.schedule(net, cfg, Objective::Performance, kBudget);
+  const SessionStats rs = reader.stats();
+  EXPECT_EQ(rs.misses, 0) << "warm disk must not recompile";
+  EXPECT_EQ(rs.disk_hits, 4);
+  EXPECT_EQ(rs.disk_evictions, 0);
+  expect_identical(golden, warm);
+}
+
+TEST(ProgramStoreSession, WarmDiskIsBitIdenticalAcrossJobs) {
+  TempDir dir;
+  const nn::Network net = mixed_net();
+  const arch::OverlayConfig cfg = arch::paper_config();
+
+  CompilerSession writer(2);
+  writer.set_store(std::make_shared<ProgramStore>(dir.path));
+  const NetworkSchedule golden =
+      writer.schedule(net, cfg, Objective::Performance, kBudget);
+
+  CompilerSession serial(1);
+  serial.set_store(std::make_shared<ProgramStore>(dir.path));
+  CompilerSession threaded(8);
+  threaded.set_store(std::make_shared<ProgramStore>(dir.path));
+  const NetworkSchedule warm1 =
+      serial.schedule(net, cfg, Objective::Performance, kBudget);
+  const NetworkSchedule warm8 =
+      threaded.schedule(net, cfg, Objective::Performance, kBudget);
+  EXPECT_EQ(serial.stats().misses, 0);
+  EXPECT_EQ(threaded.stats().misses, 0);
+  expect_identical(golden, warm1);
+  expect_identical(golden, warm8);
+}
+
+TEST(ProgramStoreSession, CorruptedEntryIsRecompiledNotTrusted) {
+  TempDir dir;
+  const nn::Network net = mixed_net();
+  const arch::OverlayConfig cfg = arch::paper_config();
+
+  CompilerSession writer(2);
+  writer.set_store(std::make_shared<ProgramStore>(dir.path));
+  const NetworkSchedule golden =
+      writer.schedule(net, cfg, Objective::Performance, kBudget);
+
+  // Damage every entry in the directory.
+  for (const auto& e : fs::directory_iterator(dir.path)) {
+    std::string text = read_file(e.path().string());
+    write_file(e.path().string(), text.substr(0, text.size() / 3));
+  }
+
+  CompilerSession reader(2);
+  reader.set_store(std::make_shared<ProgramStore>(dir.path));
+  const NetworkSchedule recompiled =
+      reader.schedule(net, cfg, Objective::Performance, kBudget);
+  const SessionStats rs = reader.stats();
+  EXPECT_EQ(rs.disk_hits, 0);
+  EXPECT_EQ(rs.disk_evictions, 4);
+  EXPECT_EQ(rs.misses, 4) << "every damaged entry must recompile";
+  expect_identical(golden, recompiled);  // never a wrong schedule
+
+  // The recompiles wrote fresh entries; a third session warm-starts again.
+  CompilerSession third(2);
+  third.set_store(std::make_shared<ProgramStore>(dir.path));
+  third.schedule(net, cfg, Objective::Performance, kBudget);
+  EXPECT_EQ(third.stats().misses, 0);
+  EXPECT_EQ(third.stats().disk_hits, 4);
+}
+
+TEST(ProgramStoreSession, ConcurrentMultiSessionWritersPublishCleanEntries) {
+  TempDir dir;
+  const nn::Network net = mixed_net();
+  const arch::OverlayConfig cfg = arch::paper_config();
+
+  // Several sessions, each with its own store instance on one directory,
+  // schedule the same network at once — the worst-case publication race.
+  constexpr int kSessions = 4;
+  std::vector<std::thread> threads;
+  threads.reserve(kSessions);
+  for (int i = 0; i < kSessions; ++i) {
+    threads.emplace_back([&dir, &net, &cfg] {
+      CompilerSession s(2);
+      s.set_store(std::make_shared<ProgramStore>(dir.path));
+      s.schedule(net, cfg, Objective::Performance, kBudget);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // No temp files left visible, and every entry loads clean.
+  ProgramStore store(dir.path);
+  EXPECT_EQ(store.entry_count(), 4);
+  for (const auto& e : fs::directory_iterator(dir.path)) {
+    EXPECT_EQ(e.path().extension(), ".ftdlprog")
+        << "stray file: " << e.path();
+  }
+  CompilerSession reader(2);
+  reader.set_store(std::make_shared<ProgramStore>(dir.path));
+  reader.schedule(net, cfg, Objective::Performance, kBudget);
+  EXPECT_EQ(reader.stats().misses, 0);
+  EXPECT_EQ(reader.stats().disk_evictions, 0);
+}
+
+TEST(ProgramStoreResolve, FlagBeatsEnvBeatsEmpty) {
+  ASSERT_EQ(unsetenv("FTDL_CACHE_DIR"), 0);
+  EXPECT_EQ(resolve_cache_dir(""), "");
+  EXPECT_EQ(resolve_cache_dir("/a"), "/a");
+  ASSERT_EQ(setenv("FTDL_CACHE_DIR", "/from-env", 1), 0);
+  EXPECT_EQ(resolve_cache_dir(""), "/from-env");
+  EXPECT_EQ(resolve_cache_dir("/flag"), "/flag");
+  ASSERT_EQ(unsetenv("FTDL_CACHE_DIR"), 0);
+}
+
+}  // namespace
+}  // namespace ftdl::compiler

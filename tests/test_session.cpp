@@ -3,8 +3,10 @@
 // be BIT-IDENTICAL for any jobs value and any cache state.
 #include <gtest/gtest.h>
 
+#include <latch>
 #include <map>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "common/error.h"
@@ -233,6 +235,40 @@ TEST(CompilerSession, CompileRestoresLayerIdentityOnHits) {
   EXPECT_EQ(p1.layer.name, "first");
   EXPECT_EQ(p2.layer.name, "second");
   EXPECT_EQ(p1.encoded_stream(), p2.encoded_stream());
+}
+
+// Regression: concurrent compiles of one uncached key used to each run the
+// full mapping search and each count a miss (while only one entry's bytes
+// were accounted). Single-flight pins the invariant: one search, one miss,
+// one entry — the other callers wait and are accounted as hits.
+TEST(CompilerSession, ConcurrentSameLayerCompilesSingleFlight) {
+  CompilerSession session(8);
+  const arch::OverlayConfig cfg = arch::paper_config();
+
+  constexpr int kThreads = 8;
+  std::latch start(kThreads);
+  std::vector<LayerProgram> results(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      start.arrive_and_wait();  // maximize the same-key collision window
+      results[static_cast<std::size_t>(t)] =
+          session.compile(nn::make_conv("same-" + std::to_string(t), 8, 16,
+                                        16, 16, 3, 1, 1),
+                          cfg, Objective::Performance, kBudget);
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  const SessionStats stats = session.stats();
+  EXPECT_EQ(stats.misses, 1) << "the mapping search must run exactly once";
+  EXPECT_EQ(stats.hits, kThreads - 1);
+  EXPECT_EQ(stats.entries, 1);
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(results[0].encoded_stream(),
+              results[static_cast<std::size_t>(t)].encoded_stream());
+  }
 }
 
 TEST(CompilerSession, ClearCacheDropsProgramsButKeepsTraffic) {

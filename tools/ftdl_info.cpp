@@ -51,15 +51,27 @@ int cmd_models() {
   return 0;
 }
 
+/// Strict positional parsing (common/str_util): `ftdl-info config 12 x5 20`
+/// is a usage error, never a silent 0.
+int parse_dim(const char* what, const char* s) {
+  std::int64_t v = 0;
+  if (!parse_int_strict(s, 1, 1'000'000, &v)) {
+    std::fprintf(stderr, "ftdl-info: %s needs a positive integer, got '%s'\n",
+                 what, s);
+    std::exit(2);
+  }
+  return static_cast<int>(v);
+}
+
 int cmd_config(int argc, char** argv) {
   if (argc < 6) {
     std::fprintf(stderr, "usage: ftdl-info config D1 D2 D3 DEVICE\n");
     return 2;
   }
   arch::OverlayConfig cfg = arch::paper_config();
-  cfg.d1 = std::atoi(argv[2]);
-  cfg.d2 = std::atoi(argv[3]);
-  cfg.d3 = std::atoi(argv[4]);
+  cfg.d1 = parse_dim("D1", argv[2]);
+  cfg.d2 = parse_dim("D2", argv[3]);
+  cfg.d3 = parse_dim("D3", argv[4]);
   const fpga::Device dev = fpga::device_by_name(argv[5]);
   try {
     timing::OverlayGeometry g;

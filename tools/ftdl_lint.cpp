@@ -40,6 +40,7 @@
 #include "arch/isa.h"
 #include "arch/overlay_config.h"
 #include "common/error.h"
+#include "common/str_util.h"
 #include "compiler/program_io.h"
 #include "compiler/program_verify.h"
 #include "verify/verifier.h"
@@ -68,12 +69,11 @@ struct Args {
   std::exit(2);
 }
 
-/// Strict positive-integer option parsing: rejects garbage and out-of-range
-/// values instead of std::atoi's silent 0.
+/// Strict positive-integer option parsing (common/str_util): rejects garbage
+/// and out-of-range values instead of std::atoi's silent 0.
 int parse_pos_int(const char* opt, const char* s) {
-  char* end = nullptr;
-  const long v = std::strtol(s, &end, 10);
-  if (end == s || *end != '\0' || v < 1 || v > 1'000'000) {
+  std::int64_t v = 0;
+  if (!parse_int_strict(s, 1, 1'000'000, &v)) {
     usage((std::string(opt) + " needs a positive integer, got '" + s + "'")
               .c_str());
   }
@@ -81,9 +81,8 @@ int parse_pos_int(const char* opt, const char* s) {
 }
 
 double parse_pos_double(const char* opt, const char* s) {
-  char* end = nullptr;
-  const double v = std::strtod(s, &end);
-  if (end == s || *end != '\0' || !(v > 0.0)) {
+  double v = 0.0;
+  if (!parse_double_strict(s, &v) || !(v > 0.0)) {
     usage((std::string(opt) + " needs a positive number, got '" + s + "'")
               .c_str());
   }

@@ -23,10 +23,13 @@
 //     --no-sim            skip the cycle-level execution phase
 //     --sim-macs-limit N  skip simulation above N network MACs (default 5e8;
 //                         the functional simulator executes every MACC)
+//     --cache-dir DIR     persistent program cache (FTDL_CACHE_DIR env);
+//                         repeat profiles warm-start compiles from disk
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -34,6 +37,8 @@
 #include "arch/overlay_config.h"
 #include "common/error.h"
 #include "common/rng.h"
+#include "common/str_util.h"
+#include "compiler/program_store.h"
 #include "compiler/session.h"
 #include "frontend/spec_parser.h"
 #include "host/host_pipeline.h"
@@ -54,6 +59,7 @@ struct Args {
   std::string stream_path;  ///< empty = no binary event log
   std::int64_t budget = 8'000;
   std::int64_t sim_macs_limit = 500'000'000;
+  std::string cache_dir;
   int jobs = 0;  ///< 0 = session default (FTDL_JOBS env / hardware threads)
   bool no_sim = false;
   bool list = false;
@@ -64,9 +70,23 @@ struct Args {
   std::fprintf(stderr,
                "usage: ftdl-prof [MODEL|SPEC.ftdl] [--trace FILE] "
                "[--metrics FILE] [--stream FILE]\n                 "
-               "[--budget N] [--jobs N] "
+               "[--budget N] [--jobs N] [--cache-dir DIR] "
                "[--no-sim] [--sim-macs-limit N] [--list]\n");
   std::exit(2);
+}
+
+/// Strict flag parsing (common/str_util): `--budget 8k` is a usage error,
+/// never a silent 0.
+std::int64_t parse_int_flag(const char* opt, const char* s, std::int64_t min_v,
+                            std::int64_t max_v) {
+  std::int64_t v = 0;
+  if (!parse_int_strict(s, min_v, max_v, &v)) {
+    usage((std::string(opt) + " needs an integer in [" +
+           std::to_string(min_v) + ", " + std::to_string(max_v) + "], got '" +
+           s + "'")
+              .c_str());
+  }
+  return v;
 }
 
 Args parse_args(int argc, char** argv) {
@@ -80,13 +100,14 @@ Args parse_args(int argc, char** argv) {
     if (std::strcmp(a, "--trace") == 0) args.trace_path = next(i);
     else if (std::strcmp(a, "--metrics") == 0) args.metrics_path = next(i);
     else if (std::strcmp(a, "--stream") == 0) args.stream_path = next(i);
-    else if (std::strcmp(a, "--budget") == 0) args.budget = std::atoll(next(i));
-    else if (std::strcmp(a, "--jobs") == 0) {
-      args.jobs = std::atoi(next(i));
-      if (args.jobs < 1) usage("--jobs must be >= 1");
-    }
+    else if (std::strcmp(a, "--budget") == 0)
+      args.budget = parse_int_flag(a, next(i), 1, 1'000'000'000);
+    else if (std::strcmp(a, "--jobs") == 0)
+      args.jobs = static_cast<int>(parse_int_flag(a, next(i), 1, 1024));
+    else if (std::strcmp(a, "--cache-dir") == 0) args.cache_dir = next(i);
     else if (std::strcmp(a, "--sim-macs-limit") == 0)
-      args.sim_macs_limit = std::atoll(next(i));
+      args.sim_macs_limit =
+          parse_int_flag(a, next(i), 0, 9'223'372'036'854'775'807LL);
     else if (std::strcmp(a, "--no-sim") == 0) args.no_sim = true;
     else if (std::strcmp(a, "--list") == 0) args.list = true;
     else if (a[0] == '-') usage(("unknown option " + std::string(a)).c_str());
@@ -160,6 +181,10 @@ int main(int argc, char** argv) {
 
     compiler::CompilerSession& session = compiler::CompilerSession::global();
     if (args.jobs > 0) session.set_jobs(args.jobs);
+    const std::string cache_dir = compiler::resolve_cache_dir(args.cache_dir);
+    if (!cache_dir.empty()) {
+      session.set_store(std::make_shared<compiler::ProgramStore>(cache_dir));
+    }
 
     const nn::Network net = load_network(args.model);
     std::printf("ftdl-prof: %s (%lld overlay MACs)\n", net.name().c_str(),
@@ -232,6 +257,14 @@ int main(int argc, char** argv) {
                 static_cast<long long>(ss.misses),
                 static_cast<long long>(ss.entries),
                 double(ss.program_bytes) / 1024.0);
+    if (!cache_dir.empty()) {
+      std::printf("  cache %s: disk_hits=%lld disk_misses=%lld "
+                  "disk_evictions=%lld disk_bytes=%lld\n",
+                  cache_dir.c_str(), static_cast<long long>(ss.disk_hits),
+                  static_cast<long long>(ss.disk_misses),
+                  static_cast<long long>(ss.disk_evictions),
+                  static_cast<long long>(ss.disk_bytes));
+    }
 
     reg.write_chrome_trace(args.trace_path);
     reg.write_metrics(args.metrics_path);

@@ -26,12 +26,15 @@
 //     --stream FILE    also record an ftdl-stream-v1 binary event log
 //                      (docs/obs-stream-format.md); replay/verify it with
 //                      ftdl-obsq (docs/operations.md)
+//     --cache-dir DIR  persistent program cache (FTDL_CACHE_DIR env); a
+//                      restarted server warm-starts its compiles from disk
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -39,6 +42,9 @@
 
 #include "common/error.h"
 #include "common/rng.h"
+#include "common/str_util.h"
+#include "compiler/program_store.h"
+#include "compiler/session.h"
 #include "frontend/spec_parser.h"
 #include "nn/model_zoo.h"
 #include "obs/obs.h"
@@ -62,6 +68,7 @@ struct Args {
   std::size_t depth = 64;
   double rate = 0.0;  ///< 0 = closed loop
   std::uint64_t seed = 1;
+  std::string cache_dir;
   bool sim_path = false;
   bool check = false;
   bool list = false;
@@ -76,8 +83,31 @@ struct Args {
                "[--rate R] [--path ref|sim]\n"
                "                  [--seed N] [--check] [--trace FILE] "
                "[--metrics FILE] [--stream FILE]\n"
-               "                  [--list]\n");
+               "                  [--cache-dir DIR] [--list]\n");
   std::exit(2);
+}
+
+/// Strict flag parsing (common/str_util): `--workers x8` is a usage error,
+/// never a silent 0.
+std::int64_t parse_int_flag(const char* opt, const char* s, std::int64_t min_v,
+                            std::int64_t max_v) {
+  std::int64_t v = 0;
+  if (!parse_int_strict(s, min_v, max_v, &v)) {
+    usage((std::string(opt) + " needs an integer in [" +
+           std::to_string(min_v) + ", " + std::to_string(max_v) + "], got '" +
+           s + "'")
+              .c_str());
+  }
+  return v;
+}
+
+double parse_nonneg_double_flag(const char* opt, const char* s) {
+  double v = 0.0;
+  if (!parse_double_strict(s, &v) || v < 0.0) {
+    usage((std::string(opt) + " needs a non-negative number, got '" + s + "'")
+              .c_str());
+  }
+  return v;
 }
 
 Args parse_args(int argc, char** argv) {
@@ -88,17 +118,25 @@ Args parse_args(int argc, char** argv) {
   };
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
-    if (std::strcmp(a, "--requests") == 0) args.requests = std::atoi(next(i));
-    else if (std::strcmp(a, "--clients") == 0) args.clients = std::atoi(next(i));
-    else if (std::strcmp(a, "--workers") == 0) args.workers = std::atoi(next(i));
-    else if (std::strcmp(a, "--batch") == 0) args.max_batch = std::atoi(next(i));
+    if (std::strcmp(a, "--requests") == 0)
+      args.requests = static_cast<int>(parse_int_flag(a, next(i), 1, 1'000'000));
+    else if (std::strcmp(a, "--clients") == 0)
+      args.clients = static_cast<int>(parse_int_flag(a, next(i), 1, 10'000));
+    else if (std::strcmp(a, "--workers") == 0)
+      args.workers = static_cast<int>(parse_int_flag(a, next(i), 1, 10'000));
+    else if (std::strcmp(a, "--batch") == 0)
+      args.max_batch = static_cast<int>(parse_int_flag(a, next(i), 1, 100'000));
     else if (std::strcmp(a, "--timeout-us") == 0)
-      args.timeout_us = std::atoll(next(i));
+      args.timeout_us = parse_int_flag(a, next(i), 0, 1'000'000'000);
     else if (std::strcmp(a, "--depth") == 0)
-      args.depth = static_cast<std::size_t>(std::atoll(next(i)));
-    else if (std::strcmp(a, "--rate") == 0) args.rate = std::atof(next(i));
+      args.depth =
+          static_cast<std::size_t>(parse_int_flag(a, next(i), 1, 1'000'000));
+    else if (std::strcmp(a, "--rate") == 0)
+      args.rate = parse_nonneg_double_flag(a, next(i));
     else if (std::strcmp(a, "--seed") == 0)
-      args.seed = static_cast<std::uint64_t>(std::atoll(next(i)));
+      args.seed = static_cast<std::uint64_t>(
+          parse_int_flag(a, next(i), 0, 9'223'372'036'854'775'807LL));
+    else if (std::strcmp(a, "--cache-dir") == 0) args.cache_dir = next(i);
     else if (std::strcmp(a, "--path") == 0) {
       const std::string p = next(i);
       if (p == "sim") args.sim_path = true;
@@ -236,6 +274,12 @@ int main(int argc, char** argv) {
     // log sees the run from its first event.
     obs::set_enabled(true, args.stream_path);
 
+    const std::string cache_dir = compiler::resolve_cache_dir(args.cache_dir);
+    if (!cache_dir.empty()) {
+      compiler::CompilerSession::global().set_store(
+          std::make_shared<compiler::ProgramStore>(cache_dir));
+    }
+
     const nn::Network net = load_network(args.model);
     const runtime::WeightStore weights =
         runtime::WeightStore::random_for(net, args.seed + 1'000);
@@ -262,6 +306,18 @@ int main(int argc, char** argv) {
     std::printf("  latency us: p50 %.0f  p95 %.0f  p99 %.0f  max %.0f\n",
                 st.latency.percentile(50.0), st.latency.percentile(95.0),
                 st.latency.percentile(99.0), st.latency.max_us());
+
+    if (!cache_dir.empty()) {
+      const compiler::SessionStats cs =
+          compiler::CompilerSession::global().stats();
+      std::printf(
+          "  cache %s: disk_hits=%lld disk_misses=%lld disk_evictions=%lld "
+          "disk_bytes=%lld\n",
+          cache_dir.c_str(), static_cast<long long>(cs.disk_hits),
+          static_cast<long long>(cs.disk_misses),
+          static_cast<long long>(cs.disk_evictions),
+          static_cast<long long>(cs.disk_bytes));
+    }
 
     if (args.check) {
       // Replay the same request set on a serial server: every output the

@@ -19,18 +19,23 @@
 //     --verify             statically verify every emitted stream
 //     --timing             print the post-P&R style timing report
 //     --rtl DIR            generate the overlay's Verilog RTL into DIR
+//     --cache-dir DIR      persistent program cache (FTDL_CACHE_DIR env);
+//                          a second run warm-starts from disk
 //     --quiet              suppress the per-layer table
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 
 #include "analyze/analyze.h"
 #include "analyze/network_io.h"
 #include "common/str_util.h"
 #include "common/table.h"
+#include "compiler/program_store.h"
 #include "compiler/program_verify.h"
+#include "compiler/session.h"
 #include "frontend/spec_parser.h"
 #include "ftdl/ftdl.h"
 #include "rtlgen/verilog_gen.h"
@@ -46,6 +51,7 @@ struct Args {
   FrameworkOptions fw;
   std::string emit_path;
   std::string bundle_path;
+  std::string cache_dir;
   bool quiet = false;
   bool timing = false;
   bool verify = false;
@@ -58,8 +64,31 @@ struct Args {
                "usage: ftdlc NETWORK.ftdl [--device NAME] [--d1 N --d2 N "
                "--d3 N]\n             [--clock MHZ] [--objective obj1|obj2] "
                "[--budget N] [--jobs N]\n             [--emit FILE] "
-               "[--bundle FILE] [--verify] [--quiet]\n");
+               "[--bundle FILE] [--cache-dir DIR] [--verify] [--quiet]\n");
   std::exit(2);
+}
+
+/// Strict flag parsing (common/str_util): garbage like `--jobs x8` is a
+/// usage error, never a silent 0.
+int parse_int_flag(const char* opt, const char* s, std::int64_t min_v,
+                   std::int64_t max_v) {
+  std::int64_t v = 0;
+  if (!parse_int_strict(s, min_v, max_v, &v)) {
+    usage((std::string(opt) + " needs an integer in [" +
+           std::to_string(min_v) + ", " + std::to_string(max_v) + "], got '" +
+           s + "'")
+              .c_str());
+  }
+  return static_cast<int>(v);
+}
+
+double parse_pos_double_flag(const char* opt, const char* s) {
+  double v = 0.0;
+  if (!parse_double_strict(s, &v) || !(v > 0.0)) {
+    usage((std::string(opt) + " needs a positive number, got '" + s + "'")
+              .c_str());
+  }
+  return v;
 }
 
 Args parse_args(int argc, char** argv) {
@@ -71,22 +100,27 @@ Args parse_args(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
     if (std::strcmp(a, "--device") == 0) args.fw.device_name = next(i);
-    else if (std::strcmp(a, "--d1") == 0) args.fw.config.d1 = std::atoi(next(i));
-    else if (std::strcmp(a, "--d2") == 0) args.fw.config.d2 = std::atoi(next(i));
-    else if (std::strcmp(a, "--d3") == 0) args.fw.config.d3 = std::atoi(next(i));
+    else if (std::strcmp(a, "--d1") == 0)
+      args.fw.config.d1 = parse_int_flag(a, next(i), 1, 1'000'000);
+    else if (std::strcmp(a, "--d2") == 0)
+      args.fw.config.d2 = parse_int_flag(a, next(i), 1, 1'000'000);
+    else if (std::strcmp(a, "--d3") == 0)
+      args.fw.config.d3 = parse_int_flag(a, next(i), 1, 1'000'000);
     else if (std::strcmp(a, "--clock") == 0) {
       args.fw.config.clocks =
-          fpga::ClockPair::from_high(std::atof(next(i)) * 1e6);
+          fpga::ClockPair::from_high(parse_pos_double_flag(a, next(i)) * 1e6);
     } else if (std::strcmp(a, "--objective") == 0) {
       const std::string v = next(i);
       if (v == "obj1") args.fw.objective = compiler::Objective::Performance;
       else if (v == "obj2") args.fw.objective = compiler::Objective::Balance;
       else usage("objective must be obj1 or obj2");
     } else if (std::strcmp(a, "--budget") == 0) {
-      args.fw.search_budget_per_layer = std::atoll(next(i));
+      args.fw.search_budget_per_layer =
+          parse_int_flag(a, next(i), 1, 1'000'000'000);
     } else if (std::strcmp(a, "--jobs") == 0) {
-      args.fw.jobs = std::atoi(next(i));
-      if (args.fw.jobs < 1) usage("--jobs must be >= 1");
+      args.fw.jobs = parse_int_flag(a, next(i), 1, 1024);
+    } else if (std::strcmp(a, "--cache-dir") == 0) {
+      args.cache_dir = next(i);
     } else if (std::strcmp(a, "--emit") == 0) {
       args.emit_path = next(i);
     } else if (std::strcmp(a, "--bundle") == 0) {
@@ -116,6 +150,12 @@ Args parse_args(int argc, char** argv) {
 int main(int argc, char** argv) {
   const Args args = parse_args(argc, argv);
   try {
+    const std::string cache_dir = compiler::resolve_cache_dir(args.cache_dir);
+    if (!cache_dir.empty()) {
+      compiler::CompilerSession::global().set_store(
+          std::make_shared<compiler::ProgramStore>(cache_dir));
+    }
+
     const nn::Network net = frontend::parse_network_file(args.spec_path);
     Framework fw{args.fw};
 
@@ -159,6 +199,18 @@ int main(int argc, char** argv) {
         report.fps(),
         format_percent(report.schedule.hardware_efficiency).c_str(),
         report.power.total_w(), report.gops_per_w());
+
+    if (!cache_dir.empty()) {
+      const compiler::SessionStats cs =
+          compiler::CompilerSession::global().stats();
+      std::printf(
+          "cache %s: disk_hits=%lld disk_misses=%lld disk_evictions=%lld "
+          "disk_bytes=%lld\n",
+          cache_dir.c_str(), static_cast<long long>(cs.disk_hits),
+          static_cast<long long>(cs.disk_misses),
+          static_cast<long long>(cs.disk_evictions),
+          static_cast<long long>(cs.disk_bytes));
+    }
 
     if (args.verify) {
       int verify_errors = 0, verify_warnings = 0;
